@@ -1,0 +1,59 @@
+// Ablation bench (DESIGN.md): SMASH against the three baselines —
+// the single-feature-vector k-means the paper dismisses in §III-B, the
+// main dimension alone (no correlation), and IDS+blacklists alone.
+#include <cstdio>
+
+#include "baseline/baselines.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace smash;
+  const auto& ds = bench::dataset("2011day");
+
+  util::Table table("Ablation: SMASH vs baselines (Data2011day, ground-truth scoring)");
+  table.set_header({"Detector", "reported", "truly malicious", "benign/noise",
+                    "precision", "recall"});
+  const auto add = [&](const std::string& name, const baseline::BaselineScore& score) {
+    table.add_row({name, std::to_string(score.reported),
+                   std::to_string(score.truly_malicious),
+                   std::to_string(score.benign_or_noise),
+                   util::format_fixed(score.precision(), 3),
+                   util::format_fixed(score.recall(), 3)});
+  };
+
+  // SMASH at the paper's operating point (multi 0.8 / single 1.0).
+  {
+    const auto op = bench::run_operating_point(ds);
+    baseline::BaselineResult as_baseline;
+    as_baseline.name = "smash";
+    for (const auto& campaign : op.result.campaigns) {
+      std::vector<std::string> names;
+      for (auto member : campaign.servers) {
+        names.push_back(op.result.server_name(member));
+      }
+      as_baseline.campaigns.push_back(std::move(names));
+    }
+    add("SMASH (0.8/1.0)", baseline::score_baseline(as_baseline, ds.truth));
+  }
+
+  const core::SmashConfig config;
+  add("client dim only",
+      baseline::score_baseline(
+          baseline::client_dimension_only(ds.trace, ds.whois, config), ds.truth));
+  add("IDS + blacklists",
+      baseline::score_baseline(
+          baseline::ids_blacklist_only(ds.trace, ds.signatures, ds.blacklist),
+          ds.truth));
+  baseline::KMeansConfig kmeans;
+  add("kmeans features",
+      baseline::score_baseline(
+          baseline::feature_vector_kmeans(ds.trace, ds.whois, config, kmeans),
+          ds.truth));
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nShape targets: SMASH pairs high precision with high recall;");
+  std::puts("  client-dim-only floods with benign co-visit groups (precision");
+  std::puts("  collapse); IDS+blacklists are precise but see a fraction of the");
+  std::puts("  servers; flat k-means cannot trade the dimensions off well.");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared plumbing for the table/figure benches: dataset presets, pipeline
+// sweeps, and the Table II/III row layout used by four different tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "synth/world.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace smash::bench {
+
+// The paper's threshold sweep.
+inline const std::vector<double> kThresholds{0.5, 0.8, 1.0, 1.5};
+
+// Builds (and caches within the process) a dataset preset by name:
+// "2011day", "2012day", "2012week".
+const synth::Dataset& dataset(const std::string& preset);
+
+// Runs the pipeline on `ds` with both campaign-class thresholds set to
+// `thresh` (the sweep convention of Tables II/III/XI/XII).
+core::SmashResult run_at_threshold(const synth::Dataset& ds, double thresh);
+
+// Renders the Table II-style campaign-count sweep for one dataset pair.
+// `single_client` selects the Appendix C population (Tables XI).
+util::Table campaign_sweep_table(const std::string& title,
+                                 const std::vector<std::string>& presets,
+                                 bool single_client);
+
+// Renders the Table III-style server-count sweep (Tables III / XII).
+util::Table server_sweep_table(const std::string& title,
+                               const std::vector<std::string>& presets,
+                               bool single_client);
+
+// Evaluation at the paper's operating point (multi 0.8 / single 1.0).
+struct OperatingPoint {
+  core::SmashResult result;
+  core::EvaluationResult multi;
+  core::EvaluationResult single;
+};
+OperatingPoint run_operating_point(const synth::Dataset& ds);
+
+}  // namespace smash::bench

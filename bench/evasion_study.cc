@@ -1,0 +1,138 @@
+// Evasion study (paper §VI, "Evasions"): what happens when an attacker who
+// knows SMASH strips correlation signals one dimension at a time.
+//
+// We synthesize a family of otherwise-identical 12-server / 3-bot C&C
+// campaigns inside a fixed benign background, varying which secondary
+// dimensions the campaign exhibits, and measure whether SMASH still
+// detects it at each `thresh`. The paper's argument: evading one
+// secondary dimension is cheap, evading all of them simultaneously is
+// not — and the main dimension (shared bots) cannot be evaded without
+// buying more infrastructure.
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "bench_common.h"
+#include "dns/dga.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace smash;
+
+struct Scenario {
+  std::string name;
+  bool share_files = false;
+  bool share_ips = false;
+  bool share_whois = false;
+};
+
+// Builds a small world: benign tail + one campaign with the given signal
+// profile. Returns the fraction of campaign servers detected.
+double detection_rate(const Scenario& scenario, double thresh,
+                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::Trace trace;
+  whois::Registry registry;
+
+  // Benign background: 300 tail servers, 200 clients.
+  for (int s = 0; s < 300; ++s) {
+    const std::string host = dns::random_word_domain(rng) ;
+    const auto visitors = rng.sample_without_replacement(200, 1 + rng.uniform(3));
+    for (auto c : visitors) {
+      net::HttpRequest req;
+      req.client = trace.intern_client("c" + std::to_string(c));
+      req.server = trace.intern_server(host);
+      req.path = "/t" + std::to_string(s) + "/p" + std::to_string(rng.uniform(9)) +
+                 "s" + std::to_string(s) + ".html";
+      req.user_agent = "UA";
+      trace.add_request(std::move(req));
+    }
+    trace.add_resolution(trace.intern_server(host),
+                         trace.intern_ip(dns::random_ipv4(rng)));
+  }
+
+  // The campaign: 12 servers, 3 dedicated bots.
+  dns::FluxIpPool flux(rng.fork("flux"), 4);
+  whois::Record shared_whois;
+  shared_whois.email = "herd@mail.example";
+  shared_whois.phone = "+1.202555";
+  shared_whois.name_servers = "ns1.bullet.example,ns2.bullet.example";
+  std::set<std::string> campaign_servers;
+  for (int s = 0; s < 12; ++s) {
+    const std::string host = dns::random_alnum_domain(rng, 10, "info");
+    campaign_servers.insert(host);
+    const std::string file = scenario.share_files
+                                 ? std::string("gate.php")
+                                 : "g" + std::to_string(s) + "x.php";
+    for (int b = 0; b < 3; ++b) {
+      net::HttpRequest req;
+      req.client = trace.intern_client("bot" + std::to_string(b));
+      req.server = trace.intern_server(host);
+      req.path = "/m/" + file + "?id=" + std::to_string(rng.next() % 10000);
+      req.user_agent = "BotUA";
+      trace.add_request(std::move(req));
+    }
+    if (scenario.share_ips) {
+      for (const auto& ip : flux.draw(2)) {
+        trace.add_resolution(trace.intern_server(host), trace.intern_ip(ip));
+      }
+    } else {
+      trace.add_resolution(trace.intern_server(host),
+                           trace.intern_ip(dns::random_ipv4(rng)));
+    }
+    if (scenario.share_whois) {
+      registry.add(host, shared_whois);
+    }
+  }
+  trace.finalize();
+
+  core::SmashConfig config;
+  config.idf_threshold = 60;
+  config = config.with_threshold(thresh);
+  const auto result = core::SmashPipeline(config).run(trace, registry);
+
+  int detected = 0;
+  for (const auto& campaign : result.campaigns) {
+    for (auto member : campaign.servers) {
+      detected += campaign_servers.count(result.server_name(member));
+    }
+  }
+  return static_cast<double>(detected) / static_cast<double>(campaign_servers.size());
+}
+
+}  // namespace
+
+int main() {
+  const Scenario scenarios[] = {
+      {"all signals (files+ips+whois)", true, true, true},
+      {"evade whois (privacy proxy)", true, true, false},
+      {"evade IPs (disjoint hosting)", true, false, true},
+      {"evade files (per-server names)", false, true, true},
+      {"evade files+ips", false, false, true},
+      {"evade files+whois", false, true, false},
+      {"evade ips+whois", true, false, false},
+      {"evade everything", false, false, false},
+  };
+
+  smash::util::Table table("Evasion study: detection rate vs evaded dimensions");
+  std::vector<std::string> header{"attacker strategy"};
+  for (double t : smash::bench::kThresholds) {
+    header.push_back("thresh " + smash::util::format_fixed(t, 1));
+  }
+  table.set_header(header);
+  for (const auto& scenario : scenarios) {
+    std::vector<std::string> row{scenario.name};
+    for (double thresh : smash::bench::kThresholds) {
+      row.push_back(smash::util::format_fixed(
+          100.0 * detection_rate(scenario, thresh, 99), 0) + "%");
+    }
+    table.add_row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nTargets (paper Sec. VI): dropping one secondary dimension keeps the");
+  std::puts("  campaign detectable (remaining dimensions cover); only stripping");
+  std::puts("  ALL secondary signals evades SMASH — and that forces per-server");
+  std::puts("  filenames, disjoint hosting and clean registration, i.e. cost.");
+  return 0;
+}

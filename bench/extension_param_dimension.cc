@@ -1,0 +1,78 @@
+// Extension study (paper §V-A2 + §VI): the parameter-pattern dimension.
+//
+// The paper's false-negative analysis found 40 malicious servers (Cycbot,
+// FakeAV, Tidserv) sharing *only* URI parameter patterns — invisible to
+// the four shipped dimensions — and suggested extending the URI-file
+// dimension with parameter structure. This bench runs SMASH with and
+// without the kParam dimension and reports how many of the injected
+// no-secondary-dimension campaigns are recovered, and what it costs in
+// false positives.
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace smash;
+
+struct Outcome {
+  int nosec_detected = 0;
+  int nosec_total = 0;
+  core::ServerCounts servers;
+  int fn_threats = 0;
+};
+
+Outcome run(const synth::Dataset& ds, bool with_param) {
+  core::SmashConfig config;
+  config.enable_param_dimension = with_param;
+  const core::SmashPipeline pipeline(config);
+  const auto result = pipeline.run(ds.trace, ds.whois);
+
+  std::set<std::string> detected;
+  for (const auto& campaign : result.campaigns) {
+    for (auto member : campaign.servers) {
+      detected.insert(result.server_name(member));
+    }
+  }
+
+  Outcome out;
+  for (const auto& truth : ds.truth.campaigns()) {
+    if (!truth.name.starts_with("nosec-")) continue;
+    for (const auto& server : truth.servers) {
+      ++out.nosec_total;
+      out.nosec_detected += detected.count(server);
+    }
+  }
+  const core::Evaluator evaluator(ds.trace, ds.signatures, ds.blacklist, ds.truth);
+  const auto multi = evaluator.evaluate(result, false);
+  out.servers = multi.server_counts;
+  out.fn_threats = static_cast<int>(multi.false_negatives.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto& ds = smash::bench::dataset("2011day");
+
+  smash::util::Table table(
+      "Extension: parameter-pattern dimension (recovers Sec. V-A2 FNs)");
+  table.set_header({"configuration", "nosec servers found", "SMASH servers",
+                    "FP servers", "FP (updated)", "FN threat groups"});
+  for (const bool with_param : {false, true}) {
+    const auto outcome = run(ds, with_param);
+    table.add_row({with_param ? "4 dims + param-pattern" : "paper's 4 dimensions",
+                   std::to_string(outcome.nosec_detected) + "/" +
+                       std::to_string(outcome.nosec_total),
+                   std::to_string(outcome.servers.smash),
+                   std::to_string(outcome.servers.false_positives),
+                   std::to_string(outcome.servers.fp_updated),
+                   std::to_string(outcome.fn_threats)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nTarget: the no-secondary-dimension campaigns (shared parameter");
+  std::puts("  structure only, the Cycbot shape) go from missed to detected when");
+  std::puts("  the extension dimension is enabled, at little or no FP cost.");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces paper Table III: number of servers involved in malicious
+// activities across the `thresh` sweep, plus the headline ratios (new
+// servers vs IDS+blacklist, FP rate).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace smash;
+  const auto table = bench::server_sweep_table(
+      "Table III: number of servers in malicious activities (>= 2 clients)",
+      {"2011day", "2012day"}, /*single_client=*/false);
+  std::fputs(table.render().c_str(), stdout);
+
+  // Headline ratios at the paper's operating point (thresh = 0.8).
+  for (const char* preset : {"2011day", "2012day"}) {
+    const auto& ds = bench::dataset(preset);
+    const auto result = bench::run_at_threshold(ds, 0.8);
+    const core::Evaluator evaluator(ds.trace, ds.signatures, ds.blacklist, ds.truth);
+    const auto eval = evaluator.evaluate(result, false);
+    const int confirmed = eval.server_counts.ids2012 + eval.server_counts.ids2013 +
+                          eval.server_counts.blacklist;
+    std::printf(
+        "\n%s @0.8: %d servers; IDS+blacklist confirm %d; new servers %d "
+        "(%.1fx the confirmed set); FP rate %.4f%%, updated %.4f%%\n",
+        preset, eval.server_counts.smash, confirmed, eval.server_counts.new_servers,
+        confirmed ? static_cast<double>(eval.server_counts.new_servers) / confirmed : 0.0,
+        eval.fp_rate * 100, eval.fp_rate_updated * 100);
+  }
+  std::puts("\nShape targets (paper): new servers ~6-7x IDS+blacklist; highest");
+  std::puts("  FP rate 0.064% (0.017% after noise removal); counts fall with thresh.");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces paper Tables VII-X: the Bagle, Sality, iframe-injection, and
+// Zeus case studies — showing the inferred herd with member servers, URI
+// files, User-Agents, and parameter patterns, as the paper's tables do.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace smash;
+
+// Locates the detected campaign with the largest overlap with the named
+// truth campaign and prints a paper-style member table.
+void case_study(const synth::Dataset& ds, const core::SmashResult& result,
+                const std::string& truth_name, const std::string& title,
+                std::size_t max_rows) {
+  const ids::CampaignTruth* truth = nullptr;
+  for (const auto& campaign : ds.truth.campaigns()) {
+    if (campaign.name == truth_name) truth = &campaign;
+  }
+  if (truth == nullptr) {
+    std::printf("%s: truth campaign %s missing\n", title.c_str(), truth_name.c_str());
+    return;
+  }
+  const std::set<std::string> truth_servers(truth->servers.begin(),
+                                            truth->servers.end());
+
+  const core::Campaign* best = nullptr;
+  std::size_t best_overlap = 0;
+  for (const auto& campaign : result.campaigns) {
+    std::size_t overlap = 0;
+    for (auto member : campaign.servers) {
+      overlap += truth_servers.count(result.server_name(member));
+    }
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best = &campaign;
+    }
+  }
+
+  util::Table table(title);
+  table.set_header({"Server", "URI files", "UserAgent", "Param patterns"});
+  if (best == nullptr) {
+    std::printf("%s\n  NOT DETECTED (expected for sub-threshold herds)\n\n",
+                title.c_str());
+    return;
+  }
+  std::size_t rows = 0;
+  for (auto member : best->servers) {
+    if (rows++ >= max_rows) break;
+    const auto& profile = result.server_profile(member);
+    std::string files;
+    std::size_t shown = 0;
+    for (auto file : profile.files) {
+      if (shown++ >= 2) { files += ",..."; break; }
+      if (!files.empty()) files += ",";
+      const auto& name = result.pre.agg.files().name(file);
+      files += name.size() > 24 ? name.substr(0, 21) + "..." : name;
+    }
+    std::string ua = profile.user_agents.empty() ? "-" : *profile.user_agents.begin();
+    if (ua.size() > 28) ua = ua.substr(0, 25) + "...";
+    std::string params =
+        profile.param_patterns.empty() ? "na" : *profile.param_patterns.begin();
+    if (params.size() > 20) params = params.substr(0, 17) + "...";
+    table.add_row({result.server_name(member), files, ua, params});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("  herd size %zu (showing %zu); overlap with ground truth %zu/%zu\n\n",
+              best->servers.size(), std::min(max_rows, best->servers.size()),
+              best_overlap, truth->servers.size());
+}
+
+}  // namespace
+
+int main() {
+  const auto& ds = bench::dataset("2011day");
+  // Case studies run at thresh 0.5 so the small multi-dimension herds (the
+  // Sality C&C pair, the drop zone) are visible, as discussed in
+  // EXPERIMENTS.md; the flagship tiers are detected at 0.8 as well.
+  const auto result = bench::run_at_threshold(ds, 0.5);
+
+  case_study(ds, result, "bagle-0",
+             "Table VII: Bagle botnet (download tier + C&C tier, one herd)", 8);
+  case_study(ds, result, "sality-0",
+             "Table VIII: Sality botnet (C&C pair + compromised download sites)", 8);
+  case_study(ds, result, "iframe-0",
+             "Table IX: iframe injection attack (WordPress sm3.php uploads)", 6);
+  case_study(ds, result, "zeus-0",
+             "Table X: Zeus botnet (DGA flux siblings serving login.php)", 8);
+  std::puts("Shape targets (paper): Bagle merges 40 download + 54 C&C servers");
+  std::puts("  via the shared bot clients; Zeus shows sibling cz.cc domains all");
+  std::puts("  serving login.php; iframe herd is hundreds of benign sites.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Botnet hunting: the communication-activity scenario of the paper's
+// introduction (Fig. 1a). Runs SMASH over a synthetic ISP day and walks
+// the inferred C&C herds — domain-flux siblings, their shared IPs, whois
+// correlation and URI files — the way an analyst would triage them.
+//
+//   ./botnet_hunt [seed]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "synth/world.h"
+
+int main(int argc, char** argv) {
+  using namespace smash;
+
+  auto config = synth::data2011day();
+  if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
+  std::puts("generating ISP day trace (paper-scale clients, ~40x reduced volume)...");
+  const synth::Dataset dataset = synth::generate_world(config);
+
+  const core::SmashPipeline pipeline{core::SmashConfig{}};
+  const core::SmashResult result = pipeline.run(dataset.trace, dataset.whois);
+  const core::Evaluator evaluator(dataset.trace, dataset.signatures,
+                                  dataset.blacklist, dataset.truth);
+
+  // Hunt: campaigns whose members exhibit infrastructure correlation (IP
+  // and/or whois secondary dimensions) — the C&C signature.
+  std::puts("\n=== inferred C&C-style herds (infrastructure-correlated) ===");
+  int shown = 0;
+  for (const auto& campaign : result.campaigns) {
+    bool infra = false;
+    for (auto member : campaign.servers) {
+      infra |= (result.correlation.dims_mask[member] & 0b110) != 0;  // ip|whois
+    }
+    if (!infra || campaign.servers.size() < 3) continue;
+    if (++shown > 6) break;
+
+    std::printf("\nherd #%d: %zu servers, %zu bot clients\n", shown,
+                campaign.servers.size(), campaign.involved_clients.size());
+    std::size_t listed = 0;
+    for (auto member : campaign.servers) {
+      if (listed++ >= 5) { std::puts("    ..."); break; }
+      const auto& profile = result.server_profile(member);
+      std::string files;
+      for (auto f : profile.files) {
+        if (!files.empty()) files += ",";
+        files += result.pre.agg.files().name(f).substr(0, 20);
+        if (files.size() > 40) break;
+      }
+      std::printf("    %-28s ips=%zu files=[%s] score=%.2f\n",
+                  result.server_name(member).c_str(), profile.ips.size(),
+                  files.c_str(), result.correlation.score[member]);
+    }
+    // What would the defender have known without SMASH?
+    int confirmed = 0;
+    for (auto member : campaign.servers) {
+      const auto& name = result.server_name(member);
+      confirmed += evaluator.ids2012_labeled(name) ||
+                   evaluator.blacklist_confirmed(name);
+    }
+    std::printf("    -> IDS/blacklists knew %d of %zu; SMASH surfaces the rest "
+                "via herd association\n",
+                confirmed, campaign.servers.size());
+  }
+
+  if (shown == 0) {
+    std::puts("no infrastructure-correlated herds found (unexpected for the preset)");
+    return 1;
+  }
+  return 0;
+}

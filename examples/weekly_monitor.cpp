@@ -1,0 +1,79 @@
+// Daily monitoring deployment (paper §I: "it can be run everyday to detect
+// daily malicious activities"). Replays a week of ISP traffic one day at a
+// time, diffing each day's inferred herds against everything seen before —
+// separating persistent infrastructure from agile domain-rotating
+// campaigns, the paper's Fig. 7 view, as an operator workflow.
+//
+//   ./weekly_monitor [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "core/pipeline.h"
+#include "net/trace.h"
+#include "synth/world.h"
+
+int main(int argc, char** argv) {
+  using namespace smash;
+
+  auto config = synth::data2012week();
+  if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
+  std::puts("generating one week of ISP traffic...");
+  const synth::Dataset dataset = synth::generate_world(config);
+
+  const core::SmashPipeline pipeline{core::SmashConfig{}};
+
+  std::set<std::string> known_servers;   // the operator's running blocklist
+  std::set<std::string> known_clients;   // known-infected subscribers
+  for (std::uint32_t day = 0; day < dataset.trace.num_days(); ++day) {
+    const net::Trace day_trace = net::slice_day(dataset.trace, day);
+    const core::SmashResult result = pipeline.run(day_trace, dataset.whois);
+
+    std::set<std::string> today_servers;
+    std::set<std::string> today_clients;
+    int persistent = 0;
+    int agile = 0;        // new servers, known-infected clients
+    int brand_new = 0;    // new servers AND new clients
+    for (const auto& campaign : result.campaigns) {
+      bool old_client = false;
+      for (auto c : campaign.involved_clients) {
+        const auto& name = day_trace.clients().name(c);
+        today_clients.insert(name);
+        old_client |= known_clients.count(name) > 0;
+      }
+      for (auto member : campaign.servers) {
+        const auto& name = result.server_name(member);
+        today_servers.insert(name);
+        if (known_servers.count(name)) ++persistent;
+        else if (old_client) ++agile;
+        else ++brand_new;
+      }
+    }
+
+    std::printf(
+        "day %u: %3zu campaigns, %4zu servers | persistent %4d, agile %4d "
+        "(rotated domains), brand-new %4d | infected clients today %zu\n",
+        day + 1, result.campaigns.size(), today_servers.size(), persistent,
+        agile, day == 0 ? 0 : brand_new, today_clients.size());
+
+    // The actionable deltas an operator would push to enforcement:
+    if (day > 0) {
+      int alerts = 0;
+      for (const auto& name : today_servers) {
+        if (known_servers.count(name)) continue;
+        if (++alerts <= 3) std::printf("    new blocklist entry: %s\n", name.c_str());
+      }
+      if (alerts > 3) std::printf("    ... and %d more\n", alerts - 3);
+    }
+    known_servers.insert(today_servers.begin(), today_servers.end());
+    known_clients.insert(today_clients.begin(), today_clients.end());
+  }
+
+  std::printf("\nweek total: %zu distinct malicious servers, %zu infected clients\n",
+              known_servers.size(), known_clients.size());
+  std::puts("note how most daily detections are AGILE — same infected clients,");
+  std::puts("freshly rotated domains — which is why the paper argues for daily");
+  std::puts("herd re-mining rather than static blocklists.");
+  return 0;
+}

@@ -1,0 +1,233 @@
+#include "baseline/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/dimensions.h"
+#include "core/file_classifier.h"
+#include "core/preprocess.h"
+#include "util/rng.h"
+
+namespace smash::baseline {
+
+std::size_t BaselineResult::num_servers() const {
+  std::unordered_set<std::string> names;
+  for (const auto& campaign : campaigns) {
+    names.insert(campaign.begin(), campaign.end());
+  }
+  return names.size();
+}
+
+namespace {
+
+constexpr std::uint32_t kBucketsPerBlock = 64;
+
+// Feature hashing: each dimension's keys are folded into a fixed block of
+// buckets; blocks are concatenated and block-weighted. This is the honest
+// way to "assign each server a feature vector" across incommensurable
+// dimensions, which is precisely the design §III-B argues against.
+std::vector<double> hashed_features(const core::PreprocessResult& pre,
+                                    const whois::Registry& registry,
+                                    const core::SmashConfig& smash_config,
+                                    const KMeansConfig& config,
+                                    std::uint32_t kept_idx) {
+  std::vector<double> out(4 * kBucketsPerBlock, 0.0);
+  const auto& profile = pre.agg.profile(pre.kept[kept_idx]);
+
+  const auto add = [&out](int block, std::uint64_t key, double weight) {
+    out[block * kBucketsPerBlock + key % kBucketsPerBlock] += weight;
+  };
+  for (auto client : profile.clients) add(0, client, config.client_weight);
+  for (auto file : profile.files) add(1, file, config.file_weight);
+  for (auto ip : profile.ips) add(2, ip, config.ip_weight);
+
+  if (const whois::Record* rec = registry.find(pre.agg.server_name(pre.kept[kept_idx]))) {
+    for (int f = 0; f < whois::kNumFields; ++f) {
+      const auto& value = rec->value(static_cast<whois::Field>(f));
+      if (value.empty() || registry.is_proxy_value(value)) continue;
+      add(3, util::fnv1a(value), config.whois_weight);
+    }
+  }
+  (void)smash_config;
+
+  // L2-normalize so k-means distances are cosine-like.
+  double norm = 0.0;
+  for (double v : out) norm += v * v;
+  if (norm > 0.0) {
+    norm = std::sqrt(norm);
+    for (double& v : out) v /= norm;
+  }
+  return out;
+}
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+BaselineResult feature_vector_kmeans(const net::Trace& trace,
+                                     const whois::Registry& registry,
+                                     const core::SmashConfig& smash_config,
+                                     const KMeansConfig& config) {
+  BaselineResult result;
+  result.name = "feature-vector-kmeans";
+
+  const auto pre = core::preprocess(trace, smash_config);
+  const auto n = static_cast<std::uint32_t>(pre.kept.size());
+  if (n == 0) return result;
+  const std::uint32_t k = std::min(config.k, n);
+
+  std::vector<std::vector<double>> features;
+  features.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    features.push_back(hashed_features(pre, registry, smash_config, config, i));
+  }
+
+  // k-means with Forgy initialization from a deterministic RNG.
+  util::Rng rng(config.seed);
+  std::vector<std::vector<double>> centroids;
+  for (auto idx : rng.sample_without_replacement(n, k)) {
+    centroids.push_back(features[idx]);
+  }
+
+  std::vector<std::uint32_t> assignment(n, 0);
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      double best = squared_distance(features[i], centroids[assignment[i]]);
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const double d = squared_distance(features[i], centroids[c]);
+        if (d < best) {
+          best = d;
+          assignment[i] = c;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+
+    std::vector<std::vector<double>> sums(k, std::vector<double>(features[0].size(), 0.0));
+    std::vector<std::uint32_t> counts(k, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ++counts[assignment[i]];
+      for (std::size_t d = 0; d < features[i].size(); ++d) {
+        sums[assignment[i]][d] += features[i][d];
+      }
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (auto& v : sums[c]) v /= counts[c];
+      centroids[c] = std::move(sums[c]);
+    }
+  }
+
+  // Report clusters whose members sit close to their centroid (cohesive
+  // clusters). Loose agglomerations — the common failure of this baseline —
+  // are rejected here, which costs it most of its recall.
+  std::vector<std::vector<std::uint32_t>> clusters(k);
+  for (std::uint32_t i = 0; i < n; ++i) clusters[assignment[i]].push_back(i);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    if (clusters[c].size() < 2) continue;
+    double mean_similarity = 0.0;
+    for (auto i : clusters[c]) {
+      // Cosine to centroid (features are unit vectors; centroid is not).
+      double dot = 0.0;
+      double cnorm = 0.0;
+      for (std::size_t d = 0; d < features[i].size(); ++d) {
+        dot += features[i][d] * centroids[c][d];
+        cnorm += centroids[c][d] * centroids[c][d];
+      }
+      mean_similarity += cnorm > 0 ? dot / std::sqrt(cnorm) : 0.0;
+    }
+    mean_similarity /= static_cast<double>(clusters[c].size());
+    if (mean_similarity < config.report_cohesion) continue;
+
+    std::vector<std::string> names;
+    for (auto i : clusters[c]) names.push_back(pre.agg.server_name(pre.kept[i]));
+    result.campaigns.push_back(std::move(names));
+  }
+  return result;
+}
+
+BaselineResult client_dimension_only(const net::Trace& trace,
+                                     const whois::Registry& registry,
+                                     const core::SmashConfig& config) {
+  BaselineResult result;
+  result.name = "client-dimension-only";
+
+  const auto pre = core::preprocess(trace, config);
+  const auto main =
+      core::mine_dimension(core::Dimension::kClient, pre, registry, config);
+  for (const auto& ash : main.ashes) {
+    std::vector<std::string> names;
+    for (auto member : ash.members) {
+      names.push_back(pre.agg.server_name(pre.kept[member]));
+    }
+    result.campaigns.push_back(std::move(names));
+  }
+  return result;
+}
+
+BaselineResult ids_blacklist_only(const net::Trace& trace,
+                                  const ids::SignatureEngine& signatures,
+                                  const ids::Blacklist& blacklist) {
+  BaselineResult result;
+  result.name = "ids+blacklist";
+
+  // Group IDS hits by threat id (the paper's false-negative grouping), and
+  // collect blacklist-confirmed servers as one extra pool.
+  const auto labels = signatures.label(trace, ids::Vintage::k2012);
+  std::unordered_map<std::string, std::vector<std::string>> by_threat;
+  std::unordered_set<std::string> seen;
+  for (const auto& [server, threats] : labels.threats) {
+    for (const auto& threat : threats) by_threat[threat].push_back(server);
+    seen.insert(server);
+  }
+  for (auto& [threat, servers] : by_threat) {
+    (void)threat;
+    std::sort(servers.begin(), servers.end());
+    result.campaigns.push_back(std::move(servers));
+  }
+
+  std::vector<std::string> blacklisted;
+  std::unordered_set<std::string> checked;
+  for (const auto& req_name : seen) checked.insert(req_name);
+  // Blacklists are consulted per aggregated server seen in the trace.
+  const auto agg = core::AggregatedTrace::build(trace);
+  for (std::uint32_t s = 0; s < agg.servers().size(); ++s) {
+    const auto& name = agg.server_name(s);
+    if (checked.count(name)) continue;
+    if (blacklist.confirmed(name)) blacklisted.push_back(name);
+  }
+  if (!blacklisted.empty()) {
+    std::sort(blacklisted.begin(), blacklisted.end());
+    result.campaigns.push_back(std::move(blacklisted));
+  }
+  return result;
+}
+
+BaselineScore score_baseline(const BaselineResult& result,
+                             const ids::GroundTruth& truth) {
+  BaselineScore score;
+  std::unordered_set<std::string> reported;
+  for (const auto& campaign : result.campaigns) {
+    reported.insert(campaign.begin(), campaign.end());
+  }
+  score.reported = reported.size();
+  for (const auto& name : reported) {
+    if (truth.server_is_malicious(name)) ++score.truly_malicious;
+    else ++score.benign_or_noise;
+  }
+  score.total_malicious_in_truth = truth.num_malicious_servers();
+  return score;
+}
+
+}  // namespace smash::baseline

@@ -1,0 +1,91 @@
+// Baseline detectors SMASH is compared against in the ablation bench.
+//
+// 1. FeatureVectorKMeans — the "simple way" the paper dismisses in §III-B:
+//    give every server one multi-dimensional feature vector and cluster it
+//    directly. Shows why incommensurable dimensions + a single weight per
+//    dimension underperform per-dimension graph clustering + correlation.
+// 2. ClientOnly — the main dimension alone (no secondary confirmation):
+//    every main-dimension herd is reported as malicious. Shows the FP
+//    blow-up that motivates correlation (§V-C1: only ~4% of main-dimension
+//    ASHs are malicious).
+// 3. IdsBlacklistOnly — what a deployment gets from signatures + blacklists
+//    without SMASH (the "nearly 7x" comparison of §V-A2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "ids/blacklist.h"
+#include "ids/signature.h"
+#include "net/trace.h"
+#include "whois/whois.h"
+
+namespace smash::baseline {
+
+struct BaselineResult {
+  std::string name;
+  // Groups of aggregated-server names reported as malicious campaigns.
+  std::vector<std::vector<std::string>> campaigns;
+
+  std::size_t num_servers() const;
+};
+
+// --- 1. single feature-vector k-means -------------------------------------------
+
+struct KMeansConfig {
+  std::uint32_t k = 64;           // number of clusters
+  int max_iterations = 25;
+  std::uint64_t seed = 42;        // centroid initialization
+  // Per-dimension weights for the combined feature space (the quantity the
+  // paper argues cannot be chosen well globally).
+  double client_weight = 1.0;
+  double file_weight = 1.0;
+  double ip_weight = 1.0;
+  double whois_weight = 1.0;
+  // Clusters at least this dense in shared-client terms are reported.
+  double report_cohesion = 0.5;
+};
+
+BaselineResult feature_vector_kmeans(const net::Trace& trace,
+                                     const whois::Registry& registry,
+                                     const core::SmashConfig& smash_config,
+                                     const KMeansConfig& config);
+
+// --- 2. main dimension only -------------------------------------------------------
+
+BaselineResult client_dimension_only(const net::Trace& trace,
+                                     const whois::Registry& registry,
+                                     const core::SmashConfig& config);
+
+// --- 3. IDS + blacklists only ------------------------------------------------------
+
+BaselineResult ids_blacklist_only(const net::Trace& trace,
+                                  const ids::SignatureEngine& signatures,
+                                  const ids::Blacklist& blacklist);
+
+// Scores a baseline against ground truth: how many reported servers are
+// truly malicious vs benign (precision proxy), and how many of the truly
+// malicious servers it reported (recall proxy).
+struct BaselineScore {
+  std::size_t reported = 0;
+  std::size_t truly_malicious = 0;
+  std::size_t benign_or_noise = 0;
+  std::size_t total_malicious_in_truth = 0;
+
+  double precision() const {
+    return reported == 0 ? 0.0 : static_cast<double>(truly_malicious) / reported;
+  }
+  double recall() const {
+    return total_malicious_in_truth == 0
+               ? 0.0
+               : static_cast<double>(truly_malicious) / total_malicious_in_truth;
+  }
+};
+
+BaselineScore score_baseline(const BaselineResult& result,
+                             const ids::GroundTruth& truth);
+
+}  // namespace smash::baseline

@@ -1,0 +1,122 @@
+#include "core/correlation.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/stats.h"
+
+namespace smash::core {
+
+namespace {
+
+// |A ∩ B| for sorted member vectors.
+std::uint32_t sorted_intersection_size(const std::vector<std::uint32_t>& a,
+                                       const std::vector<std::uint32_t>& b) {
+  std::uint32_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) ++ia;
+    else if (*ib < *ia) ++ib;
+    else { ++count; ++ia; ++ib; }
+  }
+  return count;
+}
+
+}  // namespace
+
+CorrelationResult correlate(const PreprocessResult& pre,
+                            const std::vector<DimensionAshes>& dims,
+                            const SmashConfig& config) {
+  if (dims.size() < kNumDimensions ||
+      dims[0].dimension != Dimension::kClient) {
+    throw std::invalid_argument(
+        "correlate: expected the main dimension plus all secondaries");
+  }
+  const auto& main = dims[static_cast<int>(Dimension::kClient)];
+  const std::size_t n = pre.kept.size();
+
+  CorrelationResult out;
+  out.score.assign(n, 0.0);
+  out.dims_mask.assign(n, 0);
+  out.herd_clients.assign(n, 0);
+
+  // Shared-client count per main herd (union of member client sets would
+  // overcount drive-by visitors; the herd's *common* involvement is what
+  // footnote 9's single-client rule is about). We count clients that appear
+  // in more than half of the herd's members.
+  std::vector<std::uint32_t> herd_client_count(main.ashes.size(), 0);
+  for (std::size_t h = 0; h < main.ashes.size(); ++h) {
+    std::unordered_map<std::uint32_t, std::uint32_t> appearances;
+    for (auto member : main.ashes[h].members) {
+      for (auto client : pre.agg.profile(pre.kept[member]).clients) {
+        ++appearances[client];
+      }
+    }
+    const auto majority = main.ashes[h].members.size() / 2;
+    std::uint32_t involved = 0;
+    for (const auto& [client, count] : appearances) {
+      (void)client;
+      if (count > majority) ++involved;
+    }
+    herd_client_count[h] = std::max<std::uint32_t>(involved, 1);
+  }
+
+  // Cache of phi(|main_ash ∩ secondary_ash|) terms keyed by the ash pair.
+  std::unordered_map<std::uint64_t, double> intersection_cache;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto main_ash = main.ash_of[i];
+    if (main_ash < 0) continue;  // dropped by main-dimension processing
+    out.herd_clients[i] = herd_client_count[main_ash];
+
+    for (int d = 1; d < static_cast<int>(dims.size()); ++d) {
+      const auto& dim = dims[d];
+      const auto sec_ash = dim.ash_of[i];
+      if (sec_ash < 0) continue;
+
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(d) << 60) |
+          (static_cast<std::uint64_t>(main_ash) << 30) |
+          static_cast<std::uint64_t>(sec_ash);
+      auto it = intersection_cache.find(key);
+      if (it == intersection_cache.end()) {
+        const auto inter = sorted_intersection_size(
+            main.ashes[main_ash].members, dim.ashes[sec_ash].members);
+        it = intersection_cache
+                 .emplace(key, util::phi_erf(static_cast<double>(inter),
+                                             config.mu, config.sigma))
+                 .first;
+      }
+      const double phi = it->second;
+      // eq. (9): w_d(C^d) * w_m(C^m) * phi(|C^d ∩ C^m|).
+      const double term =
+          dim.ashes[sec_ash].density * main.ashes[main_ash].density * phi;
+      if (term > 0.0) {
+        out.score[i] += term;
+        out.dims_mask[i] |= static_cast<std::uint8_t>(1u << (d - 1));
+      }
+    }
+  }
+
+  // Removal: per-server threshold depends on the herd's client count
+  // (paper footnote 9), then groups with fewer than two survivors die.
+  std::map<std::int32_t, std::vector<std::uint32_t>> survivors_by_herd;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto main_ash = main.ash_of[i];
+    if (main_ash < 0) continue;
+    const double thresh = out.herd_clients[i] <= 1
+                              ? config.single_client_score_threshold
+                              : config.score_threshold;
+    if (out.score[i] >= thresh) survivors_by_herd[main_ash].push_back(i);
+  }
+  for (auto& [herd, members] : survivors_by_herd) {
+    (void)herd;
+    if (members.size() >= 2) out.groups.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace smash::core

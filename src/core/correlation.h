@@ -1,0 +1,37 @@
+// ASH correlation (paper §III-C): intersect each server's main-dimension
+// herd with its secondary-dimension herds, score with eq. (9), and remove
+// low-scoring servers and singleton groups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dimensions.h"
+#include "core/smash_config.h"
+
+namespace smash::core {
+
+struct CorrelationResult {
+  // Per kept-index suspiciousness score S(Si), eq. (9); 0 for servers with
+  // no main-dimension herd.
+  std::vector<double> score;
+  // Bitmask over secondary dimensions whose term in eq. (9) is non-zero:
+  // bit 0 = file, bit 1 = ip, bit 2 = whois. Drives the Fig. 8 bench.
+  std::vector<std::uint8_t> dims_mask;
+  // Number of clients shared by a server's main herd — used to decide which
+  // `thresh` applies (single-client herds use the stricter one, paper
+  // footnote 9).
+  std::vector<std::uint32_t> herd_clients;
+
+  // Candidate groups after removal: surviving servers grouped by their
+  // main-dimension herd (the paper's campaign-inference merge key), groups
+  // of size >= 2 only. Sorted by first member.
+  std::vector<std::vector<std::uint32_t>> groups;
+};
+
+// `dims` must be the vector from mine_all_dimensions (indexed by Dimension).
+CorrelationResult correlate(const PreprocessResult& pre,
+                            const std::vector<DimensionAshes>& dims,
+                            const SmashConfig& config);
+
+}  // namespace smash::core

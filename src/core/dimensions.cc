@@ -1,0 +1,202 @@
+#include "core/dimensions.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/file_classifier.h"
+#include "graph/components.h"
+#include "graph/louvain.h"
+#include "graph/similarity_join.h"
+
+namespace smash::core {
+
+namespace {
+
+// Shared tail of every dimension builder: threshold edges -> graph ->
+// Louvain -> size >= 2 communities with their densities.
+DimensionAshes extract_ashes(Dimension dimension, graph::GraphBuilder builder,
+                             const SmashConfig& config) {
+  DimensionAshes out;
+  out.dimension = dimension;
+  const std::uint32_t n = builder.num_nodes();
+  graph::Graph g = std::move(builder).build();
+  out.graph_edges = g.num_edges();
+
+  const auto louvain_result = graph::louvain_refined(g, config.louvain);
+  out.modularity = louvain_result.modularity;
+
+  out.ash_of.assign(n, -1);
+  for (auto& group : louvain_result.groups()) {
+    if (group.size() < 2) continue;
+    Ash ash;
+    ash.members = std::move(group);
+    ash.density = graph::subset_density(g, ash.members);
+    const auto ash_index = static_cast<std::int32_t>(out.ashes.size());
+    for (auto member : ash.members) out.ash_of[member] = ash_index;
+    out.ashes.push_back(std::move(ash));
+  }
+  return out;
+}
+
+// Main / IP / file dimensions all reduce to the bidirectional-importance
+// similarity over per-server key sets.
+DimensionAshes mine_keyset_dimension(Dimension dimension,
+                                     std::vector<util::IdSet> key_sets,
+                                     double edge_threshold,
+                                     std::uint32_t postings_cap,
+                                     const SmashConfig& config) {
+  graph::JoinOptions join_options;
+  join_options.max_postings_length = postings_cap;
+  const auto pairs = graph::cooccurrence_join(key_sets, 1, join_options);
+
+  graph::GraphBuilder builder(static_cast<std::uint32_t>(key_sets.size()));
+  for (const auto& pair : pairs) {
+    const double sim = graph::bidirectional_similarity(
+        pair.shared_keys, key_sets[pair.a].size(), key_sets[pair.b].size());
+    if (sim >= edge_threshold) builder.add_edge(pair.a, pair.b, sim);
+  }
+  return extract_ashes(dimension, std::move(builder), config);
+}
+
+DimensionAshes mine_client_dimension(const PreprocessResult& pre,
+                                     const SmashConfig& config) {
+  std::vector<util::IdSet> clients;
+  clients.reserve(pre.kept.size());
+  for (auto server : pre.kept) clients.push_back(pre.agg.profile(server).clients);
+  return mine_keyset_dimension(Dimension::kClient, std::move(clients),
+                               config.client_edge_threshold,
+                               config.join_postings_cap, config);
+}
+
+DimensionAshes mine_ip_dimension(const PreprocessResult& pre,
+                                 const SmashConfig& config) {
+  std::vector<util::IdSet> ips;
+  ips.reserve(pre.kept.size());
+  for (auto server : pre.kept) ips.push_back(pre.agg.profile(server).ips);
+  return mine_keyset_dimension(Dimension::kIp, std::move(ips),
+                               config.ip_edge_threshold,
+                               config.join_postings_cap, config);
+}
+
+DimensionAshes mine_file_dimension(const PreprocessResult& pre,
+                                   const SmashConfig& config) {
+  const FileClassifier classifier(pre.agg.files(), config.filename_len_threshold,
+                                  config.filename_cosine_threshold);
+  std::vector<util::IdSet> classes;
+  classes.reserve(pre.kept.size());
+  for (auto server : pre.kept) {
+    util::IdSet set;
+    for (auto file : pre.agg.profile(server).files) {
+      set.insert(classifier.class_of(file));
+    }
+    set.normalize();
+    classes.push_back(std::move(set));
+  }
+  return mine_keyset_dimension(Dimension::kFile, std::move(classes),
+                               config.file_edge_threshold,
+                               config.file_postings_cap, config);
+}
+
+DimensionAshes mine_param_dimension(const PreprocessResult& pre,
+                                    const SmashConfig& config) {
+  util::Interner patterns;
+  std::vector<util::IdSet> sets;
+  sets.reserve(pre.kept.size());
+  for (auto server : pre.kept) {
+    util::IdSet set;
+    for (const auto& pattern : pre.agg.profile(server).param_patterns) {
+      set.insert(patterns.intern(pattern));
+    }
+    set.normalize();
+    sets.push_back(std::move(set));
+  }
+  return mine_keyset_dimension(Dimension::kParam, std::move(sets),
+                               config.param_edge_threshold,
+                               config.param_postings_cap, config);
+}
+
+DimensionAshes mine_whois_dimension(const PreprocessResult& pre,
+                                    const whois::Registry& registry,
+                                    const SmashConfig& config) {
+  // Candidate pairs share at least `whois_min_shared_fields` field values;
+  // each (field, value) is interned so the co-occurrence count *is* the
+  // number of shared fields. Proxy values are skipped up front.
+  util::Interner values;
+  std::vector<util::IdSet> field_sets(pre.kept.size());
+  for (std::uint32_t i = 0; i < pre.kept.size(); ++i) {
+    const whois::Record* rec = registry.find(pre.agg.server_name(pre.kept[i]));
+    if (rec == nullptr) continue;
+    for (int f = 0; f < whois::kNumFields; ++f) {
+      const auto& value = rec->value(static_cast<whois::Field>(f));
+      if (value.empty() || registry.is_proxy_value(value)) continue;
+      field_sets[i].insert(
+          values.intern(std::string(whois::field_name(static_cast<whois::Field>(f))) +
+                        "\x1f" + value));
+    }
+    field_sets[i].normalize();
+  }
+
+  graph::JoinOptions join_options;
+  join_options.max_postings_length = config.join_postings_cap;
+  const auto pairs = graph::cooccurrence_join(
+      field_sets, static_cast<std::uint32_t>(config.whois_min_shared_fields),
+      join_options);
+
+  graph::GraphBuilder builder(static_cast<std::uint32_t>(pre.kept.size()));
+  for (const auto& pair : pairs) {
+    const auto shared = pair.shared_keys;
+    const auto unioned = static_cast<std::uint32_t>(
+        field_sets[pair.a].size() + field_sets[pair.b].size() - shared);
+    if (unioned == 0) continue;
+    builder.add_edge(pair.a, pair.b,
+                     static_cast<double>(shared) / static_cast<double>(unioned));
+  }
+  return extract_ashes(Dimension::kWhois, std::move(builder), config);
+}
+
+}  // namespace
+
+std::string_view dimension_name(Dimension d) noexcept {
+  switch (d) {
+    case Dimension::kClient: return "client";
+    case Dimension::kFile: return "uri-file";
+    case Dimension::kIp: return "ip-set";
+    case Dimension::kWhois: return "whois";
+    case Dimension::kParam: return "param-pattern";
+  }
+  return "?";
+}
+
+std::size_t DimensionAshes::num_herded_servers() const {
+  std::size_t count = 0;
+  for (const auto& ash : ashes) count += ash.members.size();
+  return count;
+}
+
+DimensionAshes mine_dimension(Dimension dimension, const PreprocessResult& pre,
+                              const whois::Registry& registry,
+                              const SmashConfig& config) {
+  switch (dimension) {
+    case Dimension::kClient: return mine_client_dimension(pre, config);
+    case Dimension::kFile: return mine_file_dimension(pre, config);
+    case Dimension::kIp: return mine_ip_dimension(pre, config);
+    case Dimension::kWhois: return mine_whois_dimension(pre, registry, config);
+    case Dimension::kParam: return mine_param_dimension(pre, config);
+  }
+  throw std::invalid_argument("mine_dimension: bad dimension");
+}
+
+std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,
+                                                const whois::Registry& registry,
+                                                const SmashConfig& config) {
+  const int dimensions = config.enable_param_dimension ? kNumDimensions + 1
+                                                       : kNumDimensions;
+  std::vector<DimensionAshes> out;
+  out.reserve(dimensions);
+  for (int d = 0; d < dimensions; ++d) {
+    out.push_back(mine_dimension(static_cast<Dimension>(d), pre, registry, config));
+  }
+  return out;
+}
+
+}  // namespace smash::core

@@ -1,0 +1,64 @@
+// ASH mining (paper §III-B): one similarity graph per dimension over the
+// preprocessed servers, Louvain community detection on each, communities
+// of size >= 2 become the dimension's Associated Server Herds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/preprocess.h"
+#include "core/smash_config.h"
+#include "graph/graph.h"
+#include "whois/whois.h"
+
+namespace smash::core {
+
+enum class Dimension : std::uint8_t {
+  kClient = 0,  // main dimension, eq. (1)
+  kFile = 1,    // eqs. (2)-(7)
+  kIp = 2,      // eq. (8)
+  kWhois = 3,
+  // Extension (paper §V-A2 false-negative analysis + §VI Extensions):
+  // servers sharing URI *parameter patterns* ("p=&id=&e="). Off by default
+  // (SmashConfig::enable_param_dimension) to keep the paper's exact
+  // four-dimension configuration; turning it on recovers the Cycbot-shaped
+  // misses that share only parameter structure.
+  kParam = 4,
+};
+inline constexpr int kNumDimensions = 4;  // the paper's configuration
+inline constexpr int kNumSecondaryDimensions = 3;
+
+std::string_view dimension_name(Dimension d) noexcept;
+
+struct Ash {
+  std::vector<std::uint32_t> members;  // kept-indices, ascending
+  double density = 0.0;                // w(.) of eq. (9)
+};
+
+struct DimensionAshes {
+  Dimension dimension = Dimension::kClient;
+  std::vector<Ash> ashes;
+  // kept-index -> ash index, or -1 when the server is in no herd (isolated
+  // or singleton community) for this dimension.
+  std::vector<std::int32_t> ash_of;
+  // Graph stats, for reports and the micro benches.
+  std::size_t graph_edges = 0;
+  double modularity = 0.0;
+
+  std::size_t num_herded_servers() const;
+};
+
+// Builds the similarity graph for `dimension` over pre.kept and extracts
+// ASHs. `registry` is only used by the Whois dimension.
+DimensionAshes mine_dimension(Dimension dimension, const PreprocessResult& pre,
+                              const whois::Registry& registry,
+                              const SmashConfig& config);
+
+// All dimensions, indexed by Dimension: the paper's four, plus kParam when
+// config.enable_param_dimension is set.
+std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,
+                                                const whois::Registry& registry,
+                                                const SmashConfig& config);
+
+}  // namespace smash::core

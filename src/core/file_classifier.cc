@@ -1,0 +1,105 @@
+#include "core/file_classifier.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace smash::core {
+
+namespace {
+
+std::array<std::uint32_t, 256> char_counts(std::string_view s) {
+  std::array<std::uint32_t, 256> counts{};
+  for (unsigned char c : s) ++counts[c];
+  return counts;
+}
+
+// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+double char_frequency_cosine(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto ca = char_counts(a);
+  const auto cb = char_counts(b);
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (int i = 0; i < 256; ++i) {
+    dot += static_cast<double>(ca[i]) * cb[i];
+    norm_a += static_cast<double>(ca[i]) * ca[i];
+    norm_b += static_cast<double>(cb[i]) * cb[i];
+  }
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+bool files_similar(std::string_view a, std::string_view b, std::uint32_t len,
+                   double cosine_threshold) {
+  if (a.size() <= len || b.size() <= len) return a == b;  // eqs. (2)-(3)
+  return char_frequency_cosine(a, b) > cosine_threshold;  // eqs. (4)-(5)
+}
+
+FileClassifier::FileClassifier(const util::Interner& files, std::uint32_t len,
+                               double cosine_threshold) {
+  const std::uint32_t n = files.size();
+  UnionFind uf(n);
+
+  std::vector<std::uint32_t> long_files;
+  for (std::uint32_t f = 0; f < n; ++f) {
+    if (files.name(f).size() > len) long_files.push_back(f);
+  }
+  num_long_files_ = static_cast<std::uint32_t>(long_files.size());
+
+  // Single-linkage grouping of long files by the cosine relation. Cache the
+  // count vectors to avoid recomputing them L^2 times.
+  std::vector<std::array<std::uint32_t, 256>> counts;
+  counts.reserve(long_files.size());
+  for (auto f : long_files) counts.push_back(char_counts(files.name(f)));
+
+  for (std::size_t i = 0; i < long_files.size(); ++i) {
+    for (std::size_t j = i + 1; j < long_files.size(); ++j) {
+      double dot = 0.0;
+      double na = 0.0;
+      double nb = 0.0;
+      for (int k = 0; k < 256; ++k) {
+        dot += static_cast<double>(counts[i][k]) * counts[j][k];
+        na += static_cast<double>(counts[i][k]) * counts[i][k];
+        nb += static_cast<double>(counts[j][k]) * counts[j][k];
+      }
+      if (dot > cosine_threshold * std::sqrt(na) * std::sqrt(nb)) {
+        uf.unite(long_files[i], long_files[j]);
+      }
+    }
+  }
+
+  // Densely renumber the union-find roots.
+  class_of_.assign(n, 0);
+  std::vector<std::int64_t> root_class(n, -1);
+  for (std::uint32_t f = 0; f < n; ++f) {
+    const auto root = uf.find(f);
+    if (root_class[root] < 0) root_class[root] = num_classes_++;
+    class_of_[f] = static_cast<std::uint32_t>(root_class[root]);
+  }
+}
+
+}  // namespace smash::core

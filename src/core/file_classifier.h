@@ -1,0 +1,57 @@
+// URI-file similarity classes, paper §III-B2 eqs. (2)-(6).
+//
+// Short filenames (<= len chars) are similar only when equal; long
+// filenames are similar when their character-frequency vectors have cosine
+// > 0.8 (obfuscated names in one campaign share an alphabet, Fig. 4).
+//
+// We turn the pairwise relation into *classes*: every file maps to a class
+// id such that similar files share a class (long files are grouped by
+// single-linkage union-find over the cosine relation; exact equality is
+// the identity on short files). With per-server *sets* of distinct files,
+// the server-level eq. (7) score — product of the two directional
+// mean-best-match ratios — reduces to the same bidirectional form as
+// eqs. (1)/(8) over class sets:
+//   File(Si,Sj) = (|Fi ∩ Fj| / |Fi|) * (|Fi ∩ Fj| / |Fj|)
+// because each distinct file contributes max-similarity 1 exactly when the
+// other server has a file of the same class. This equivalence is what lets
+// the file dimension reuse the sparse co-occurrence join.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/interner.h"
+
+namespace smash::core {
+
+// Character-frequency cosine between two strings (eq. (6)). Case-sensitive
+// over all 256 byte values. Returns 0 for empty inputs.
+double char_frequency_cosine(std::string_view a, std::string_view b);
+
+// Pairwise similarity of eqs. (2)-(5): equality for short names, cosine
+// threshold for long names. `len` and `cosine_threshold` as configured.
+bool files_similar(std::string_view a, std::string_view b, std::uint32_t len,
+                   double cosine_threshold);
+
+class FileClassifier {
+ public:
+  // Builds classes for every distinct file string in `files`. Long-file
+  // grouping is O(L^2) over the L long filenames — L is small in practice
+  // since almost all filenames are short (paper Fig. 10: 85% < 25 chars).
+  FileClassifier(const util::Interner& files, std::uint32_t len,
+                 double cosine_threshold);
+
+  // Class id of a file id; class ids are dense in [0, num_classes).
+  std::uint32_t class_of(std::uint32_t file_id) const { return class_of_.at(file_id); }
+  std::uint32_t num_classes() const noexcept { return num_classes_; }
+  std::uint32_t num_long_files() const noexcept { return num_long_files_; }
+
+ private:
+  std::vector<std::uint32_t> class_of_;
+  std::uint32_t num_classes_ = 0;
+  std::uint32_t num_long_files_ = 0;
+};
+
+}  // namespace smash::core

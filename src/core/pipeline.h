@@ -1,0 +1,63 @@
+// End-to-end SMASH pipeline (paper Fig. 2): preprocessing -> ASH mining ->
+// correlation -> pruning -> malicious campaign inference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/correlation.h"
+#include "core/dimensions.h"
+#include "core/preprocess.h"
+#include "core/pruning.h"
+#include "core/smash_config.h"
+#include "net/trace.h"
+#include "whois/whois.h"
+
+namespace smash::core {
+
+struct Campaign {
+  // Inferred malicious servers, as kept-indices into pre.kept, ascending.
+  std::vector<std::uint32_t> servers;
+  // Clients involved in the campaign: present on more than half of the
+  // member servers (a victim's drive-by visitors do not count).
+  std::vector<std::uint32_t> involved_clients;  // trace client ids
+
+  std::size_t size() const noexcept { return servers.size(); }
+  bool single_client() const noexcept { return involved_clients.size() <= 1; }
+};
+
+struct SmashResult {
+  PreprocessResult pre;
+  std::vector<DimensionAshes> dims;  // indexed by Dimension
+  CorrelationResult correlation;
+  PruneResult pruned;
+  std::vector<Campaign> campaigns;
+
+  const std::string& server_name(std::uint32_t kept_idx) const {
+    return pre.agg.server_name(pre.kept[kept_idx]);
+  }
+  const ServerProfile& server_profile(std::uint32_t kept_idx) const {
+    return pre.agg.profile(pre.kept[kept_idx]);
+  }
+
+  // All servers across campaigns matching the client-count filter;
+  // `single_client` selects the paper's Appendix C population, otherwise
+  // the main (>= 2 clients) population of Tables II/III.
+  std::vector<std::uint32_t> detected_servers(bool single_client) const;
+  std::vector<const Campaign*> detected_campaigns(bool single_client) const;
+};
+
+class SmashPipeline {
+ public:
+  explicit SmashPipeline(SmashConfig config = {}) : config_(config) {}
+
+  const SmashConfig& config() const noexcept { return config_; }
+
+  SmashResult run(const net::Trace& trace, const whois::Registry& registry) const;
+
+ private:
+  SmashConfig config_;
+};
+
+}  // namespace smash::core

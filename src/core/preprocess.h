@@ -1,0 +1,88 @@
+// Preprocessing (paper §III-A): 2LD aggregation and IDF popularity filter.
+//
+// Aggregation maps every requested hostname to its effective 2LD and
+// merges per-server state; the IDF filter then removes servers contacted
+// by more than `idf_threshold` distinct clients. What remains is the
+// server population the four dimensions operate on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/smash_config.h"
+#include "net/trace.h"
+#include "util/id_set.h"
+#include "util/interner.h"
+
+namespace smash::core {
+
+// Everything the dimensions and the evaluation need to know about one
+// aggregated (2LD) server.
+struct ServerProfile {
+  util::IdSet clients;  // distinct trace client ids
+  util::IdSet ips;      // trace ip ids the server resolved to
+  util::IdSet days;     // days with at least one request
+  // Distinct URI files observed in requests to this server (global file
+  // interner ids; the empty filename of "/" is interned like any other).
+  util::IdSet files;
+  std::unordered_set<std::string> user_agents;
+  std::unordered_set<std::string> param_patterns;
+  // Aggregated referrer host -> number of requests carrying it.
+  std::unordered_map<std::uint32_t, std::uint32_t> referrer_counts;
+  std::uint32_t requests = 0;
+  std::uint32_t error_requests = 0;  // 4xx/5xx
+};
+
+class AggregatedTrace {
+ public:
+  // Builds profiles for every 2LD server in the trace.
+  static AggregatedTrace build(const net::Trace& trace);
+
+  const util::Interner& servers() const noexcept { return servers_; }
+  const util::Interner& files() const noexcept { return files_; }
+  const std::vector<ServerProfile>& profiles() const noexcept { return profiles_; }
+  const ServerProfile& profile(std::uint32_t server) const { return profiles_.at(server); }
+  const std::string& server_name(std::uint32_t server) const {
+    return servers_.name(server);
+  }
+
+  // Aggregated redirect edges: 2LD server -> 2LD redirect target.
+  const std::unordered_map<std::uint32_t, std::uint32_t>& redirects() const noexcept {
+    return redirects_;
+  }
+
+  std::uint32_t num_servers_before_aggregation() const noexcept {
+    return raw_servers_;
+  }
+
+ private:
+  util::Interner servers_;  // 2LD names
+  util::Interner files_;    // URI file strings
+  std::vector<ServerProfile> profiles_;
+  std::unordered_map<std::uint32_t, std::uint32_t> redirects_;
+  std::uint32_t raw_servers_ = 0;
+};
+
+struct PreprocessResult {
+  AggregatedTrace agg;
+  // Aggregated server ids that survive the IDF filter, ascending.
+  std::vector<std::uint32_t> kept;
+  // kept-index of each aggregated server, or -1 if filtered.
+  std::vector<std::int32_t> kept_index_of;
+
+  // Stats for Table I-style reporting and the Fig. 9 bench.
+  std::uint64_t total_requests = 0;
+  std::uint64_t requests_after_filter = 0;
+  std::uint32_t servers_before_aggregation = 0;
+  std::uint32_t servers_after_aggregation = 0;
+  std::uint32_t servers_after_filter = 0;
+
+  std::uint32_t kept_id(std::uint32_t kept_idx) const { return kept.at(kept_idx); }
+};
+
+PreprocessResult preprocess(const net::Trace& trace, const SmashConfig& config);
+
+}  // namespace smash::core

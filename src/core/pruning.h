@@ -1,0 +1,33 @@
+// Pruning (paper §III-D): collapse redirection groups and referrer groups
+// onto their landing server, then drop groups left with fewer than two
+// servers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/preprocess.h"
+#include "core/smash_config.h"
+
+namespace smash::core {
+
+struct PruneStats {
+  std::uint32_t redirect_members_replaced = 0;
+  std::uint32_t referrer_members_replaced = 0;
+  std::uint32_t groups_dropped = 0;
+};
+
+struct PruneResult {
+  // Groups surviving pruning; members are kept-indices, ascending, deduped.
+  std::vector<std::vector<std::uint32_t>> groups;
+  PruneStats stats;
+};
+
+// `groups` are the correlation survivors (kept-indices). Redirection data
+// comes from the aggregated trace (standing in for the paper's active
+// probing); referrer data from the HTTP Referer header counts.
+PruneResult prune(const PreprocessResult& pre,
+                  const std::vector<std::vector<std::uint32_t>>& groups,
+                  const SmashConfig& config);
+
+}  // namespace smash::core

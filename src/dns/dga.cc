@@ -1,0 +1,106 @@
+#include "dns/dga.h"
+
+#include <stdexcept>
+
+namespace smash::dns {
+
+namespace {
+constexpr std::string_view kAlnum = "abcdefghijklmnopqrstuvwxyz0123456789";
+constexpr std::string_view kConsonants = "bcdfghklmnprstvz";
+constexpr std::string_view kVowels = "aeiou";
+
+char pick(util::Rng& rng, std::string_view alphabet) {
+  return alphabet[rng.uniform(alphabet.size())];
+}
+}  // namespace
+
+std::vector<std::string> zeus_style_family(util::Rng& rng, std::size_t count,
+                                           std::string_view zone) {
+  if (count == 0) return {};
+  // Scaffold: <stem><NN><tail-char>.<zone>, NN varying per sibling.
+  std::string stem;
+  const std::size_t stem_len = 4 + rng.uniform(3);
+  for (std::size_t i = 0; i < stem_len; ++i) stem.push_back(pick(rng, kAlnum));
+  const char tail = pick(rng, kAlnum);
+
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t nn = 11 * (i + 1);  // 11, 22, 33, ... like 4k0t1NNm
+    out.push_back(stem + std::to_string(nn) + tail + "." + std::string(zone));
+  }
+  return out;
+}
+
+std::string random_word_domain(util::Rng& rng, std::string_view tld) {
+  std::string label;
+  const std::size_t syllables = 2 + rng.uniform(3);
+  for (std::size_t i = 0; i < syllables; ++i) {
+    label.push_back(pick(rng, kConsonants));
+    label.push_back(pick(rng, kVowels));
+    if (rng.bernoulli(0.4)) label.push_back(pick(rng, kConsonants));
+  }
+  return label + "." + std::string(tld);
+}
+
+std::string random_alnum_domain(util::Rng& rng, std::size_t label_len,
+                                std::string_view tld) {
+  if (label_len == 0) throw std::invalid_argument("random_alnum_domain: empty label");
+  std::string label;
+  label.reserve(label_len);
+  // First char alphabetic so the name is a valid hostname label.
+  label.push_back(pick(rng, kConsonants));
+  for (std::size_t i = 1; i < label_len; ++i) label.push_back(pick(rng, kAlnum));
+  return label + "." + std::string(tld);
+}
+
+std::string random_ipv4(util::Rng& rng) {
+  const auto octet = [&](std::uint64_t lo, std::uint64_t hi) {
+    return std::to_string(lo + rng.uniform(hi - lo + 1));
+  };
+  return octet(1, 223) + "." + octet(0, 255) + "." + octet(0, 255) + "." + octet(1, 254);
+}
+
+std::vector<std::string> obfuscated_filename_family(util::Rng& rng,
+                                                    std::size_t count,
+                                                    std::size_t min_len) {
+  // All family members are permutations-with-repetition over the same small
+  // alphabet with the same length, so their character-frequency vectors are
+  // nearly identical (cosine > 0.8) while the strings differ.
+  std::string alphabet;
+  for (int i = 0; i < 6; ++i) alphabet.push_back(pick(rng, kAlnum));
+  const std::size_t len = min_len + rng.uniform(16);
+
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Same multiset of characters, shuffled: cosine similarity exactly 1.
+    std::string name;
+    name.reserve(len);
+    for (std::size_t j = 0; j < len; ++j) name.push_back(alphabet[j % alphabet.size()]);
+    std::vector<char> chars(name.begin(), name.end());
+    rng.shuffle(chars);
+    out.emplace_back(chars.begin(), chars.end());
+    out.back() += ".php";
+  }
+  return out;
+}
+
+FluxIpPool::FluxIpPool(util::Rng rng, std::size_t pool_size) : rng_(rng) {
+  if (pool_size == 0) throw std::invalid_argument("FluxIpPool: empty pool");
+  pool_.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) pool_.push_back(random_ipv4(rng_));
+}
+
+std::vector<std::string> FluxIpPool::draw(std::size_t per_domain) {
+  per_domain = std::min(per_domain, pool_.size());
+  const auto idx = rng_.sample_without_replacement(
+      static_cast<std::uint32_t>(pool_.size()),
+      static_cast<std::uint32_t>(per_domain));
+  std::vector<std::string> out;
+  out.reserve(per_domain);
+  for (auto i : idx) out.push_back(pool_[i]);
+  return out;
+}
+
+}  // namespace smash::dns

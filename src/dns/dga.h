@@ -1,0 +1,59 @@
+// Domain/filename generators used by the synthetic workloads.
+//
+// The paper's case studies show three naming regimes we must be able to
+// synthesize: (i) DGA-style sibling domains differing in a few characters
+// (Zeus: 4k0t1NNm.cz.cc, Table X); (ii) unrelated compromised-site domains
+// (Bagle download tier, Table VII); (iii) obfuscated long URI filenames
+// that share a character distribution (Fig. 4 / Appendix B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace smash::dns {
+
+// Zeus-style DGA: fixed scaffold with a small varying infix, all under one
+// free zone. Example family (seeded): "4k0t1", {11,22,...}, "m", "cz.cc".
+std::vector<std::string> zeus_style_family(util::Rng& rng, std::size_t count,
+                                           std::string_view zone = "cz.cc");
+
+// Random pronounceable-ish benign-looking domain, e.g. "beachrugby.com".
+std::string random_word_domain(util::Rng& rng, std::string_view tld = "com");
+
+// Random alphanumeric domain of the given label length.
+std::string random_alnum_domain(util::Rng& rng, std::size_t label_len,
+                                std::string_view tld = "com");
+
+// Random IPv4 dotted quad (avoids reserved 0/255 octets in first position).
+std::string random_ipv4(util::Rng& rng);
+
+// Obfuscated filename family: `count` long filenames (>= min_len chars, all
+// drawn from one per-family alphabet subset) that pairwise exceed 0.8
+// character-frequency cosine similarity but are not equal — exercising the
+// long-filename branch of URI-file similarity (paper eqs. 4-6).
+std::vector<std::string> obfuscated_filename_family(util::Rng& rng,
+                                                    std::size_t count,
+                                                    std::size_t min_len = 30);
+
+// A pool of IP addresses shared by fast-fluxing domains. Each domain draws
+// `per_domain` addresses from the pool, so sibling domains overlap heavily
+// in their IP sets (paper eq. 8's signal).
+class FluxIpPool {
+ public:
+  FluxIpPool(util::Rng rng, std::size_t pool_size);
+
+  // IPs for the next domain; consecutive calls overlap since they draw from
+  // the same small pool.
+  std::vector<std::string> draw(std::size_t per_domain);
+
+  const std::vector<std::string>& pool() const noexcept { return pool_; }
+
+ private:
+  util::Rng rng_;
+  std::vector<std::string> pool_;
+};
+
+}  // namespace smash::dns

@@ -1,0 +1,107 @@
+#include "dns/domain.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace smash::dns {
+
+namespace {
+
+// Embedded subset of the public-suffix list covering every suffix that
+// appears in the paper's case studies and in our synthetic workloads, plus
+// dynamic-DNS providers the paper calls out in §VI as aggregation hazards.
+constexpr std::array<std::string_view, 26> kSingleLabelSuffixes = {
+    "com", "net",  "org", "info", "biz", "edu", "gov", "mil", "int",
+    "it",  "sk",   "nl",  "uk",   "cz",  "cc",  "de",  "fr",  "ru",
+    "cn",  "br",   "io",  "co",   "us",  "eu",  "tv",  "me"};
+
+constexpr std::array<std::string_view, 12> kMultiLabelSuffixes = {
+    "co.uk",      "org.uk",   "ac.uk",     "gov.uk",
+    "com.br",     "com.cn",   "com.ru",
+    // Free/dynamic hosting zones where every registrant gets a third-level
+    // name; aggregating these to the zone would merge unrelated parties.
+    "cz.cc",      "co.cc",    "dyndns.org", "no-ip.org", "blogspot.com"};
+
+}  // namespace
+
+bool is_ipv4_literal(std::string_view host) noexcept {
+  int dots = 0;
+  int digits_in_octet = 0;
+  int octet_value = 0;
+  for (char c : host) {
+    if (c == '.') {
+      if (digits_in_octet == 0) return false;
+      ++dots;
+      digits_in_octet = 0;
+      octet_value = 0;
+    } else if (c >= '0' && c <= '9') {
+      if (++digits_in_octet > 3) return false;
+      octet_value = octet_value * 10 + (c - '0');
+      if (octet_value > 255) return false;
+    } else {
+      return false;
+    }
+  }
+  return dots == 3 && digits_in_octet > 0;
+}
+
+bool is_public_suffix(std::string_view suffix) noexcept {
+  for (auto s : kMultiLabelSuffixes) {
+    if (s == suffix) return true;
+  }
+  for (auto s : kSingleLabelSuffixes) {
+    if (s == suffix) return true;
+  }
+  return false;
+}
+
+std::string effective_2ld(std::string_view host) {
+  if (is_ipv4_literal(host)) return std::string(host);
+  const auto labels = util::split(host, '.');
+  if (labels.size() <= 1) return std::string(host);
+
+  // Find the longest public suffix that is a proper suffix of `host`.
+  // We check 2-label suffixes first, then 1-label ones.
+  std::size_t suffix_labels = 0;
+  if (labels.size() >= 2) {
+    const std::string two = std::string(labels[labels.size() - 2]) + "." +
+                            std::string(labels.back());
+    bool two_is_suffix = false;
+    for (auto s : kMultiLabelSuffixes) {
+      if (s == two) { two_is_suffix = true; break; }
+    }
+    if (two_is_suffix) suffix_labels = 2;
+  }
+  if (suffix_labels == 0 && is_public_suffix(labels.back())) suffix_labels = 1;
+  if (suffix_labels == 0) suffix_labels = 1;  // unknown TLD: treat as 1 label
+
+  const std::size_t keep = suffix_labels + 1;
+  if (labels.size() <= keep) return std::string(host);
+
+  std::string out;
+  for (std::size_t i = labels.size() - keep; i < labels.size(); ++i) {
+    if (!out.empty()) out.push_back('.');
+    out.append(labels[i]);
+  }
+  return out;
+}
+
+bool is_valid_hostname(std::string_view host) noexcept {
+  if (host.empty() || host.front() == '.' || host.back() == '.') return false;
+  bool label_started = false;
+  for (char c : host) {
+    if (c == '.') {
+      if (!label_started) return false;
+      label_started = false;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_') {
+      label_started = true;
+    } else {
+      return false;
+    }
+  }
+  return label_started;
+}
+
+}  // namespace smash::dns

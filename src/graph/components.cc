@@ -1,0 +1,38 @@
+#include "graph/components.h"
+
+namespace smash::graph {
+
+std::vector<std::vector<std::uint32_t>> Components::groups() const {
+  std::vector<std::vector<std::uint32_t>> out(count);
+  for (std::uint32_t v = 0; v < component_of.size(); ++v) {
+    out[component_of[v]].push_back(v);
+  }
+  return out;
+}
+
+Components connected_components(const Graph& g) {
+  const std::uint32_t n = g.num_nodes();
+  Components result;
+  result.component_of.assign(n, UINT32_MAX);
+
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (result.component_of[start] != UINT32_MAX) continue;
+    const std::uint32_t comp = result.count++;
+    stack.push_back(start);
+    result.component_of[start] = comp;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      for (const auto& nb : g.neighbors(u)) {
+        if (result.component_of[nb.node] == UINT32_MAX) {
+          result.component_of[nb.node] = comp;
+          stack.push_back(nb.node);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace smash::graph

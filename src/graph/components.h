@@ -1,0 +1,22 @@
+// Connected components over the CSR graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace smash::graph {
+
+struct Components {
+  // component_of[node] in [0, count)
+  std::vector<std::uint32_t> component_of;
+  std::uint32_t count = 0;
+
+  // Nodes grouped by component, each group sorted ascending.
+  std::vector<std::vector<std::uint32_t>> groups() const;
+};
+
+Components connected_components(const Graph& g);
+
+}  // namespace smash::graph

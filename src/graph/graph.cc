@@ -1,0 +1,80 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace smash::graph {
+
+Graph GraphBuilder::build() && {
+  // Canonicalize: u <= v, then sort and merge duplicates.
+  for (auto& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  std::vector<Edge> merged;
+  merged.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().weight += e.weight;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  Graph g;
+  g.num_edges_ = merged.size();
+  g.weighted_degree_.assign(num_nodes_, 0.0);
+  g.self_loop_.assign(num_nodes_, 0.0);
+
+  std::vector<std::size_t> counts(num_nodes_ + 1, 0);
+  for (const auto& e : merged) {
+    ++counts[e.u + 1];
+    if (e.u != e.v) ++counts[e.v + 1];
+  }
+  g.offsets_.assign(num_nodes_ + 1, 0);
+  for (std::uint32_t i = 0; i < num_nodes_; ++i) {
+    g.offsets_[i + 1] = g.offsets_[i] + counts[i + 1];
+  }
+  g.adj_.resize(g.offsets_[num_nodes_]);
+
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : merged) {
+    g.adj_[cursor[e.u]++] = {e.v, e.weight};
+    if (e.u != e.v) g.adj_[cursor[e.v]++] = {e.u, e.weight};
+
+    g.total_weight_ += e.weight;
+    if (e.u == e.v) {
+      g.self_loop_[e.u] += e.weight;
+      g.weighted_degree_[e.u] += 2.0 * e.weight;
+    } else {
+      g.weighted_degree_[e.u] += e.weight;
+      g.weighted_degree_[e.v] += e.weight;
+    }
+  }
+  return g;
+}
+
+bool Graph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  for (const auto& n : neighbors(u)) {
+    if (n.node == v) return true;
+  }
+  return false;
+}
+
+double subset_density(const Graph& g, std::span<const std::uint32_t> nodes) {
+  if (nodes.size() < 2) return 0.0;
+  std::unordered_set<std::uint32_t> in_set(nodes.begin(), nodes.end());
+  std::size_t internal_edges = 0;
+  for (auto u : nodes) {
+    for (const auto& n : g.neighbors(u)) {
+      if (n.node > u && in_set.count(n.node)) ++internal_edges;
+    }
+  }
+  const double pairs =
+      static_cast<double>(in_set.size()) * (static_cast<double>(in_set.size()) - 1.0) / 2.0;
+  return static_cast<double>(internal_edges) / pairs;
+}
+
+}  // namespace smash::graph

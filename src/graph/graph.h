@@ -1,0 +1,102 @@
+// Compact weighted undirected graph (CSR) plus a builder.
+//
+// All similarity graphs in SMASH (one per dimension, paper §III-B) are
+// built once and then only read by community detection, so an immutable
+// CSR representation fits: O(V + E) memory, cache-friendly neighbor scans.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace smash::graph {
+
+struct Edge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  double weight = 1.0;
+};
+
+class Graph;
+
+// Accumulates undirected edges; duplicate (u,v) pairs have their weights
+// summed. Self-loops are allowed (Louvain's aggregation step produces them).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+  void add_edge(std::uint32_t u, std::uint32_t v, double weight = 1.0) {
+    if (u >= num_nodes_ || v >= num_nodes_) {
+      throw std::out_of_range("GraphBuilder::add_edge: node id out of range");
+    }
+    if (weight <= 0.0) {
+      throw std::invalid_argument("GraphBuilder::add_edge: weight must be > 0");
+    }
+    edges_.push_back({u, v, weight});
+  }
+
+  std::uint32_t num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_raw_edges() const noexcept { return edges_.size(); }
+
+  Graph build() &&;
+
+ private:
+  std::uint32_t num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+struct Neighbor {
+  std::uint32_t node = 0;
+  double weight = 0.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  std::uint32_t num_nodes() const noexcept { return static_cast<std::uint32_t>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  // Number of undirected edges (self-loops counted once).
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  std::span<const Neighbor> neighbors(std::uint32_t u) const {
+    if (u >= num_nodes()) throw std::out_of_range("Graph::neighbors: bad node");
+    return {adj_.data() + offsets_[u], adj_.data() + offsets_[u + 1]};
+  }
+
+  // Weighted degree: sum of incident edge weights, self-loop counted twice
+  // (the convention modularity needs).
+  double weighted_degree(std::uint32_t u) const {
+    if (u >= num_nodes()) throw std::out_of_range("Graph::weighted_degree: bad node");
+    return weighted_degree_[u];
+  }
+
+  // Self-loop weight of u (0 if none).
+  double self_loop(std::uint32_t u) const {
+    if (u >= num_nodes()) throw std::out_of_range("Graph::self_loop: bad node");
+    return self_loop_[u];
+  }
+
+  // Total edge weight m (self-loops counted once); 2m is the modularity
+  // normalizer.
+  double total_weight() const noexcept { return total_weight_; }
+
+  bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;  // size N+1
+  std::vector<Neighbor> adj_;         // both directions; self-loop stored once
+  std::vector<double> weighted_degree_;
+  std::vector<double> self_loop_;
+  double total_weight_ = 0.0;
+  std::size_t num_edges_ = 0;
+};
+
+// Density of a node subset S: |E(S)| / (|S| choose 2), the w() term of
+// paper eq. (9). Edges are counted unweighted; self-loops excluded.
+// Returns 0 for |S| < 2.
+double subset_density(const Graph& g, std::span<const std::uint32_t> nodes);
+
+}  // namespace smash::graph

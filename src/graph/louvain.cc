@@ -1,0 +1,247 @@
+#include "graph/louvain.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace smash::graph {
+
+namespace {
+
+// Renumber arbitrary community labels to [0, k) preserving first-seen order.
+std::uint32_t renumber(std::vector<std::uint32_t>& labels) {
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  remap.reserve(labels.size());
+  for (auto& label : labels) {
+    auto [it, inserted] = remap.emplace(label, static_cast<std::uint32_t>(remap.size()));
+    label = it->second;
+  }
+  return static_cast<std::uint32_t>(remap.size());
+}
+
+// One level of local moving. Returns the (renumbered) node -> community map
+// and whether anything moved.
+struct LevelResult {
+  std::vector<std::uint32_t> community_of;
+  std::uint32_t num_communities = 0;
+  bool improved = false;
+};
+
+LevelResult local_moving(const Graph& g, const LouvainOptions& options) {
+  const std::uint32_t n = g.num_nodes();
+  const double two_m = 2.0 * g.total_weight();
+
+  LevelResult result;
+  result.community_of.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) result.community_of[v] = v;
+  if (two_m <= 0.0) {
+    result.num_communities = n;
+    return result;  // edgeless graph: all singletons
+  }
+
+  // tot[c]: sum of weighted degrees of nodes in community c.
+  std::vector<double> tot(n, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) tot[v] = g.weighted_degree(v);
+
+  // Scratch: weight from the current node to each adjacent community.
+  std::unordered_map<std::uint32_t, double> weight_to_comm;
+
+  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    bool moved_this_sweep = false;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t old_comm = result.community_of[v];
+      const double k_v = g.weighted_degree(v);
+
+      weight_to_comm.clear();
+      weight_to_comm[old_comm] = 0.0;  // moving back is always an option
+      for (const auto& nb : g.neighbors(v)) {
+        if (nb.node == v) continue;  // self-loop does not affect the gain delta
+        weight_to_comm[result.community_of[nb.node]] += nb.weight;
+      }
+
+      // Remove v from its community for the gain computation.
+      tot[old_comm] -= k_v;
+
+      // Gain of joining community c (relative, constant terms dropped):
+      //   dQ(c) = w(v->c)/m - tot[c]*k_v/(2m^2)
+      // We compare 2m*dQ = 2*w(v->c) - tot[c]*k_v/m to avoid divisions.
+      std::uint32_t best_comm = old_comm;
+      double best_gain =
+          2.0 * weight_to_comm[old_comm] - tot[old_comm] * k_v / g.total_weight();
+      for (const auto& [comm, w] : weight_to_comm) {
+        const double gain = 2.0 * w - tot[comm] * k_v / g.total_weight();
+        if (gain > best_gain + options.min_modularity_gain ||
+            (gain > best_gain && comm < best_comm)) {
+          best_gain = gain;
+          best_comm = comm;
+        }
+      }
+
+      tot[best_comm] += k_v;
+      if (best_comm != old_comm) {
+        result.community_of[v] = best_comm;
+        moved_this_sweep = true;
+        result.improved = true;
+      }
+    }
+    if (!moved_this_sweep) break;
+  }
+
+  result.num_communities = renumber(result.community_of);
+  return result;
+}
+
+// Aggregate: one node per community; edge weights summed; intra-community
+// weight becomes a self-loop.
+Graph aggregate(const Graph& g, const std::vector<std::uint32_t>& community_of,
+                std::uint32_t num_communities) {
+  GraphBuilder builder(num_communities);
+  // Sum weights per (cu, cv) pair; iterate each undirected edge once.
+  std::unordered_map<std::uint64_t, double> agg;
+  agg.reserve(g.num_edges());
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& nb : g.neighbors(u)) {
+      if (nb.node < u) continue;  // visit each undirected edge once
+      std::uint32_t cu = community_of[u];
+      std::uint32_t cv = community_of[nb.node];
+      if (cu > cv) std::swap(cu, cv);
+      const std::uint64_t key = (static_cast<std::uint64_t>(cu) << 32) | cv;
+      agg[key] += nb.weight;
+    }
+  }
+  for (const auto& [key, weight] : agg) {
+    builder.add_edge(static_cast<std::uint32_t>(key >> 32),
+                     static_cast<std::uint32_t>(key & 0xffffffffu), weight);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> LouvainResult::groups() const {
+  std::vector<std::vector<std::uint32_t>> out(num_communities);
+  for (std::uint32_t v = 0; v < community_of.size(); ++v) {
+    out[community_of[v]].push_back(v);
+  }
+  return out;
+}
+
+LouvainResult louvain(const Graph& g, const LouvainOptions& options) {
+  const std::uint32_t n = g.num_nodes();
+  LouvainResult result;
+  result.community_of.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) result.community_of[v] = v;
+  result.num_communities = n;
+
+  Graph level_graph;          // graph at the current level
+  const Graph* current = &g;  // avoids copying the input for level 0
+
+  for (int level = 0; level < options.max_levels; ++level) {
+    LevelResult lvl = local_moving(*current, options);
+    if (!lvl.improved && level > 0) break;
+
+    // Compose: original node -> level community.
+    for (std::uint32_t v = 0; v < n; ++v) {
+      result.community_of[v] = lvl.community_of[result.community_of[v]];
+    }
+    result.num_communities = lvl.num_communities;
+    result.levels = level + 1;
+
+    if (!lvl.improved) break;  // level 0 with nothing to move
+    if (lvl.num_communities == current->num_nodes()) break;  // no merge happened
+
+    level_graph = aggregate(*current, lvl.community_of, lvl.num_communities);
+    current = &level_graph;
+  }
+
+  result.num_communities = renumber(result.community_of);
+  result.modularity = modularity(g, result.community_of);
+  return result;
+}
+
+LouvainResult louvain_refined(const Graph& g, const LouvainOptions& options) {
+  LouvainResult base = louvain(g, options);
+
+  // Work queue of communities to try splitting (member lists over g).
+  std::vector<std::vector<std::uint32_t>> queue = base.groups();
+  std::vector<std::vector<std::uint32_t>> final_groups;
+
+  while (!queue.empty()) {
+    std::vector<std::uint32_t> members = std::move(queue.back());
+    queue.pop_back();
+    if (members.size() <= 3) {
+      final_groups.push_back(std::move(members));
+      continue;
+    }
+
+    // Induced subgraph over `members`.
+    std::unordered_map<std::uint32_t, std::uint32_t> local_id;
+    local_id.reserve(members.size());
+    for (std::uint32_t i = 0; i < members.size(); ++i) local_id[members[i]] = i;
+    GraphBuilder builder(static_cast<std::uint32_t>(members.size()));
+    for (auto u : members) {
+      for (const auto& nb : g.neighbors(u)) {
+        if (nb.node < u) continue;
+        auto it = local_id.find(nb.node);
+        if (it == local_id.end()) continue;
+        builder.add_edge(local_id[u], it->second, nb.weight);
+      }
+    }
+    const Graph sub = std::move(builder).build();
+    const LouvainResult split = louvain(sub, options);
+
+    if (split.num_communities <= 1) {
+      final_groups.push_back(std::move(members));
+      continue;
+    }
+    // Each part strictly smaller than `members`, so this terminates.
+    for (auto& part : split.groups()) {
+      std::vector<std::uint32_t> mapped;
+      mapped.reserve(part.size());
+      for (auto local : part) mapped.push_back(members[local]);
+      queue.push_back(std::move(mapped));
+    }
+  }
+
+  LouvainResult out;
+  out.community_of.assign(g.num_nodes(), 0);
+  out.num_communities = static_cast<std::uint32_t>(final_groups.size());
+  out.levels = base.levels;
+  for (std::uint32_t c = 0; c < final_groups.size(); ++c) {
+    for (auto node : final_groups[c]) out.community_of[node] = c;
+  }
+  out.modularity = modularity(g, out.community_of);
+  return out;
+}
+
+double modularity(const Graph& g, const std::vector<std::uint32_t>& community_of) {
+  if (community_of.size() != g.num_nodes()) {
+    throw std::invalid_argument("modularity: partition size mismatch");
+  }
+  const double two_m = 2.0 * g.total_weight();
+  if (two_m <= 0.0) return 0.0;
+
+  std::uint32_t max_label = 0;
+  for (auto c : community_of) max_label = std::max(max_label, c);
+  std::vector<double> in(max_label + 1, 0.0);   // 2x intra-community weight
+  std::vector<double> tot(max_label + 1, 0.0);  // sum of weighted degrees
+
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    tot[community_of[u]] += g.weighted_degree(u);
+    for (const auto& nb : g.neighbors(u)) {
+      if (community_of[nb.node] == community_of[u]) {
+        // Each non-loop edge appears twice in the scan; self-loops appear
+        // once but count twice toward `in`.
+        in[community_of[u]] += nb.node == u ? 2.0 * nb.weight : nb.weight;
+      }
+    }
+  }
+
+  double q = 0.0;
+  for (std::size_t c = 0; c < in.size(); ++c) {
+    q += in[c] / two_m - (tot[c] / two_m) * (tot[c] / two_m);
+  }
+  return q;
+}
+
+}  // namespace smash::graph

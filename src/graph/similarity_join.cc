@@ -1,0 +1,60 @@
+#include "graph/similarity_join.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace smash::graph {
+
+std::vector<CooccurrencePair> cooccurrence_join(
+    std::span<const util::IdSet> items, std::uint32_t min_shared,
+    const JoinOptions& options) {
+  if (min_shared == 0) {
+    throw std::invalid_argument("cooccurrence_join: min_shared must be >= 1");
+  }
+
+  // Inverted index: key -> items containing it, in ascending item order
+  // (guaranteed by iterating items in order).
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> postings;
+  for (std::uint32_t i = 0; i < items.size(); ++i) {
+    if (!items[i].is_normalized()) {
+      throw std::invalid_argument("cooccurrence_join: IdSet not normalized");
+    }
+    for (auto key : items[i]) postings[key].push_back(i);
+  }
+
+  // Count co-occurrences per pair. Key: packed (a<<32)|b with a < b.
+  std::unordered_map<std::uint64_t, std::uint32_t> counts;
+  for (const auto& [key, list] : postings) {
+    (void)key;
+    if (list.size() < 2 || list.size() > options.max_postings_length) continue;
+    for (std::size_t x = 0; x < list.size(); ++x) {
+      for (std::size_t y = x + 1; y < list.size(); ++y) {
+        const std::uint64_t packed =
+            (static_cast<std::uint64_t>(list[x]) << 32) | list[y];
+        ++counts[packed];
+      }
+    }
+  }
+
+  std::vector<CooccurrencePair> out;
+  out.reserve(counts.size());
+  for (const auto& [packed, count] : counts) {
+    if (count < min_shared) continue;
+    out.push_back({static_cast<std::uint32_t>(packed >> 32),
+                   static_cast<std::uint32_t>(packed & 0xffffffffu), count});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& p, const auto& q) {
+    return p.a != q.a ? p.a < q.a : p.b < q.b;
+  });
+  return out;
+}
+
+double bidirectional_similarity(std::uint32_t shared, std::size_t size_a,
+                                std::size_t size_b) {
+  if (size_a == 0 || size_b == 0) return 0.0;
+  const double s = static_cast<double>(shared);
+  return (s / static_cast<double>(size_a)) * (s / static_cast<double>(size_b));
+}
+
+}  // namespace smash::graph

@@ -1,0 +1,54 @@
+#include "ids/blacklist.h"
+
+#include <stdexcept>
+
+namespace smash::ids {
+
+void Blacklist::add_primary_source(std::string_view source_name) {
+  primary_.try_emplace(std::string(source_name));
+}
+
+void Blacklist::add_aggregated_source(std::string_view source_name) {
+  aggregated_.try_emplace(std::string(source_name));
+}
+
+void Blacklist::list(std::string_view source_name, std::string_view domain) {
+  const std::string key(source_name);
+  if (auto it = primary_.find(key); it != primary_.end()) {
+    it->second.domains.insert(std::string(domain));
+    return;
+  }
+  if (auto it = aggregated_.find(key); it != aggregated_.end()) {
+    it->second.domains.insert(std::string(domain));
+    return;
+  }
+  throw std::invalid_argument("Blacklist::list: unknown source " + key);
+}
+
+bool Blacklist::confirmed(std::string_view domain) const {
+  const std::string key(domain);
+  for (const auto& [name, data] : primary_) {
+    (void)name;
+    if (data.domains.count(key)) return true;
+  }
+  int aggregated_hits = 0;
+  for (const auto& [name, data] : aggregated_) {
+    (void)name;
+    if (data.domains.count(key) && ++aggregated_hits >= 2) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Blacklist::sources_listing(std::string_view domain) const {
+  const std::string key(domain);
+  std::vector<std::string> out;
+  for (const auto& [name, data] : primary_) {
+    if (data.domains.count(key)) out.push_back(name);
+  }
+  for (const auto& [name, data] : aggregated_) {
+    if (data.domains.count(key)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace smash::ids

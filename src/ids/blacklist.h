@@ -1,0 +1,45 @@
+// Public-blacklist substrate (paper §IV-B "Online Blacklist").
+//
+// The paper consults several primary blacklists (Malware Domain List,
+// Phishtank, ZeuS Tracker, ...) where a single listing confirms a server,
+// plus one aggregator (WhatIsMyIPAddress, wrapping 78 feeds) where at
+// least two feeds must agree. We model both confirmation rules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace smash::ids {
+
+class Blacklist {
+ public:
+  // A primary source: one listing is a confirmation.
+  void add_primary_source(std::string_view source_name);
+  // An aggregated source: listings count toward the >= 2 rule.
+  void add_aggregated_source(std::string_view source_name);
+
+  // List `domain` (an effective 2LD) on `source_name`.
+  void list(std::string_view source_name, std::string_view domain);
+
+  // Confirmed if listed by any primary source, or by >= 2 aggregated feeds.
+  bool confirmed(std::string_view domain) const;
+
+  // Sources that list the domain (for reports).
+  std::vector<std::string> sources_listing(std::string_view domain) const;
+
+  std::size_t num_sources() const noexcept {
+    return primary_.size() + aggregated_.size();
+  }
+
+ private:
+  struct SourceData {
+    std::unordered_set<std::string> domains;
+  };
+  std::unordered_map<std::string, SourceData> primary_;
+  std::unordered_map<std::string, SourceData> aggregated_;
+};
+
+}  // namespace smash::ids

@@ -1,0 +1,94 @@
+#include "ids/ground_truth.h"
+
+#include <stdexcept>
+
+namespace smash::ids {
+
+std::string_view campaign_kind_name(CampaignKind k) noexcept {
+  switch (k) {
+    case CampaignKind::kCnc: return "C&C";
+    case CampaignKind::kWebExploit: return "Web exploit";
+    case CampaignKind::kPhishing: return "Phishing";
+    case CampaignKind::kDropZone: return "Drop zone";
+    case CampaignKind::kOtherMalicious: return "Other malicious servers";
+    case CampaignKind::kWebScanner: return "Web scanner";
+    case CampaignKind::kIframeInjection: return "Iframe injection";
+    case CampaignKind::kNoiseTorrent: return "Torrent (noise)";
+    case CampaignKind::kNoiseTeamViewer: return "TeamViewer (noise)";
+    case CampaignKind::kBenign: return "Benign";
+  }
+  return "?";
+}
+
+bool kind_is_malicious(CampaignKind k) noexcept {
+  switch (k) {
+    case CampaignKind::kCnc:
+    case CampaignKind::kWebExploit:
+    case CampaignKind::kPhishing:
+    case CampaignKind::kDropZone:
+    case CampaignKind::kOtherMalicious:
+    case CampaignKind::kWebScanner:
+    case CampaignKind::kIframeInjection:
+      return true;
+    case CampaignKind::kNoiseTorrent:
+    case CampaignKind::kNoiseTeamViewer:
+    case CampaignKind::kBenign:
+      return false;
+  }
+  return false;
+}
+
+bool kind_is_attacking(CampaignKind k) noexcept {
+  return k == CampaignKind::kWebScanner || k == CampaignKind::kIframeInjection;
+}
+
+std::uint32_t GroundTruth::add_campaign(CampaignTruth campaign) {
+  if (campaign.name.empty()) {
+    throw std::invalid_argument("GroundTruth::add_campaign: name required");
+  }
+  const auto index = static_cast<std::uint32_t>(campaigns_.size());
+  for (const auto& server : campaign.servers) {
+    // First registration wins: a benign server attacked by two campaigns
+    // stays attributed to the first (mirrors the paper's one-label model).
+    campaign_of_server_.try_emplace(server, index);
+  }
+  campaigns_.push_back(std::move(campaign));
+  return index;
+}
+
+std::optional<std::uint32_t> GroundTruth::campaign_of(std::string_view server) const {
+  auto it = campaign_of_server_.find(std::string(server));
+  if (it == campaign_of_server_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool GroundTruth::server_is_malicious(std::string_view server) const {
+  const auto idx = campaign_of(server);
+  return idx && kind_is_malicious(campaigns_[*idx].kind);
+}
+
+bool GroundTruth::server_is_noise(std::string_view server) const {
+  const auto idx = campaign_of(server);
+  if (!idx) return false;
+  const auto k = campaigns_[*idx].kind;
+  return k == CampaignKind::kNoiseTorrent || k == CampaignKind::kNoiseTeamViewer;
+}
+
+void GroundTruth::mark_dead(std::string_view server) {
+  dead_.insert(std::string(server));
+}
+
+bool GroundTruth::is_dead(std::string_view server) const {
+  return dead_.count(std::string(server)) > 0;
+}
+
+std::size_t GroundTruth::num_malicious_servers() const {
+  std::size_t count = 0;
+  for (const auto& [server, idx] : campaign_of_server_) {
+    (void)server;
+    if (kind_is_malicious(campaigns_[idx].kind)) ++count;
+  }
+  return count;
+}
+
+}  // namespace smash::ids

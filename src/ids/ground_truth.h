@@ -1,0 +1,78 @@
+// Ground-truth registry populated by the synthetic workload generator.
+//
+// Each injected campaign records its kind, its servers (effective 2LDs)
+// and its clients. A liveness oracle stands in for the paper's active
+// probing (§V-A1: campaigns whose servers mostly return errors or no
+// longer exist are classified "suspicious" rather than false positive).
+// The evaluation harness never reads ground truth directly to make
+// detection decisions — only to score them, exactly as the paper scores
+// against IDS/blacklists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace smash::ids {
+
+// Paper Table IV taxonomy plus the two "noisy campaign" FP categories the
+// paper calls out (Torrent, TeamViewer) and plain benign background.
+enum class CampaignKind : std::uint8_t {
+  kCnc = 0,             // command & control  (communication activity)
+  kWebExploit,          // exploit kit / drive-by
+  kPhishing,
+  kDropZone,
+  kOtherMalicious,      // downloading tiers, generic malicious servers
+  kWebScanner,          // attacking activity: scanned benign servers
+  kIframeInjection,     // attacking activity: injected benign servers
+  kNoiseTorrent,        // benign-but-correlated: torrent trackers
+  kNoiseTeamViewer,     // benign-but-correlated: TeamViewer-style pools
+  kBenign,              // ordinary background
+};
+
+std::string_view campaign_kind_name(CampaignKind k) noexcept;
+bool kind_is_malicious(CampaignKind k) noexcept;
+bool kind_is_attacking(CampaignKind k) noexcept;  // scanner / iframe
+
+struct CampaignTruth {
+  std::string name;  // e.g. "zeus-flux-0"
+  CampaignKind kind = CampaignKind::kBenign;
+  std::vector<std::string> servers;  // effective 2LDs involved
+  std::vector<std::string> clients;
+  // Days (0-based) on which the campaign was active; {0} for 1-day traces.
+  std::vector<std::uint32_t> active_days{0};
+};
+
+class GroundTruth {
+ public:
+  // Returns the campaign index.
+  std::uint32_t add_campaign(CampaignTruth campaign);
+
+  const std::vector<CampaignTruth>& campaigns() const noexcept { return campaigns_; }
+
+  // Campaign index that owns `server`, if any malicious/noise campaign does.
+  std::optional<std::uint32_t> campaign_of(std::string_view server) const;
+
+  bool server_is_malicious(std::string_view server) const;
+
+  // Noise servers (torrent/TeamViewer) — benign, but correlated enough to
+  // fool SMASH; the paper excludes them in its "FP (Updated)" rows.
+  bool server_is_noise(std::string_view server) const;
+
+  // --- liveness oracle ------------------------------------------------------
+  void mark_dead(std::string_view server);
+  bool is_dead(std::string_view server) const;
+
+  std::size_t num_malicious_servers() const;
+
+ private:
+  std::vector<CampaignTruth> campaigns_;
+  std::unordered_map<std::string, std::uint32_t> campaign_of_server_;
+  std::unordered_set<std::string> dead_;
+};
+
+}  // namespace smash::ids

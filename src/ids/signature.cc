@@ -1,0 +1,45 @@
+#include "ids/signature.h"
+
+#include <stdexcept>
+
+#include "dns/domain.h"
+#include "net/http.h"
+
+namespace smash::ids {
+
+bool Signature::matches(const net::HttpRequest& request) const {
+  if (!uri_file.empty() && net::uri_file(request.path) != uri_file) return false;
+  if (!user_agent.empty() && request.user_agent != user_agent) return false;
+  if (!param_pattern.empty() && net::param_pattern(request.path) != param_pattern) {
+    return false;
+  }
+  return true;
+}
+
+void SignatureEngine::add(Signature signature) {
+  if (signature.threat_id.empty()) {
+    throw std::invalid_argument("Signature: threat_id must be set");
+  }
+  if (signature.uri_file.empty() && signature.user_agent.empty() &&
+      signature.param_pattern.empty()) {
+    throw std::invalid_argument("Signature: at least one criterion must be set");
+  }
+  signatures_.push_back(std::move(signature));
+}
+
+IdsLabels SignatureEngine::label(const net::Trace& trace, Vintage vintage) const {
+  IdsLabels labels;
+  for (const auto& request : trace.requests()) {
+    for (const auto& sig : signatures_) {
+      // 2013 runs include the surviving 2012 rules (sets only grow).
+      if (vintage == Vintage::k2012 && sig.vintage != Vintage::k2012) continue;
+      if (!sig.matches(request)) continue;
+      const std::string server_2ld =
+          dns::effective_2ld(trace.servers().name(request.server));
+      labels.threats[server_2ld].insert(sig.threat_id);
+    }
+  }
+  return labels;
+}
+
+}  // namespace smash::ids

@@ -1,0 +1,60 @@
+// Signature-based IDS substrate.
+//
+// The paper's ground truth (§IV-B) comes from a commercial signature IDS
+// run twice — with early-2012 and June-2013 signature sets — plus public
+// blacklists. We reproduce that apparatus: a rule engine matching HTTP
+// requests on (URI file, User-Agent, parameter pattern) with two signature
+// vintages. The 2013 set is a superset of 2012's, so servers matched only
+// by 2013 signatures play the paper's "zero-day at 2012 time" role.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/trace.h"
+
+namespace smash::ids {
+
+enum class Vintage : std::uint8_t { k2012 = 0, k2013 = 1 };
+
+struct Signature {
+  std::string threat_id;  // e.g. "Trojan.Zbot"; groups servers into threats
+  // Match criteria; empty string = wildcard. At least one must be set.
+  std::string uri_file;       // exact match on the request's URI file
+  std::string user_agent;     // exact match on the User-Agent header
+  std::string param_pattern;  // exact match on the blanked parameter pattern
+  Vintage vintage = Vintage::k2012;
+
+  bool matches(const net::HttpRequest& request) const;
+};
+
+// Per-server IDS verdicts for a trace, keyed by aggregated server name
+// (effective 2LD), which is the unit the evaluation operates on.
+struct IdsLabels {
+  // server 2LD -> threat ids that fired on at least one request to it.
+  std::unordered_map<std::string, std::unordered_set<std::string>> threats;
+
+  bool labeled(std::string_view server) const {
+    return threats.count(std::string(server)) > 0;
+  }
+};
+
+class SignatureEngine {
+ public:
+  void add(Signature signature);
+
+  std::size_t size() const noexcept { return signatures_.size(); }
+
+  // Runs all signatures of `vintage` (for k2013: 2012 rules are included —
+  // signature sets only grow) over the trace; returns per-2LD labels.
+  IdsLabels label(const net::Trace& trace, Vintage vintage) const;
+
+ private:
+  std::vector<Signature> signatures_;
+};
+
+}  // namespace smash::ids

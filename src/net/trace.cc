@@ -1,0 +1,133 @@
+#include "net/trace.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace smash::net {
+
+namespace {
+const util::IdSet kEmptySet{};
+
+std::string_view dash_if_empty(std::string_view s) { return s.empty() ? "-" : s; }
+std::string undash(std::string_view s) { return s == "-" ? std::string{} : std::string(s); }
+}  // namespace
+
+void Trace::finalize() {
+  std::uint32_t max_day = 0;
+  for (const auto& r : requests_) max_day = std::max(max_day, r.day);
+  num_days_ = max_day + 1;
+  for (auto& [server, set] : resolutions_) set.normalize();
+  finalized_ = true;
+}
+
+const util::IdSet& Trace::ips_of(std::uint32_t server) const {
+  if (!finalized_) throw std::logic_error("Trace::ips_of before finalize()");
+  auto it = resolutions_.find(server);
+  return it == resolutions_.end() ? kEmptySet : it->second;
+}
+
+bool Trace::redirect_target(std::uint32_t server, std::uint32_t& to) const {
+  auto it = redirects_.find(server);
+  if (it == redirects_.end()) return false;
+  to = it->second;
+  return true;
+}
+
+std::size_t Trace::count_distinct_uri_files() const {
+  std::unordered_set<std::string_view> files;
+  files.reserve(requests_.size() / 4);
+  for (const auto& r : requests_) files.insert(uri_file(r.path));
+  return files.size();
+}
+
+void Trace::write_tsv(const std::string& file_path) const {
+  std::ofstream out(file_path);
+  if (!out) throw std::runtime_error("Trace::write_tsv: cannot open " + file_path);
+  for (const auto& r : requests_) {
+    out << "REQ\t" << clients_.name(r.client) << '\t' << servers_.name(r.server)
+        << '\t' << r.day << '\t' << method_name(r.method) << '\t' << r.status
+        << '\t' << r.path << '\t' << dash_if_empty(r.user_agent) << '\t'
+        << dash_if_empty(r.referrer) << '\n';
+  }
+  for (const auto& [server, set] : resolutions_) {
+    for (auto ip : set) {
+      out << "RES\t" << servers_.name(server) << '\t' << ips_.name(ip) << '\n';
+    }
+  }
+  for (const auto& [from, to] : redirects_) {
+    out << "RED\t" << servers_.name(from) << '\t' << servers_.name(to) << '\n';
+  }
+}
+
+Trace Trace::read_tsv(const std::string& file_path) {
+  std::ifstream in(file_path);
+  if (!in) throw std::runtime_error("Trace::read_tsv: cannot open " + file_path);
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = util::split(line, '\t');
+    const auto bad = [&](const char* why) {
+      throw std::runtime_error("Trace::read_tsv: " + file_path + ":" +
+                               std::to_string(line_no) + ": " + why);
+    };
+    if (fields[0] == "REQ") {
+      if (fields.size() != 9) bad("REQ record needs 9 fields");
+      HttpRequest r;
+      r.client = trace.intern_client(fields[1]);
+      r.server = trace.intern_server(fields[2]);
+      r.day = static_cast<std::uint32_t>(std::stoul(std::string(fields[3])));
+      const std::string_view m = fields[4];
+      r.method = m == "POST" ? Method::kPost : m == "HEAD" ? Method::kHead : Method::kGet;
+      r.status = static_cast<std::uint16_t>(std::stoul(std::string(fields[5])));
+      r.path = std::string(fields[6]);
+      r.user_agent = undash(fields[7]);
+      r.referrer = undash(fields[8]);
+      trace.add_request(std::move(r));
+    } else if (fields[0] == "RES") {
+      if (fields.size() != 3) bad("RES record needs 3 fields");
+      trace.add_resolution(trace.intern_server(fields[1]), trace.intern_ip(fields[2]));
+    } else if (fields[0] == "RED") {
+      if (fields.size() != 3) bad("RED record needs 3 fields");
+      trace.add_redirect(trace.intern_server(fields[1]), trace.intern_server(fields[2]));
+    } else {
+      bad("unknown record type");
+    }
+  }
+  trace.finalize();
+  return trace;
+}
+
+Trace slice_day(const Trace& trace, std::uint32_t day) {
+  Trace out;
+  for (const auto& r : trace.requests()) {
+    if (r.day != day) continue;
+    HttpRequest copy = r;
+    copy.client = out.intern_client(trace.clients().name(r.client));
+    copy.server = out.intern_server(trace.servers().name(r.server));
+    copy.day = 0;
+    out.add_request(std::move(copy));
+  }
+  // Keep resolutions and redirects for servers that appear on this day.
+  for (std::uint32_t s = 0; s < trace.servers().size(); ++s) {
+    const auto& name = trace.servers().name(s);
+    const auto local = out.servers().find(name);
+    if (!local) continue;
+    for (auto ip : trace.ips_of(s)) {
+      out.add_resolution(*local, out.intern_ip(trace.ips().name(ip)));
+    }
+    std::uint32_t to = 0;
+    if (trace.redirect_target(s, to)) {
+      out.add_redirect(*local, out.intern_server(trace.servers().name(to)));
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace smash::net

@@ -1,0 +1,90 @@
+// The Trace is the unit of input to SMASH: all HTTP requests observed at
+// the network edge over one collection window (one day, or one week for
+// Data2012week), plus the hostname -> IP resolutions observed in the same
+// window. Clients, server hostnames and IP addresses are interned to dense
+// ids; analysis code never touches strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/http.h"
+#include "util/id_set.h"
+#include "util/interner.h"
+
+namespace smash::net {
+
+class Trace {
+ public:
+  // --- construction --------------------------------------------------------
+  std::uint32_t intern_client(std::string_view name) { return clients_.intern(name); }
+  std::uint32_t intern_server(std::string_view host) { return servers_.intern(host); }
+  std::uint32_t intern_ip(std::string_view ip) { return ips_.intern(ip); }
+
+  void add_request(HttpRequest req) { requests_.push_back(std::move(req)); }
+
+  // Record that `server` resolved to `ip` during the window.
+  void add_resolution(std::uint32_t server, std::uint32_t ip) {
+    resolutions_[server].insert(ip);
+  }
+
+  // Record a redirect edge: a request to `from` returned Location: `to`.
+  void add_redirect(std::uint32_t from, std::uint32_t to) {
+    redirects_[from] = to;
+  }
+
+  // Must be called once after all adds and before analysis.
+  void finalize();
+
+  // --- accessors ------------------------------------------------------------
+  const std::vector<HttpRequest>& requests() const noexcept { return requests_; }
+  const util::Interner& clients() const noexcept { return clients_; }
+  const util::Interner& servers() const noexcept { return servers_; }
+  const util::Interner& ips() const noexcept { return ips_; }
+
+  std::uint32_t num_clients() const noexcept { return clients_.size(); }
+  std::uint32_t num_servers() const noexcept { return servers_.size(); }
+  std::size_t num_requests() const noexcept { return requests_.size(); }
+  std::uint32_t num_days() const noexcept { return num_days_; }
+
+  // IP set a server resolved to (empty set if never resolved).
+  const util::IdSet& ips_of(std::uint32_t server) const;
+
+  // Redirect target of `server`, or nullopt-ish: returns true and sets `to`.
+  bool redirect_target(std::uint32_t server, std::uint32_t& to) const;
+
+  const std::unordered_map<std::uint32_t, std::uint32_t>& redirects() const noexcept {
+    return redirects_;
+  }
+
+  // Number of distinct URI files across all requests (Table I row).
+  std::size_t count_distinct_uri_files() const;
+
+  // --- (de)serialization -----------------------------------------------------
+  // Tab-separated, one request per line:
+  //   REQ <client> <host> <day> <method> <status> <path> <user_agent> <referrer>
+  //   RES <host> <ip>
+  //   RED <host> <to_host>
+  // User-agent/referrer use "-" for empty. Paths must not contain tabs.
+  void write_tsv(const std::string& file_path) const;
+  static Trace read_tsv(const std::string& file_path);
+
+ private:
+  util::Interner clients_;
+  util::Interner servers_;
+  util::Interner ips_;
+  std::vector<HttpRequest> requests_;
+  std::unordered_map<std::uint32_t, util::IdSet> resolutions_;
+  std::unordered_map<std::uint32_t, std::uint32_t> redirects_;
+  std::uint32_t num_days_ = 1;
+  bool finalized_ = false;
+};
+
+// A view selecting the requests of a single day from a multi-day trace;
+// used by the Data2012week experiments (Tables V/VI, Fig. 7).
+Trace slice_day(const Trace& trace, std::uint32_t day);
+
+}  // namespace smash::net

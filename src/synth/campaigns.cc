@@ -1,0 +1,750 @@
+// Noise herds and malicious campaign templates. Each template reproduces
+// the structural signals of one of the paper's case studies (Tables VII-X,
+// Fig. 1) or of its false-positive/false-negative discussion (§V-A).
+#include <optional>
+
+#include "dns/dga.h"
+#include "dns/domain.h"
+#include "synth/world_builder.h"
+#include "util/strings.h"
+
+namespace smash::synth::internal {
+
+namespace {
+
+// Short malicious filenames used by generic campaigns. Deliberately avoids
+// the flagship filenames (login.php, news.php, sm3.php, setup.php, ...) so
+// case-study benches can identify their campaign by filename.
+constexpr std::string_view kMalwareFiles[] = {
+    "task.php",  "count.php", "image.php", "post.php", "stat.php",
+    "check.php", "ld.php",    "cfg.bin",   "upd.php",  "in.cgi",
+    "ajax.php",  "b64.php",   "panel.php", "bot.php",  "knock.php"};
+
+constexpr std::string_view kParamKeys[] = {"id", "p",  "q", "v",   "tok",
+                                           "cmd", "a",  "b", "x",   "key",
+                                           "uid", "ver", "os", "hwid", "cnt"};
+
+std::string random_params(util::Rng& rng, const std::vector<std::string>& keys) {
+  std::string out;
+  for (const auto& k : keys) {
+    if (!out.empty()) out.push_back('&');
+    out += k + "=" + std::to_string(rng.next() % 100000000);
+  }
+  return out;
+}
+
+std::vector<std::string> random_param_keys(util::Rng& rng) {
+  const auto idx = rng.sample_without_replacement(
+      static_cast<std::uint32_t>(std::size(kParamKeys)),
+      1 + static_cast<std::uint32_t>(rng.uniform(3)));
+  std::vector<std::string> keys;
+  for (auto i : idx) keys.emplace_back(kParamKeys[i]);
+  return keys;
+}
+
+}  // namespace
+
+// --- noise herds (the paper's two FP categories) -------------------------------
+
+void WorldBuilder::generate_noise_herds() {
+  auto rng = root_.fork("noise");
+
+  // Torrent trackers: a handful of P2P clients requesting scrape.php from a
+  // large tracker population; subsets of trackers share hosting IPs.
+  {
+    const auto clients = take_clients(cfg_.noise.torrent_clients);
+    ids::CampaignTruth truth;
+    truth.name = "noise-torrent";
+    truth.kind = ids::CampaignKind::kNoiseTorrent;
+    for (auto c : clients) truth.clients.push_back(client_names_[c]);
+    std::string shared_ip;
+    for (std::uint32_t t = 0; t < cfg_.noise.torrent_trackers; ++t) {
+      const std::string tracker = fresh_domain(rng, "net");
+      register_whois(tracker, rng);
+      if (t % 3 == 0) shared_ip = dns::random_ipv4(rng);
+      resolve(tracker, shared_ip);  // triples of trackers share an IP
+      truth.servers.push_back(dns::effective_2ld(tracker));
+      for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+        for (auto c : clients) {
+          const auto polls = 1 + rng.uniform(2);
+          for (std::uint64_t i = 0; i < polls; ++i) {
+            emit(c, tracker, day,
+                 "/scrape.php?info_hash=" + std::to_string(rng.next() % 1000000000),
+                 "uTorrent/3.2", "");
+          }
+        }
+      }
+    }
+    ds_.truth.add_campaign(std::move(truth));
+  }
+
+  // TeamViewer-style pool: tool users fetch their session id from a pool of
+  // interchangeable servers, all serving one path.
+  {
+    const auto clients = take_clients(cfg_.noise.teamviewer_clients);
+    ids::CampaignTruth truth;
+    truth.name = "noise-teamviewer";
+    truth.kind = ids::CampaignKind::kNoiseTeamViewer;
+    for (auto c : clients) truth.clients.push_back(client_names_[c]);
+    for (std::uint32_t s = 0; s < cfg_.noise.teamviewer_servers; ++s) {
+      const std::string server = "tvpool" + std::to_string(s) + "relay.com";
+      register_whois(server, rng);
+      resolve_unique(server, rng);
+      truth.servers.push_back(dns::effective_2ld(server));
+      for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+        for (auto c : clients) {
+          emit(c, server, day,
+               "/din.aspx?mode=1&client=" + std::to_string(rng.next() % 100000),
+               "TeamViewer/7", "");
+        }
+      }
+    }
+    ds_.truth.add_campaign(std::move(truth));
+  }
+}
+
+// --- coverage application -------------------------------------------------------
+
+void WorldBuilder::apply_coverage(Coverage coverage,
+                                  const std::string& campaign_name,
+                                  const std::vector<std::string>& servers,
+                                  const CoverageHooks& hooks, util::Rng& rng) {
+  (void)hooks;
+  const auto pick_subset = [&](double lo, double hi) {
+    const double frac = lo + rng.uniform01() * (hi - lo);
+    const auto count = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(frac * static_cast<double>(servers.size())));
+    const auto idx = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(servers.size()),
+        std::min<std::uint32_t>(count, static_cast<std::uint32_t>(servers.size())));
+    std::vector<std::string> out;
+    for (auto i : idx) out.push_back(servers[i]);
+    return out;
+  };
+  static constexpr std::string_view kPrimaries[] = {
+      "malware-domain-blocklist", "malware-domain-list", "virustotal", "wot"};
+
+  switch (coverage) {
+    case Coverage::kIds2012Total:
+    case Coverage::kIds2012Partial:
+    case Coverage::kIds2013Partial:
+      // Signature registration is handled by the campaign builder (it
+      // needs the request-level hook); here we only add the occasional
+      // blacklist listing that co-occurs with IDS coverage.
+      for (const auto& server : pick_subset(0.05, 0.2)) {
+        ds_.blacklist.list(std::string(kPrimaries[rng.uniform(std::size(kPrimaries))]),
+                           server);
+      }
+      break;
+    case Coverage::kBlacklistPartial: {
+      for (const auto& server : pick_subset(0.2, 0.6)) {
+        if (rng.bernoulli(0.8)) {
+          ds_.blacklist.list(std::string(kPrimaries[rng.uniform(std::size(kPrimaries))]),
+                             server);
+        } else {
+          // Aggregated feeds need >= 2 listings to confirm.
+          ds_.blacklist.list("agg-feed-" + std::to_string(rng.uniform(4)), server);
+          ds_.blacklist.list("agg-feed-" + std::to_string(4 + rng.uniform(4)), server);
+        }
+      }
+      break;
+    }
+    case Coverage::kSuspicious:
+      // Liveness handled by the builder (requests must carry error codes);
+      // nothing to register here.
+      break;
+    case Coverage::kUnconfirmed:
+      break;
+  }
+  (void)campaign_name;
+}
+
+// --- generic campaigns ----------------------------------------------------------
+
+void WorldBuilder::build_generic_campaign(const GenericCampaignSpec& spec,
+                                          util::Rng& rng) {
+  const auto clients = take_clients(spec.num_clients);
+  const auto days = active_days(spec.dynamics, rng);
+  const bool rotate = spec.dynamics == Dynamics::kAgile && cfg_.num_days > 1;
+
+  std::optional<dns::FluxIpPool> flux;
+  if (spec.dim_ip) flux.emplace(rng.fork("flux"), 5);
+  whois::Record shared_whois = random_whois(rng, /*behind_proxy=*/false);
+
+  // Shared short filenames (1-2) when the file dimension is on; otherwise
+  // every server gets a unique filename.
+  std::vector<std::string> shared_files;
+  if (spec.dim_file && !spec.long_obfuscated_files) {
+    const auto n = 1 + rng.uniform(2);
+    const auto idx = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(std::size(kMalwareFiles)),
+        static_cast<std::uint32_t>(n));
+    for (auto i : idx) shared_files.emplace_back(kMalwareFiles[i]);
+  }
+  std::vector<std::string> obfuscated;
+  if (spec.long_obfuscated_files) {
+    auto obf_rng = rng.fork("obf");
+    obfuscated = dns::obfuscated_filename_family(
+        obf_rng, spec.num_servers * (rotate ? days.size() : 1));
+  }
+
+  const auto param_keys = random_param_keys(rng);
+  const std::string ua = rng.bernoulli(0.5)
+                             ? benign_user_agent(rng)
+                             : "agent-" + std::to_string(rng.next() % 100000);
+
+  // The extra "check-in" request IDS signatures match: a campaign-unique
+  // parameter key makes the signature precise without touching the URI-file
+  // dimension.
+  const std::string sig_key = "sk" + std::to_string(signature_counter_++);
+  const bool ids_total = spec.coverage == Coverage::kIds2012Total;
+  const bool ids_partial = spec.coverage == Coverage::kIds2012Partial ||
+                           spec.coverage == Coverage::kIds2013Partial;
+  if (ids_total || ids_partial) {
+    ids::Signature sig;
+    sig.threat_id = "Threat." + spec.name;
+    sig.param_pattern = sig_key + "=&t=";
+    sig.vintage = spec.coverage == Coverage::kIds2013Partial ? ids::Vintage::k2013
+                                                             : ids::Vintage::k2012;
+    ds_.signatures.add(std::move(sig));
+  }
+
+  ids::CampaignTruth truth;
+  truth.name = spec.name;
+  truth.kind = spec.kind;
+  truth.active_days = days;
+  for (auto c : clients) truth.clients.push_back(client_names_[c]);
+
+  // One "rotation group" per day when agile, otherwise a single group used
+  // on all active days.
+  const std::size_t num_groups = rotate ? days.size() : 1;
+  std::size_t obf_cursor = 0;
+  for (std::size_t group = 0; group < num_groups; ++group) {
+    std::vector<std::string> servers;
+    std::vector<std::string> server_files;  // per-server filename
+    std::vector<bool> dead;
+    for (std::uint32_t s = 0; s < spec.num_servers; ++s) {
+      const std::string domain =
+          rng.bernoulli(0.2) ? dns::random_alnum_domain(rng, 8 + rng.uniform(5), "cz.cc")
+                             : fresh_domain(rng, rng.bernoulli(0.5) ? "com" : "info");
+      servers.push_back(domain);
+      truth.servers.push_back(dns::effective_2ld(domain));
+      if (spec.dim_whois) {
+        whois::Record rec = shared_whois;
+        rec.registrant = "person-" + std::to_string(rng.next() % 100000000);
+        ds_.whois.add(dns::effective_2ld(domain), std::move(rec));
+      } else {
+        register_whois(domain, rng);
+      }
+      if (spec.dim_ip) {
+        for (const auto& ip : flux->draw(3)) resolve(domain, ip);
+      } else {
+        resolve_unique(domain, rng);
+      }
+      if (spec.long_obfuscated_files) {
+        server_files.push_back(obfuscated[obf_cursor++]);
+      } else if (spec.dim_file) {
+        server_files.push_back(shared_files[s % shared_files.size()]);
+      } else {
+        server_files.push_back("u" + std::to_string(domain_counter_) + "_" +
+                               std::to_string(s) + ".php");
+      }
+      const bool is_dead =
+          spec.coverage == Coverage::kSuspicious && rng.bernoulli(0.7);
+      dead.push_back(is_dead);
+      if (is_dead) ds_.truth.mark_dead(dns::effective_2ld(domain));
+    }
+
+    // Which servers carry the signature-matching check-in.
+    std::vector<bool> covered(servers.size(), false);
+    if (ids_total) {
+      covered.assign(servers.size(), true);
+    } else if (ids_partial) {
+      const auto count = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(servers.size() * (0.3 + rng.uniform01() * 0.2)));
+      for (auto i : rng.sample_without_replacement(
+               static_cast<std::uint32_t>(servers.size()), count)) {
+        covered[i] = true;
+      }
+    }
+
+    const auto group_days = rotate ? std::vector<std::uint32_t>{days[group]} : days;
+    for (auto day : group_days) {
+      for (auto c : clients) {
+        for (std::size_t s = 0; s < servers.size(); ++s) {
+          const auto beacons = 1 + rng.uniform(2);
+          const std::uint16_t status = dead[s] ? 404 : 200;
+          for (std::uint64_t i = 0; i < beacons; ++i) {
+            emit(c, servers[s], day,
+                 "/m/" + server_files[s] + "?" + random_params(rng, param_keys),
+                 ua, "", status);
+          }
+          if (covered[s] && day == group_days.front()) {
+            emit(c, servers[s], day,
+                 "/m/" + server_files[s] + "?" + sig_key + "=" +
+                     std::to_string(rng.next() % 1000) + "&t=1",
+                 ua, "", status);
+          }
+        }
+      }
+    }
+    apply_coverage(spec.coverage, spec.name, servers, {}, rng);
+  }
+
+  ds_.truth.add_campaign(std::move(truth));
+}
+
+void WorldBuilder::generate_generic_campaigns() {
+  auto rng = root_.fork("generic");
+  const auto& m = cfg_.malicious;
+
+  const auto pick_dims = [&](GenericCampaignSpec& spec) {
+    // Fig. 8 mix: URI-file alone dominates; IP/Whois mostly assist.
+    const double r = rng.uniform01();
+    spec.dim_file = true;
+    spec.dim_ip = false;
+    spec.dim_whois = false;
+    if (r < 0.50) {
+      // file only
+    } else if (r < 0.64) {
+      spec.dim_ip = true;  // file + ip
+    } else if (r < 0.80) {
+      spec.dim_whois = true;  // file + whois
+    } else if (r < 0.95) {
+      spec.dim_ip = spec.dim_whois = true;  // all three
+    } else {
+      spec.dim_file = false;  // ip + whois only
+      spec.dim_ip = spec.dim_whois = true;
+    }
+  };
+  const auto pick_coverage = [&] {
+    const double r = rng.uniform01();
+    if (r < 0.06) return Coverage::kIds2012Partial;
+    if (r < 0.18) return Coverage::kIds2013Partial;
+    if (r < 0.72) return Coverage::kBlacklistPartial;
+    if (r < 0.88) return Coverage::kSuspicious;
+    return Coverage::kUnconfirmed;
+  };
+  const auto pick_kind = [&] {
+    const double r = rng.uniform01();
+    if (r < 0.15) return ids::CampaignKind::kCnc;
+    if (r < 0.85) return ids::CampaignKind::kOtherMalicious;
+    if (r < 0.93) return ids::CampaignKind::kPhishing;
+    return ids::CampaignKind::kDropZone;
+  };
+  const auto pick_size = [&] {
+    // Skewed small: ~75% of campaigns below ~18 servers (paper Fig. 6).
+    const double r = rng.uniform01();
+    return m.generic_min_servers +
+           static_cast<std::uint32_t>(
+               r * r * (m.generic_max_servers - m.generic_min_servers));
+  };
+  const auto pick_dynamics = [&] {
+    if (cfg_.num_days == 1) return Dynamics::kPersistent;
+    const double r = rng.uniform01();
+    if (r < cfg_.persistent_fraction) return Dynamics::kPersistent;
+    if (r < cfg_.persistent_fraction + cfg_.agile_fraction) return Dynamics::kAgile;
+    return Dynamics::kNew;
+  };
+
+  for (std::uint32_t i = 0; i < m.num_generic_multi_client; ++i) {
+    GenericCampaignSpec spec;
+    spec.name = "generic-mc-" + std::to_string(i);
+    spec.kind = pick_kind();
+    spec.num_servers = pick_size();
+    spec.num_clients = 2 + static_cast<std::uint32_t>(rng.uniform(4));
+    pick_dims(spec);
+    spec.coverage = pick_coverage();
+    spec.dynamics = pick_dynamics();
+    auto campaign_rng = rng.fork(spec.name);
+    build_generic_campaign(spec, campaign_rng);
+  }
+
+  for (std::uint32_t i = 0; i < m.num_generic_single_client; ++i) {
+    GenericCampaignSpec spec;
+    spec.name = "generic-sc-" + std::to_string(i);
+    spec.kind = pick_kind();
+    spec.num_servers = std::max<std::uint32_t>(2, pick_size());
+    spec.num_clients = 1;
+    pick_dims(spec);
+    spec.coverage = pick_coverage();
+    spec.dynamics = pick_dynamics();
+    auto campaign_rng = rng.fork(spec.name);
+    build_generic_campaign(spec, campaign_rng);
+  }
+
+  // Deliberate false negatives: no secondary dimension at all, only a
+  // shared parameter pattern (the Cycbot/FakeAV/Tidserv shape of §V-A2).
+  for (std::uint32_t i = 0; i < m.num_no_secondary; ++i) {
+    GenericCampaignSpec spec;
+    spec.name = "nosec-" + std::to_string(i);
+    spec.kind = ids::CampaignKind::kCnc;
+    spec.num_servers = 5 + static_cast<std::uint32_t>(rng.uniform(6));
+    spec.num_clients = 2 + static_cast<std::uint32_t>(rng.uniform(2));
+    spec.dim_file = spec.dim_ip = spec.dim_whois = false;
+    spec.coverage = Coverage::kIds2012Total;
+    spec.dynamics = Dynamics::kPersistent;
+    auto campaign_rng = rng.fork(spec.name);
+    build_generic_campaign(spec, campaign_rng);
+  }
+}
+
+// --- flagship case studies ------------------------------------------------------
+
+void WorldBuilder::generate_flagship_campaigns() {
+  auto rng = root_.fork("flagship");
+  for (std::uint32_t i = 0; i < cfg_.malicious.num_zeus; ++i) {
+    auto r = rng.fork("zeus" + std::to_string(i));
+    generate_zeus(r, i);
+  }
+  for (std::uint32_t i = 0; i < cfg_.malicious.num_bagle; ++i) {
+    auto r = rng.fork("bagle" + std::to_string(i));
+    generate_bagle(r, i);
+  }
+  for (std::uint32_t i = 0; i < cfg_.malicious.num_sality; ++i) {
+    auto r = rng.fork("sality" + std::to_string(i));
+    generate_sality(r, i);
+  }
+  for (std::uint32_t i = 0; i < cfg_.malicious.num_iframe; ++i) {
+    auto r = rng.fork("iframe" + std::to_string(i));
+    generate_iframe_injection(r, i);
+  }
+  for (std::uint32_t i = 0; i < cfg_.malicious.num_scans; ++i) {
+    auto r = rng.fork("scan" + std::to_string(i));
+    generate_scan(r, i);
+  }
+  for (std::uint32_t i = 0; i < cfg_.malicious.num_phishing; ++i) {
+    auto r = rng.fork("phish" + std::to_string(i));
+    generate_phishing(r, i);
+  }
+  for (std::uint32_t i = 0; i < cfg_.malicious.num_dropzone; ++i) {
+    auto r = rng.fork("dropzone" + std::to_string(i));
+    generate_dropzone(r, i);
+  }
+  for (std::uint32_t i = 0; i < cfg_.malicious.num_web_exploit; ++i) {
+    auto r = rng.fork("exploit" + std::to_string(i));
+    generate_web_exploit(r, i);
+  }
+}
+
+// Zeus (Table X): DGA sibling domains in a free zone, same flux IPs, same
+// whois, all serving login.php. 2013 signatures know it; 2012 ones do not.
+void WorldBuilder::generate_zeus(util::Rng& rng, std::uint32_t instance) {
+  const auto domains = dns::zeus_style_family(rng, cfg_.malicious.zeus_domains);
+  const auto clients = take_clients(2 + static_cast<std::uint32_t>(rng.uniform(3)));
+  dns::FluxIpPool flux(rng.fork("ip"), 5);
+  const whois::Record shared = random_whois(rng, false);
+
+  ids::Signature sig;
+  sig.threat_id = "Trojan.Zbot";
+  sig.uri_file = "login.php";
+  sig.param_pattern = "uid=&cmd=";
+  sig.vintage = ids::Vintage::k2013;
+  ds_.signatures.add(std::move(sig));
+  ds_.blacklist.list("zeus-tracker", dns::effective_2ld(domains.front()));
+
+  ids::CampaignTruth truth;
+  truth.name = "zeus-" + std::to_string(instance);
+  truth.kind = ids::CampaignKind::kCnc;
+  for (auto c : clients) truth.clients.push_back(client_names_[c]);
+
+  for (const auto& domain : domains) {
+    truth.servers.push_back(dns::effective_2ld(domain));
+    for (const auto& ip : flux.draw(3)) resolve(domain, ip);
+    whois::Record rec = shared;
+    rec.registrant = "person-" + std::to_string(rng.next() % 100000000);
+    ds_.whois.add(dns::effective_2ld(domain), std::move(rec));
+    for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+      for (auto c : clients) {
+        const auto beacons = 1 + rng.uniform(3);
+        for (std::uint64_t i = 0; i < beacons; ++i) {
+          emit(c, domain, day,
+               "/login.php?uid=" + std::to_string(rng.next() % 100000) + "&cmd=ping",
+               "Mozilla/4.0 (compatible; MSIE 6.0)", "");
+        }
+      }
+    }
+  }
+  ds_.truth.add_campaign(std::move(truth));
+}
+
+// Bagle (Table VII): two tiers sharing one bot population — compromised
+// download sites serving /images/file.txt, and C&C servers serving
+// /images/news.php?p=&id=&e=. Only a few C&C servers are blacklisted.
+void WorldBuilder::generate_bagle(util::Rng& rng, std::uint32_t instance) {
+  const auto clients = take_clients(2 + static_cast<std::uint32_t>(rng.uniform(2)));
+  ids::CampaignTruth truth;
+  truth.name = "bagle-" + std::to_string(instance);
+  truth.kind = ids::CampaignKind::kOtherMalicious;
+  for (auto c : clients) truth.clients.push_back(client_names_[c]);
+
+  std::vector<std::string> cnc;
+  for (std::uint32_t s = 0; s < cfg_.malicious.bagle_cnc_servers; ++s) {
+    // Compromised legitimate sites: some benign traffic, unrelated whois/IPs.
+    cnc.push_back(make_victim_server(rng, nullptr));
+    truth.servers.push_back(dns::effective_2ld(cnc.back()));
+  }
+  std::vector<std::string> download;
+  for (std::uint32_t s = 0; s < cfg_.malicious.bagle_download_servers; ++s) {
+    download.push_back(make_victim_server(rng, nullptr));
+    truth.servers.push_back(dns::effective_2ld(download.back()));
+  }
+  // Three C&C servers known to one blacklist, as in the paper.
+  for (std::uint32_t i = 0; i < std::min<std::uint32_t>(3, cnc.size()); ++i) {
+    ds_.blacklist.list("virustotal", dns::effective_2ld(cnc[i]));
+  }
+
+  for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+    for (auto c : clients) {
+      for (const auto& server : download) {
+        emit(c, server, day, "/images/file.txt", "Mozilla/4.0 (compatible; MSIE 7.0)",
+             "");
+      }
+      for (const auto& server : cnc) {
+        emit(c, server, day,
+             "/images/news.php?p=" + std::to_string(rng.next() % 65536) +
+                 "&id=" + std::to_string(rng.next() % 100000000) + "&e=0",
+             "Internet Exploder", "");
+      }
+    }
+  }
+  ds_.truth.add_campaign(std::move(truth));
+}
+
+// Sality (Table VIII): two C&C domains sharing IPs + whois and serving "/",
+// plus compromised download sites sharing .gif payload names. All requests
+// carry the KUKU user-agent, which the 2012 IDS signature matches.
+void WorldBuilder::generate_sality(util::Rng& rng, std::uint32_t instance) {
+  const auto clients = take_clients(2);
+  ids::CampaignTruth truth;
+  truth.name = "sality-" + std::to_string(instance);
+  truth.kind = ids::CampaignKind::kCnc;
+  for (auto c : clients) truth.clients.push_back(client_names_[c]);
+
+  ids::Signature sig;
+  sig.threat_id = "W32.Sality";
+  sig.user_agent = "KUKU v5.05exp";
+  sig.vintage = ids::Vintage::k2012;
+  ds_.signatures.add(std::move(sig));
+
+  // C&C pair.
+  dns::FluxIpPool flux(rng.fork("ip"), 3);
+  const whois::Record shared = random_whois(rng, false);
+  std::vector<std::string> cnc;
+  for (int i = 0; i < 2; ++i) {
+    cnc.push_back(dns::random_alnum_domain(rng, 14, "info"));
+    truth.servers.push_back(dns::effective_2ld(cnc.back()));
+    for (const auto& ip : flux.draw(2)) resolve(cnc.back(), ip);
+    ds_.whois.add(dns::effective_2ld(cnc.back()), shared);
+    ds_.blacklist.list("malware-domain-list", dns::effective_2ld(cnc.back()));
+  }
+  // Download tier: 14 compromised sites over two payload names; the larger
+  // subset is big enough to clear thresh = 0.8 on the URI-file dimension.
+  constexpr std::string_view kGifs[] = {"logos.gif", "mainf.gif"};
+  std::vector<std::string> download;
+  for (std::uint32_t s = 0; s < 14; ++s) {
+    download.push_back(make_victim_server(rng, nullptr));
+    truth.servers.push_back(dns::effective_2ld(download.back()));
+    if (s < 6) {
+      ds_.blacklist.list("malware-domain-blocklist",
+                         dns::effective_2ld(download.back()));
+    }
+  }
+
+  for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+    for (auto c : clients) {
+      for (int i = 0; i < 2; ++i) {
+        emit(c, cnc[i], day,
+             "/?" + std::to_string(rng.next() % 1000000) + "=" +
+                 std::to_string(rng.next() % 100000000),
+             "KUKU v5.05exp", "");
+      }
+      for (std::uint32_t s = 0; s < download.size(); ++s) {
+        const auto gif = kGifs[s < 9 ? 0 : 1];  // 9 logos.gif, 5 mainf.gif
+        emit(c, download[s], day,
+             "/images/" + std::string(gif) + "?" +
+                 std::to_string(rng.next() % 1000000) + "=" +
+                 std::to_string(rng.next() % 100000000),
+             "KUKU v5.05exp", "");
+      }
+    }
+  }
+  ds_.truth.add_campaign(std::move(truth));
+}
+
+// Iframe injection (Table IX): hundreds of WordPress sites carrying an
+// uploaded sm3.php, all polled by the same injector clients with UA "-".
+// The 2013 IDS knows only the upload exploit, which hit 4 sites.
+void WorldBuilder::generate_iframe_injection(util::Rng& rng, std::uint32_t instance) {
+  const auto injectors = take_clients(3);
+  ids::CampaignTruth truth;
+  truth.name = "iframe-" + std::to_string(instance);
+  truth.kind = ids::CampaignKind::kIframeInjection;
+  for (auto c : injectors) truth.clients.push_back(client_names_[c]);
+
+  ids::Signature sig;
+  sig.threat_id = "WP.UploadExploit";
+  sig.uri_file = "sm3.php";
+  sig.param_pattern = "act=&payload=";
+  sig.vintage = ids::Vintage::k2013;
+  ds_.signatures.add(std::move(sig));
+
+  constexpr std::string_view kInjectPaths[] = {
+      "/images/sm3.php", "/wp-content/uploads/sm3.php", "/wp-content/sm3.php",
+      "/uploads/sm3.php"};
+
+  for (std::uint32_t s = 0; s < cfg_.malicious.iframe_targets; ++s) {
+    const std::string victim = make_victim_server(rng, nullptr);
+    truth.servers.push_back(dns::effective_2ld(victim));
+    const std::string inject_path(kInjectPaths[rng.uniform(std::size(kInjectPaths))]);
+    for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+      for (auto c : injectors) {
+        emit(c, victim, day, inject_path, "-", "");
+      }
+      if (s < 4) {  // the 4 servers whose exploit upload the IDS witnessed;
+                    // injectors re-upload daily (shells get cleaned up)
+        emit(injectors[0], victim, day,
+             inject_path + "?act=put&payload=" + std::to_string(rng.next() % 100000000),
+             "-", "");
+      }
+    }
+  }
+  ds_.truth.add_campaign(std::move(truth));
+}
+
+// ZmEu-style scanning (Fig. 1b): a couple of scanner clients probing
+// setup.php across many benign servers. Instance 0 is fully covered by a
+// 2012 signature (the "IDS 2012 total" row); instance 1 is partially
+// covered by a 2013-only signature on a secondary probe.
+void WorldBuilder::generate_scan(util::Rng& rng, std::uint32_t instance) {
+  const auto scanners = take_clients(2 + static_cast<std::uint32_t>(rng.uniform(2)));
+  const auto num_targets = static_cast<std::uint32_t>(
+      cfg_.malicious.scan_min_targets +
+      rng.uniform(cfg_.malicious.scan_max_targets - cfg_.malicious.scan_min_targets + 1));
+
+  ids::CampaignTruth truth;
+  truth.name = "scan-" + std::to_string(instance);
+  truth.kind = ids::CampaignKind::kWebScanner;
+  for (auto c : scanners) truth.clients.push_back(client_names_[c]);
+
+  // The IDS knows the scanner's rare follow-up exploit probe, not the bulk
+  // setup.php sweep — so it labels only the handful of targets that drew
+  // the follow-up (the paper's IDS confirms ~20 of thousands of servers).
+  const bool zmeu = instance % 2 == 0;
+  const std::string scan_file = zmeu ? "setup.php" : "wsetup.php";
+  const std::string probe_file = zmeu ? "sqlpatch.php" : "xinfo.php";
+  const std::string scanner_ua = zmeu ? "ZmEu" : "Morfeus scanner";
+  const double probe_probability = zmeu ? 0.08 : 0.12;
+  {
+    ids::Signature sig;
+    sig.threat_id = zmeu ? "Scanner.ZmEu" : "Scanner.Morfeus";
+    sig.user_agent = scanner_ua;
+    sig.uri_file = probe_file;
+    sig.vintage = zmeu ? ids::Vintage::k2012 : ids::Vintage::k2013;
+    ds_.signatures.add(std::move(sig));
+  }
+
+  constexpr std::string_view kProbePaths[] = {"/phpmyadmin/", "/pma/", "/admin/",
+                                              "/dbadmin/", "/mysql/"};
+  for (std::uint32_t t = 0; t < num_targets; ++t) {
+    const std::string victim = make_victim_server(rng, nullptr);
+    truth.servers.push_back(dns::effective_2ld(victim));
+    for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+      if (cfg_.num_days > 1 && day % 2 != instance % 2) continue;  // scan waves
+      for (auto c : scanners) {
+        const std::string base(kProbePaths[rng.uniform(std::size(kProbePaths))]);
+        // Probes usually miss: 404 from the victim.
+        emit(c, victim, day, base + scan_file, scanner_ua, "", /*status=*/404);
+        if (rng.bernoulli(probe_probability)) {
+          emit(c, victim, day, base + probe_file, scanner_ua, "", 404);
+        }
+      }
+    }
+  }
+  ds_.truth.add_campaign(std::move(truth));
+}
+
+// Phishing kit: a handful of sibling fakes sharing hosting, registration
+// and the kit's verify.php; partially on Phishtank.
+void WorldBuilder::generate_phishing(util::Rng& rng, std::uint32_t instance) {
+  const auto victims = take_clients(2);
+  dns::FluxIpPool flux(rng.fork("ip"), 3);
+  const whois::Record shared = random_whois(rng, false);
+
+  ids::CampaignTruth truth;
+  truth.name = "phish-" + std::to_string(instance);
+  truth.kind = ids::CampaignKind::kPhishing;
+  for (auto c : victims) truth.clients.push_back(client_names_[c]);
+
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    const std::string domain = "secure-" + fresh_domain(rng, "net");
+    truth.servers.push_back(dns::effective_2ld(domain));
+    for (const auto& ip : flux.draw(2)) resolve(domain, ip);
+    ds_.whois.add(dns::effective_2ld(domain), shared);
+    if (s < 3) ds_.blacklist.list("phishtank", dns::effective_2ld(domain));
+    for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+      for (auto c : victims) {
+        emit(c, domain, day, "/account/verify.php?session=" +
+                                 std::to_string(rng.next() % 100000000),
+             benign_user_agent(rng), "");
+      }
+    }
+  }
+  ds_.truth.add_campaign(std::move(truth));
+}
+
+// Drop zone: two exfiltration gates sharing hosting and gate.php.
+void WorldBuilder::generate_dropzone(util::Rng& rng, std::uint32_t instance) {
+  const auto bots = take_clients(2);
+  dns::FluxIpPool flux(rng.fork("ip"), 2);
+
+  ids::Signature sig;
+  sig.threat_id = "Infostealer.Gate";
+  sig.uri_file = "gate.php";
+  sig.param_pattern = "bid=&data=";
+  sig.vintage = ids::Vintage::k2013;
+  ds_.signatures.add(std::move(sig));
+
+  ids::CampaignTruth truth;
+  truth.name = "dropzone-" + std::to_string(instance);
+  truth.kind = ids::CampaignKind::kDropZone;
+  for (auto c : bots) truth.clients.push_back(client_names_[c]);
+
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    const std::string domain = fresh_domain(rng, "biz");
+    truth.servers.push_back(dns::effective_2ld(domain));
+    for (const auto& ip : flux.draw(2)) resolve(domain, ip);
+    register_whois(domain, rng);
+    for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+      for (auto c : bots) {
+        emit(c, domain, day,
+             "/gate.php?bid=" + std::to_string(rng.next() % 10000) + "&data=" +
+                 std::to_string(rng.next() % 100000000),
+             "Mozilla/4.0 (compatible; MSIE 6.0; Win32)", "", 200);
+      }
+    }
+  }
+  ds_.truth.add_campaign(std::move(truth));
+}
+
+// Exploit-kit herd with per-server obfuscated long filenames (Fig. 4):
+// only the character-distribution branch of URI-file similarity links them.
+void WorldBuilder::generate_web_exploit(util::Rng& rng, std::uint32_t instance) {
+  GenericCampaignSpec spec;
+  spec.name = "exploitkit-" + std::to_string(instance);
+  spec.kind = ids::CampaignKind::kWebExploit;
+  spec.num_servers = 9;
+  spec.num_clients = 2;
+  spec.dim_file = true;
+  spec.dim_ip = true;
+  spec.dim_whois = false;
+  spec.long_obfuscated_files = true;
+  // IDS-covered so the long obfuscated names appear in the Fig. 10
+  // filename-length distribution of labeled servers (the paper's 211-char
+  // outliers, Appendix B).
+  spec.coverage = Coverage::kIds2013Partial;
+  spec.dynamics = Dynamics::kPersistent;
+  build_generic_campaign(spec, rng);
+}
+
+}  // namespace smash::synth::internal

@@ -1,0 +1,131 @@
+// Configuration for the synthetic ISP workload (the stand-in for the
+// paper's residential-ADSL traces, §IV-A). Every knob is explicit so tests
+// can build tiny deterministic worlds and benches can build paper-scale
+// ones. Counts are per day unless noted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace smash::synth {
+
+struct BenignConfig {
+  // Head of the popularity curve; each gets > idf-threshold clients so the
+  // preprocessing filter removes them (paper Appendix A).
+  std::uint32_t num_popular_servers = 250;
+  std::uint32_t popular_min_clients = 250;
+  std::uint32_t popular_max_clients = 4000;
+  double popular_zipf_exponent = 1.1;
+
+  // Long tail of unpopular benign servers.
+  std::uint32_t num_tail_servers = 22000;
+  std::uint32_t tail_min_clients = 1;
+  std::uint32_t tail_max_clients = 6;
+  std::uint32_t tail_min_pages = 5;
+  std::uint32_t tail_max_pages = 40;
+
+  // Fraction of benign servers that also serve stop-files (index.html,
+  // favicon.ico, ...) — these produce the very long postings lists the
+  // file dimension's popularity cap must neutralize.
+  double stop_file_fraction = 0.35;
+
+  // Fraction of benign requests that go to a subdomain (www./cdn./m.) so
+  // 2LD aggregation has work to do (paper: ~60% server reduction).
+  double subdomain_fraction = 0.6;
+
+  // Structured benign groups the paper's main-dimension study found
+  // (§V-C1: 60% referrer, 10% redirection, 8% similar content, 18% unknown).
+  std::uint32_t num_referrer_groups = 120;
+  std::uint32_t referrer_group_min_size = 3;
+  std::uint32_t referrer_group_max_size = 9;
+  std::uint32_t num_redirect_chains = 25;
+  std::uint32_t redirect_chain_max_len = 3;
+  std::uint32_t num_similar_content_groups = 18;
+  std::uint32_t num_unknown_groups = 40;
+  std::uint32_t covisit_group_min_clients = 2;
+  std::uint32_t covisit_group_max_clients = 5;
+};
+
+struct NoiseConfig {
+  // Torrent tracker herd: few P2P clients x many trackers, all requesting
+  // scrape.php (paper §V-A1's first FP category).
+  std::uint32_t torrent_clients = 3;
+  std::uint32_t torrent_trackers = 45;
+  // TeamViewer-style pool: many distinct-2LD servers serving one path to
+  // the same tool users (second FP category).
+  std::uint32_t teamviewer_clients = 4;
+  std::uint32_t teamviewer_servers = 30;
+};
+
+// How a campaign's servers can be confirmed by the ground-truth apparatus;
+// drives the Table II/III row classification.
+enum class Coverage : std::uint8_t {
+  kIds2012Total,    // every server matched by 2012 signatures
+  kIds2012Partial,  // some servers matched by 2012 signatures
+  kIds2013Partial,  // some matched only by 2013 signatures ("zero-day")
+  kBlacklistPartial,
+  kSuspicious,      // unconfirmed; most servers dead / erroring
+  kUnconfirmed,     // alive, unconfirmed: counted as false positive
+};
+
+struct MaliciousConfig {
+  // Flagship case-study campaigns (Tables VII-X). Counts are "instances".
+  std::uint32_t num_zeus = 1;        // DGA flux C&C, Table X
+  std::uint32_t zeus_domains = 8;
+  std::uint32_t num_bagle = 1;       // two-tier download + C&C, Table VII
+  std::uint32_t bagle_download_servers = 40;
+  std::uint32_t bagle_cnc_servers = 54;
+  std::uint32_t num_sality = 1;      // Table VIII
+  std::uint32_t num_iframe = 1;      // WordPress injection, Table IX
+  std::uint32_t iframe_targets = 600;
+  std::uint32_t num_scans = 2;       // ZmEu-style scanning (Fig. 1b)
+  std::uint32_t scan_min_targets = 120;
+  std::uint32_t scan_max_targets = 300;
+  std::uint32_t num_phishing = 1;
+  std::uint32_t num_dropzone = 1;
+  std::uint32_t num_web_exploit = 1;  // obfuscated long filenames, Fig. 4
+
+  // Generic C&C/communication campaigns filling out the population; their
+  // secondary-dimension combinations are drawn from the Fig. 8 mix.
+  std::uint32_t num_generic_multi_client = 14;   // >= 2 infected clients
+  std::uint32_t num_generic_single_client = 70;  // exactly 1 client
+  std::uint32_t generic_min_servers = 3;
+  std::uint32_t generic_max_servers = 24;
+
+  // Campaigns sharing *no* secondary dimension (only parameter patterns) —
+  // deliberate false negatives reproducing the Cycbot/FakeAV analysis of
+  // §V-A2's false-negative discussion.
+  std::uint32_t num_no_secondary = 2;
+};
+
+struct WorldConfig {
+  std::string name = "synthetic";
+  std::uint64_t seed = 1;
+  std::uint32_t num_days = 1;
+  std::uint32_t num_clients = 14649;  // paper Table I, Data2011day
+
+  BenignConfig benign;
+  NoiseConfig noise;
+  MaliciousConfig malicious;
+
+  // Week-trace dynamics (ignored for 1-day traces): fraction of malicious
+  // campaigns that keep their servers all week (persistent) vs rotating
+  // them daily (agile); remainder start mid-week (new). Fig. 7.
+  double persistent_fraction = 0.25;
+  double agile_fraction = 0.55;
+
+  // Returns a copy with all population counts multiplied by `factor`
+  // (>= 1/1000). Used by unit tests to build tiny worlds quickly.
+  WorldConfig scaled(double factor) const;
+};
+
+// Dataset presets mirroring paper Table I. Sizes are ~40x smaller in
+// request volume than the paper's traces (documented in DESIGN.md); client
+// counts are kept at paper scale so the IDF filter semantics carry over.
+WorldConfig data2011day();
+WorldConfig data2012day();
+WorldConfig data2012week();
+// Small fast world for unit tests (hundreds of servers, < 50ms to build).
+WorldConfig tiny_world(std::uint64_t seed = 7);
+
+}  // namespace smash::synth

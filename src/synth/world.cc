@@ -1,0 +1,545 @@
+// Benign background generation plus builder plumbing. The malicious and
+// noise herds live in campaigns.cc.
+#include "synth/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dns/dga.h"
+#include "dns/domain.h"
+#include "synth/world_builder.h"
+#include "util/strings.h"
+
+namespace smash::synth {
+
+using internal::WorldBuilder;
+
+Dataset generate_world(const WorldConfig& config) {
+  return WorldBuilder(config).build();
+}
+
+namespace internal {
+
+namespace {
+constexpr std::string_view kSubdomains[] = {"www", "cdn", "m", "api", "img", "static"};
+constexpr std::string_view kStopFiles[] = {"index.html", "favicon.ico",
+                                           "robots.txt", "main.css", "logo.png"};
+
+constexpr std::string_view kPrimaryBlacklists[] = {
+    "malware-domain-blocklist", "malware-domain-list", "phishtank",
+    "spyeye-tracker",           "zeus-tracker",        "virustotal", "wot"};
+// Aggregated feeds behind the WhatIsMyIPAddress-style >= 2 rule.
+constexpr int kNumAggregatedFeeds = 8;
+}  // namespace
+
+WorldBuilder::WorldBuilder(const WorldConfig& config)
+    : cfg_(config), root_(config.seed) {
+  ds_.name = config.name;
+
+  // Clients: residential DSL pools, "10.<a>.<b>.<c>".
+  client_names_.reserve(cfg_.num_clients);
+  for (std::uint32_t i = 0; i < cfg_.num_clients; ++i) {
+    client_names_.push_back("10." + std::to_string(i / 65536 % 256) + "." +
+                            std::to_string(i / 256 % 256) + "." +
+                            std::to_string(i % 256));
+  }
+  client_order_.resize(cfg_.num_clients);
+  for (std::uint32_t i = 0; i < cfg_.num_clients; ++i) client_order_[i] = i;
+  auto shuffle_rng = root_.fork("client-order");
+  shuffle_rng.shuffle(client_order_);
+
+  benign_uas_ = {
+      "Mozilla/5.0 (Windows NT 6.1) Firefox/10.0",
+      "Mozilla/5.0 (Windows NT 5.1) Chrome/17.0",
+      "Mozilla/4.0 (compatible; MSIE 8.0)",
+      "Mozilla/5.0 (Macintosh) Safari/534.52",
+      "Opera/9.80 (Windows NT 6.0)",
+  };
+
+  for (auto src : kPrimaryBlacklists) ds_.blacklist.add_primary_source(src);
+  for (int i = 0; i < kNumAggregatedFeeds; ++i) {
+    ds_.blacklist.add_aggregated_source("agg-feed-" + std::to_string(i));
+  }
+  ds_.whois.add_proxy_value("WhoisGuard Protected");
+  ds_.whois.add_proxy_value("privacy@whoisguard.example");
+}
+
+Dataset WorldBuilder::build() && {
+  generate_popular_servers();
+  generate_tail_servers();
+  generate_referrer_groups();
+  generate_redirect_chains();
+  generate_covisit_groups();
+  generate_noise_herds();
+  generate_flagship_campaigns();
+  generate_generic_campaigns();
+  ds_.trace.finalize();
+  return std::move(ds_);
+}
+
+// --- emission helpers --------------------------------------------------------
+
+void WorldBuilder::emit(std::uint32_t client, const std::string& host,
+                        std::uint32_t day, std::string path,
+                        std::string user_agent, std::string referrer,
+                        std::uint16_t status) {
+  net::HttpRequest req;
+  req.client = ds_.trace.intern_client(client_names_.at(client));
+  req.server = ds_.trace.intern_server(host);
+  req.day = day;
+  req.status = status;
+  req.path = std::move(path);
+  req.user_agent = std::move(user_agent);
+  req.referrer = std::move(referrer);
+  ds_.trace.add_request(std::move(req));
+}
+
+void WorldBuilder::resolve(const std::string& host, const std::string& ip) {
+  ds_.trace.add_resolution(ds_.trace.intern_server(host),
+                           ds_.trace.intern_ip(ip));
+}
+
+void WorldBuilder::resolve_unique(const std::string& host, util::Rng& rng) {
+  (void)rng;
+  // Deterministic unique address derived from a counter: no collisions with
+  // flux pools (which use the random 1.x-223.x space sparsely).
+  const std::uint64_t n = ip_counter_++;
+  resolve(host, "198." + std::to_string(n / 65536 % 64 + 18) + "." +
+                    std::to_string(n / 256 % 256) + "." +
+                    std::to_string(n % 256));
+}
+
+std::string WorldBuilder::maybe_subdomain(util::Rng& rng,
+                                          const std::string& host_2ld) {
+  if (!rng.bernoulli(cfg_.benign.subdomain_fraction)) return host_2ld;
+  return std::string(kSubdomains[rng.uniform(std::size(kSubdomains))]) + "." +
+         host_2ld;
+}
+
+std::string WorldBuilder::benign_user_agent(util::Rng& rng) {
+  return benign_uas_[rng.uniform(benign_uas_.size())];
+}
+
+whois::Record WorldBuilder::random_whois(util::Rng& rng, bool behind_proxy) {
+  whois::Record rec;
+  if (behind_proxy) {
+    rec.registrant = "WhoisGuard Protected";
+    rec.email = "privacy@whoisguard.example";
+  } else {
+    rec.registrant = "person-" + std::to_string(rng.next() % 100000000);
+    rec.email = "mail" + std::to_string(rng.next() % 100000000) + "@example.org";
+  }
+  rec.address = "addr-" + std::to_string(rng.next() % 100000000);
+  rec.phone = "+1." + std::to_string(1000000000 + rng.next() % 9000000000ULL);
+  rec.name_servers = whois::join_name_servers(
+      {"ns1.host" + std::to_string(rng.next() % 1000000) + ".net",
+       "ns2.host" + std::to_string(rng.next() % 1000000) + ".net"});
+  return rec;
+}
+
+void WorldBuilder::register_whois(const std::string& domain_2ld, util::Rng& rng) {
+  ds_.whois.add(domain_2ld, random_whois(rng, rng.bernoulli(0.25)));
+}
+
+std::vector<std::uint32_t> WorldBuilder::take_clients(std::uint32_t n) {
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  while (out.size() < n && client_cursor_ < client_order_.size()) {
+    out.push_back(client_order_[client_cursor_++]);
+  }
+  if (out.size() < n) {
+    throw std::runtime_error("WorldBuilder: client pool exhausted; raise num_clients");
+  }
+  return out;
+}
+
+std::string WorldBuilder::fresh_domain(util::Rng& rng, std::string_view tld) {
+  // A counter suffix guarantees global uniqueness; the word stem keeps the
+  // name realistic.
+  std::string base = dns::random_word_domain(rng, tld);
+  const auto dot = base.find('.');
+  return base.substr(0, dot) + std::to_string(domain_counter_++) + base.substr(dot);
+}
+
+std::string WorldBuilder::stop_file(util::Rng& rng) const {
+  return std::string(kStopFiles[rng.uniform(std::size(kStopFiles))]);
+}
+
+std::vector<std::uint32_t> WorldBuilder::active_days(Dynamics dynamics,
+                                                     util::Rng& rng) const {
+  std::vector<std::uint32_t> days;
+  if (cfg_.num_days == 1) return {0};
+  switch (dynamics) {
+    case Dynamics::kPersistent:
+    case Dynamics::kAgile:
+      for (std::uint32_t d = 0; d < cfg_.num_days; ++d) days.push_back(d);
+      break;
+    case Dynamics::kNew: {
+      const auto start =
+          1 + static_cast<std::uint32_t>(rng.uniform(cfg_.num_days - 1));
+      for (std::uint32_t d = start; d < cfg_.num_days; ++d) days.push_back(d);
+      break;
+    }
+  }
+  return days;
+}
+
+// --- benign background ---------------------------------------------------------
+
+void WorldBuilder::generate_popular_servers() {
+  auto rng = root_.fork("popular");
+  const auto& b = cfg_.benign;
+  // Client-count curve: rank-0 server is the most popular.
+  for (std::uint32_t s = 0; s < b.num_popular_servers; ++s) {
+    const std::string domain = fresh_domain(rng);
+    register_whois(domain, rng);
+    resolve_unique(domain, rng);
+    const double rank_factor =
+        1.0 / std::pow(static_cast<double>(s) + 1.0, b.popular_zipf_exponent);
+    auto clients_target = static_cast<std::uint32_t>(
+        b.popular_min_clients +
+        rank_factor * (b.popular_max_clients - b.popular_min_clients));
+    clients_target = std::min(clients_target, cfg_.num_clients);
+    const std::uint32_t num_pages = 40 + static_cast<std::uint32_t>(rng.uniform(200));
+
+    const auto visitors = rng.sample_without_replacement(cfg_.num_clients, clients_target);
+    for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+      for (auto c : visitors) {
+        // Not every subscriber visits every popular site every day.
+        if (cfg_.num_days > 1 && !rng.bernoulli(0.7)) continue;
+        const auto visits = 1 + rng.uniform(2);
+        for (std::uint64_t v = 0; v < visits; ++v) {
+          const auto page = rng.uniform(num_pages);
+          emit(c, maybe_subdomain(rng, domain), day,
+               "/s" + std::to_string(s) + "/p" + std::to_string(page) + "s" +
+                   std::to_string(s) + ".html",
+               benign_user_agent(rng), /*referrer=*/"");
+        }
+      }
+    }
+  }
+}
+
+void WorldBuilder::generate_tail_servers() {
+  auto rng = root_.fork("tail");
+  const auto& b = cfg_.benign;
+  for (std::uint32_t s = 0; s < b.num_tail_servers; ++s) {
+    const std::string domain = fresh_domain(rng);
+    register_whois(domain, rng);
+    resolve_unique(domain, rng);
+    const auto num_clients = static_cast<std::uint32_t>(
+        b.tail_min_clients + rng.uniform(b.tail_max_clients - b.tail_min_clients + 1));
+    const auto num_pages = static_cast<std::uint32_t>(
+        b.tail_min_pages + rng.uniform(b.tail_max_pages - b.tail_min_pages + 1));
+    const bool serves_stop_files = rng.bernoulli(b.stop_file_fraction);
+
+    const auto visitors = rng.sample_without_replacement(cfg_.num_clients, num_clients);
+    for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+      for (auto c : visitors) {
+        if (cfg_.num_days > 1 && !rng.bernoulli(0.5)) continue;
+        const auto visits = 1 + rng.uniform(3);
+        for (std::uint64_t v = 0; v < visits; ++v) {
+          std::string path;
+          if (serves_stop_files && rng.bernoulli(0.3)) {
+            path = "/" + stop_file(rng);
+          } else {
+            path = "/t" + std::to_string(s) + "/pg" +
+                   std::to_string(rng.uniform(num_pages)) + "t" +
+                   std::to_string(s) + ".html";
+          }
+          emit(c, maybe_subdomain(rng, domain), day, std::move(path),
+               benign_user_agent(rng), "");
+        }
+      }
+    }
+  }
+}
+
+void WorldBuilder::generate_referrer_groups() {
+  auto rng = root_.fork("referrer");
+  const auto& b = cfg_.benign;
+  for (std::uint32_t g = 0; g < b.num_referrer_groups; ++g) {
+    const std::string landing = fresh_domain(rng);
+    register_whois(landing, rng);
+    resolve_unique(landing, rng);
+    const auto group_size = static_cast<std::uint32_t>(
+        b.referrer_group_min_size +
+        rng.uniform(b.referrer_group_max_size - b.referrer_group_min_size + 1));
+    std::vector<std::string> embedded;
+    for (std::uint32_t e = 0; e < group_size; ++e) {
+      embedded.push_back(fresh_domain(rng, e % 2 == 0 ? "com" : "net"));
+      register_whois(embedded.back(), rng);
+      resolve_unique(embedded.back(), rng);
+    }
+    // 30% of groups deploy one shared widget file across the embedded
+    // servers: these survive the file dimension and must be caught by the
+    // referrer-pruning stage instead.
+    const bool shared_widget = rng.bernoulli(0.3);
+    const std::string widget = "wdg" + std::to_string(g) + ".js";
+
+    ids::CampaignTruth tag;
+    tag.name = "benign-referrer-" + std::to_string(g);
+    tag.kind = ids::CampaignKind::kBenign;
+    tag.servers.push_back(dns::effective_2ld(landing));
+    for (const auto& e : embedded) tag.servers.push_back(dns::effective_2ld(e));
+    ds_.truth.add_campaign(std::move(tag));
+
+    const auto num_clients = static_cast<std::uint32_t>(
+        b.covisit_group_min_clients +
+        rng.uniform(b.covisit_group_max_clients * 2 - b.covisit_group_min_clients));
+    const auto visitors = rng.sample_without_replacement(cfg_.num_clients, num_clients);
+    for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+      for (auto c : visitors) {
+        if (cfg_.num_days > 1 && !rng.bernoulli(0.5)) continue;
+        const std::string ua = benign_user_agent(rng);
+        emit(c, landing, day, "/g" + std::to_string(g) + "/home.html", ua, "");
+        for (std::uint32_t e = 0; e < embedded.size(); ++e) {
+          const std::string path =
+              shared_widget ? "/assets/" + widget
+                            : "/a" + std::to_string(e) + "/res" +
+                                  std::to_string(g) + "_" + std::to_string(e) + ".js";
+          emit(c, embedded[e], day, path, ua, /*referrer=*/landing);
+        }
+      }
+    }
+  }
+}
+
+void WorldBuilder::generate_redirect_chains() {
+  auto rng = root_.fork("redirect");
+  const auto& b = cfg_.benign;
+  for (std::uint32_t g = 0; g < b.num_redirect_chains; ++g) {
+    const auto chain_len =
+        1 + static_cast<std::uint32_t>(rng.uniform(b.redirect_chain_max_len));
+    std::vector<std::string> hops;
+    for (std::uint32_t h = 0; h < chain_len; ++h) {
+      hops.push_back(fresh_domain(rng, "cc"));
+      register_whois(hops.back(), rng);
+    }
+    const std::string landing = fresh_domain(rng);
+    register_whois(landing, rng);
+    resolve_unique(landing, rng);
+
+    ids::CampaignTruth tag;
+    tag.name = "benign-redirect-" + std::to_string(g);
+    tag.kind = ids::CampaignKind::kBenign;
+    for (const auto& hop : hops) tag.servers.push_back(dns::effective_2ld(hop));
+    tag.servers.push_back(dns::effective_2ld(landing));
+    ds_.truth.add_campaign(std::move(tag));
+    // Redirectors in one chain share hosting (same IP) and the same
+    // redirect script, so they survive correlation and must be collapsed
+    // by redirection pruning (paper §III-D).
+    auto ip_rng = rng.fork("chain-ip" + std::to_string(g));
+    const std::string shared_ip = dns::random_ipv4(ip_rng);
+    for (const auto& hop : hops) resolve(hop, shared_ip);
+    for (std::uint32_t h = 0; h < hops.size(); ++h) {
+      ds_.trace.add_redirect(ds_.trace.intern_server(hops[h]),
+                             ds_.trace.intern_server(h + 1 < hops.size()
+                                                         ? hops[h + 1]
+                                                         : landing));
+    }
+
+    const auto num_clients = static_cast<std::uint32_t>(
+        b.covisit_group_min_clients +
+        rng.uniform(b.covisit_group_max_clients - b.covisit_group_min_clients + 1));
+    const auto visitors = rng.sample_without_replacement(cfg_.num_clients, num_clients);
+    for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+      for (auto c : visitors) {
+        if (cfg_.num_days > 1 && !rng.bernoulli(0.4)) continue;
+        const std::string ua = benign_user_agent(rng);
+        for (std::uint32_t h = 0; h < hops.size(); ++h) {
+          emit(c, hops[h], day, "/go" + std::to_string(g) + ".php?u=" + std::to_string(c),
+               ua, h == 0 ? "" : hops[h - 1], /*status=*/302);
+        }
+        emit(c, landing, day, "/l" + std::to_string(g) + "/land.html", ua,
+             hops.back());
+      }
+    }
+  }
+}
+
+void WorldBuilder::generate_covisit_groups() {
+  auto rng = root_.fork("covisit");
+  const auto& b = cfg_.benign;
+  const auto total = b.num_similar_content_groups + b.num_unknown_groups;
+  for (std::uint32_t g = 0; g < total; ++g) {
+    const auto group_size = 3 + static_cast<std::uint32_t>(rng.uniform(5));
+    std::vector<std::string> members;
+    for (std::uint32_t s = 0; s < group_size; ++s) {
+      members.push_back(fresh_domain(rng, g % 3 == 0 ? "net" : "com"));
+      register_whois(members.back(), rng);
+      resolve_unique(members.back(), rng);
+    }
+    // A sliver of "unknown" groups shares a storefront script; they are
+    // low-confidence ASHs that only clear thresh = 0.5 (extra FPs in the
+    // paper's lowest-threshold column).
+    const bool is_unknown = g >= b.num_similar_content_groups;
+    const bool shared_cart = is_unknown && rng.bernoulli(0.12);
+
+    ids::CampaignTruth tag;
+    tag.name = (is_unknown ? "benign-unknown-" : "benign-similar-") + std::to_string(g);
+    tag.kind = ids::CampaignKind::kBenign;
+    for (const auto& s : members) tag.servers.push_back(dns::effective_2ld(s));
+    ds_.truth.add_campaign(std::move(tag));
+
+    const auto num_clients = static_cast<std::uint32_t>(
+        b.covisit_group_min_clients +
+        rng.uniform(b.covisit_group_max_clients - b.covisit_group_min_clients + 1));
+    const auto visitors = rng.sample_without_replacement(cfg_.num_clients, num_clients);
+    for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+      for (auto c : visitors) {
+        if (cfg_.num_days > 1 && !rng.bernoulli(0.5)) continue;
+        for (std::uint32_t s = 0; s < members.size(); ++s) {
+          std::string path = shared_cart
+                                 ? "/shop/cart" + std::to_string(g) + ".php?item=" +
+                                       std::to_string(rng.uniform(50))
+                                 : "/v" + std::to_string(g) + "_" + std::to_string(s) +
+                                       "/page" + std::to_string(rng.uniform(12)) +
+                                           "v" + std::to_string(g) + "_" +
+                                           std::to_string(s) + ".html";
+          emit(c, maybe_subdomain(rng, members[s]), day, std::move(path),
+               benign_user_agent(rng), "");
+        }
+      }
+    }
+  }
+}
+
+std::string WorldBuilder::make_victim_server(util::Rng& rng,
+                                             std::vector<std::string>* pages) {
+  const std::string domain = fresh_domain(rng, rng.bernoulli(0.3) ? "org" : "com");
+  register_whois(domain, rng);
+  resolve_unique(domain, rng);
+  const auto num_pages = 3 + static_cast<std::uint32_t>(rng.uniform(5));
+  std::vector<std::string> own_pages;
+  for (std::uint32_t p = 0; p < num_pages; ++p) {
+    own_pages.push_back("/w" + std::to_string(domain_counter_) + "/n" +
+                        std::to_string(p) + "w" + std::to_string(domain_counter_) +
+                        ".html");
+  }
+  // 1-2 legitimate visitors so the victim is not a single-client server.
+  const auto visitors = rng.sample_without_replacement(
+      cfg_.num_clients, 1 + static_cast<std::uint32_t>(rng.uniform(2)));
+  for (std::uint32_t day = 0; day < cfg_.num_days; ++day) {
+    for (auto c : visitors) {
+      if (cfg_.num_days > 1 && !rng.bernoulli(0.5)) continue;
+      emit(c, domain, day, own_pages[rng.uniform(own_pages.size())],
+           benign_user_agent(rng), "");
+    }
+  }
+  if (pages != nullptr) *pages = std::move(own_pages);
+  return domain;
+}
+
+}  // namespace internal
+
+// --- presets -------------------------------------------------------------------
+
+WorldConfig WorldConfig::scaled(double factor) const {
+  if (factor <= 0.0) throw std::invalid_argument("WorldConfig::scaled: factor <= 0");
+  WorldConfig out = *this;
+  const auto scale32 = [factor](std::uint32_t v, std::uint32_t floor_value = 1) {
+    return std::max<std::uint32_t>(
+        floor_value, static_cast<std::uint32_t>(static_cast<double>(v) * factor));
+  };
+  out.num_clients = scale32(num_clients, 16);
+  out.benign.num_popular_servers = scale32(benign.num_popular_servers);
+  out.benign.popular_min_clients = scale32(benign.popular_min_clients, 4);
+  out.benign.popular_max_clients = scale32(benign.popular_max_clients, 8);
+  out.benign.num_tail_servers = scale32(benign.num_tail_servers);
+  out.benign.num_referrer_groups = scale32(benign.num_referrer_groups);
+  out.benign.num_redirect_chains = scale32(benign.num_redirect_chains);
+  out.benign.num_similar_content_groups = scale32(benign.num_similar_content_groups);
+  out.benign.num_unknown_groups = scale32(benign.num_unknown_groups);
+  out.noise.torrent_trackers = scale32(noise.torrent_trackers, 6);
+  out.noise.teamviewer_servers = scale32(noise.teamviewer_servers, 6);
+  out.malicious.iframe_targets = scale32(malicious.iframe_targets, 8);
+  out.malicious.scan_min_targets = scale32(malicious.scan_min_targets, 6);
+  out.malicious.scan_max_targets = scale32(malicious.scan_max_targets, 8);
+  out.malicious.bagle_download_servers = scale32(malicious.bagle_download_servers, 5);
+  out.malicious.bagle_cnc_servers = scale32(malicious.bagle_cnc_servers, 5);
+  out.malicious.num_generic_multi_client = scale32(malicious.num_generic_multi_client, 2);
+  out.malicious.num_generic_single_client = scale32(malicious.num_generic_single_client, 2);
+  return out;
+}
+
+WorldConfig data2011day() {
+  WorldConfig cfg;
+  cfg.name = "Data2011day";
+  cfg.seed = 20111017;
+  cfg.num_days = 1;
+  cfg.num_clients = 14649;  // paper Table I
+  return cfg;
+}
+
+WorldConfig data2012day() {
+  WorldConfig cfg;
+  cfg.name = "Data2012day";
+  cfg.seed = 20120814;
+  cfg.num_days = 1;
+  cfg.num_clients = 18354;  // paper Table I
+  // 2012 trace is larger (117k vs 92k servers in the paper).
+  cfg.benign.num_tail_servers = 28000;
+  cfg.benign.num_popular_servers = 300;
+  cfg.malicious.num_generic_multi_client = 16;
+  cfg.malicious.num_generic_single_client = 90;
+  // The 2012-day inference results are smaller in the paper (287 servers at
+  // 0.8): fewer large attacking campaigns were active that day.
+  cfg.malicious.iframe_targets = 90;
+  cfg.malicious.scan_min_targets = 25;
+  cfg.malicious.scan_max_targets = 60;
+  cfg.malicious.bagle_download_servers = 12;
+  cfg.malicious.bagle_cnc_servers = 15;
+  return cfg;
+}
+
+WorldConfig data2012week() {
+  WorldConfig cfg;
+  cfg.name = "Data2012week";
+  cfg.seed = 20121008;
+  cfg.num_days = 7;
+  cfg.num_clients = 28285;  // paper Table I
+  // Keep per-day volume moderate so the 7-day x full-pipeline benches stay
+  // fast; the paper's week trace is likewise ~ 0.6x the daily rate.
+  cfg.benign.num_popular_servers = 150;
+  cfg.benign.num_tail_servers = 12000;
+  cfg.benign.num_referrer_groups = 60;
+  cfg.malicious.iframe_targets = 250;
+  cfg.malicious.scan_min_targets = 60;
+  cfg.malicious.scan_max_targets = 150;
+  cfg.malicious.num_generic_multi_client = 24;
+  cfg.malicious.num_generic_single_client = 60;
+  return cfg;
+}
+
+WorldConfig tiny_world(std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.name = "tiny";
+  cfg.seed = seed;
+  cfg.num_days = 1;
+  cfg.num_clients = 400;
+  cfg.benign.num_popular_servers = 12;
+  cfg.benign.popular_min_clients = 80;
+  cfg.benign.popular_max_clients = 200;
+  cfg.benign.num_tail_servers = 350;
+  cfg.benign.num_referrer_groups = 8;
+  cfg.benign.num_redirect_chains = 3;
+  cfg.benign.num_similar_content_groups = 3;
+  cfg.benign.num_unknown_groups = 5;
+  cfg.noise.torrent_trackers = 12;
+  cfg.noise.teamviewer_servers = 8;
+  cfg.malicious.zeus_domains = 6;
+  cfg.malicious.bagle_download_servers = 6;
+  cfg.malicious.bagle_cnc_servers = 8;
+  cfg.malicious.iframe_targets = 25;
+  cfg.malicious.num_scans = 1;
+  cfg.malicious.scan_min_targets = 10;
+  cfg.malicious.scan_max_targets = 16;
+  cfg.malicious.num_generic_multi_client = 4;
+  cfg.malicious.num_generic_single_client = 6;
+  cfg.malicious.num_no_secondary = 1;
+  return cfg;
+}
+
+}  // namespace smash::synth

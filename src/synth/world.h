@@ -1,0 +1,29 @@
+// A generated world: the trace SMASH analyzes plus the ground-truth
+// apparatus (whois registry, IDS signature engine, blacklists, campaign
+// truth) the evaluation scores against.
+#pragma once
+
+#include <string>
+
+#include "ids/blacklist.h"
+#include "ids/ground_truth.h"
+#include "ids/signature.h"
+#include "net/trace.h"
+#include "synth/config.h"
+#include "whois/whois.h"
+
+namespace smash::synth {
+
+struct Dataset {
+  std::string name;
+  net::Trace trace;
+  whois::Registry whois;
+  ids::SignatureEngine signatures;
+  ids::Blacklist blacklist;
+  ids::GroundTruth truth;
+};
+
+// Builds the full world deterministically from config.seed.
+Dataset generate_world(const WorldConfig& config);
+
+}  // namespace smash::synth

@@ -1,0 +1,112 @@
+// Internal builder shared between world.cc (benign background) and
+// campaigns.cc (noise herds + malicious campaigns). Not installed as part
+// of the public API; include only from src/synth/*.cc and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/config.h"
+#include "synth/world.h"
+#include "util/rng.h"
+
+namespace smash::synth::internal {
+
+// How a campaign behaves across a multi-day trace (Fig. 7 taxonomy).
+enum class Dynamics : std::uint8_t {
+  kPersistent,  // same servers every day
+  kAgile,       // same clients, fresh servers every day
+  kNew,         // appears mid-week, persistent afterwards
+};
+
+struct GenericCampaignSpec {
+  std::string name;
+  ids::CampaignKind kind = ids::CampaignKind::kCnc;
+  std::uint32_t num_servers = 4;
+  std::uint32_t num_clients = 1;
+  bool dim_file = true;
+  bool dim_ip = false;
+  bool dim_whois = false;
+  bool long_obfuscated_files = false;  // exercise eqs. (4)-(6)
+  Coverage coverage = Coverage::kBlacklistPartial;
+  Dynamics dynamics = Dynamics::kPersistent;
+};
+
+class WorldBuilder {
+ public:
+  explicit WorldBuilder(const WorldConfig& config);
+
+  Dataset build() &&;
+
+ private:
+  // --- emission helpers -----------------------------------------------------
+  void emit(std::uint32_t client, const std::string& host, std::uint32_t day,
+            std::string path, std::string user_agent, std::string referrer,
+            std::uint16_t status = 200);
+  void resolve(const std::string& host, const std::string& ip);
+  // Registers a fresh unique IP for `host`.
+  void resolve_unique(const std::string& host, util::Rng& rng);
+  std::string maybe_subdomain(util::Rng& rng, const std::string& host_2ld);
+  std::string benign_user_agent(util::Rng& rng);
+  whois::Record random_whois(util::Rng& rng, bool behind_proxy);
+  void register_whois(const std::string& domain_2ld, util::Rng& rng);
+  // Take n dedicated (not previously taken) client indices.
+  std::vector<std::uint32_t> take_clients(std::uint32_t n);
+  // A fresh, never-used benign-looking domain.
+  std::string fresh_domain(util::Rng& rng, std::string_view tld = "com");
+  std::string stop_file(util::Rng& rng) const;
+  std::vector<std::uint32_t> active_days(Dynamics dynamics, util::Rng& rng) const;
+
+  // --- benign background (world.cc) ----------------------------------------
+  void generate_popular_servers();
+  void generate_tail_servers();
+  void generate_referrer_groups();
+  void generate_redirect_chains();
+  void generate_covisit_groups();
+
+  // Creates a benign victim server with its own pages and 1-2 benign
+  // clients; returns its 2LD. Used by the attacking-campaign templates.
+  std::string make_victim_server(util::Rng& rng, std::vector<std::string>* pages);
+
+  // --- noise + malicious (campaigns.cc) --------------------------------------
+  void generate_noise_herds();
+  void generate_flagship_campaigns();
+  void generate_zeus(util::Rng& rng, std::uint32_t instance);
+  void generate_bagle(util::Rng& rng, std::uint32_t instance);
+  void generate_sality(util::Rng& rng, std::uint32_t instance);
+  void generate_iframe_injection(util::Rng& rng, std::uint32_t instance);
+  void generate_scan(util::Rng& rng, std::uint32_t instance);
+  void generate_phishing(util::Rng& rng, std::uint32_t instance);
+  void generate_dropzone(util::Rng& rng, std::uint32_t instance);
+  void generate_web_exploit(util::Rng& rng, std::uint32_t instance);
+  void generate_generic_campaigns();
+  void build_generic_campaign(const GenericCampaignSpec& spec, util::Rng& rng);
+
+  // Applies the coverage class to a finished campaign: registers IDS
+  // signatures / blacklist entries / liveness, possibly rewriting request
+  // statuses for dead servers.
+  struct CoverageHooks {
+    // Extra "exploit check-in" emitted on covered servers so partial IDS
+    // signatures have something unique to match.
+    std::string sig_uri_file;
+    std::string sig_param_pattern;
+    std::string sig_user_agent;
+  };
+  void apply_coverage(Coverage coverage, const std::string& campaign_name,
+                      const std::vector<std::string>& servers,
+                      const CoverageHooks& hooks, util::Rng& rng);
+
+  const WorldConfig& cfg_;
+  Dataset ds_;
+  util::Rng root_;
+  std::vector<std::string> client_names_;
+  std::vector<std::uint32_t> client_order_;  // shuffled; cursor for take_clients
+  std::size_t client_cursor_ = 0;
+  std::uint64_t domain_counter_ = 0;
+  std::uint64_t ip_counter_ = 0;
+  std::vector<std::string> benign_uas_;
+  int signature_counter_ = 0;
+};
+
+}  // namespace smash::synth::internal

@@ -1,0 +1,75 @@
+// Sorted-vector id sets with fast intersection size. The similarity
+// dimensions (paper eqs. 1, 7, 8) reduce to intersection cardinalities over
+// client/file/IP id sets; sorted vectors beat hash sets for the merge-style
+// intersections dominating that workload.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace smash::util {
+
+// A set of dense ids stored as a sorted, deduplicated vector.
+class IdSet {
+ public:
+  IdSet() = default;
+  explicit IdSet(std::vector<std::uint32_t> ids) : ids_(std::move(ids)) {
+    normalize();
+  }
+
+  void insert(std::uint32_t id) { ids_.push_back(id); dirty_ = true; }
+
+  // Must be called after a batch of inserts and before any query.
+  void normalize() {
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+    dirty_ = false;
+  }
+
+  bool contains(std::uint32_t id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  std::size_t size() const noexcept { return ids_.size(); }
+  bool empty() const noexcept { return ids_.empty(); }
+  bool is_normalized() const noexcept { return !dirty_; }
+
+  const std::vector<std::uint32_t>& values() const noexcept { return ids_; }
+
+  auto begin() const noexcept { return ids_.begin(); }
+  auto end() const noexcept { return ids_.end(); }
+
+  friend std::size_t intersection_size(const IdSet& a, const IdSet& b) {
+    std::size_t count = 0;
+    auto ia = a.ids_.begin();
+    auto ib = b.ids_.begin();
+    while (ia != a.ids_.end() && ib != b.ids_.end()) {
+      if (*ia < *ib) ++ia;
+      else if (*ib < *ia) ++ib;
+      else { ++count; ++ia; ++ib; }
+    }
+    return count;
+  }
+
+  friend IdSet intersection(const IdSet& a, const IdSet& b) {
+    std::vector<std::uint32_t> out;
+    std::set_intersection(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
+                          b.ids_.end(), std::back_inserter(out));
+    IdSet r;
+    r.ids_ = std::move(out);
+    return r;
+  }
+
+  friend std::size_t union_size(const IdSet& a, const IdSet& b) {
+    return a.size() + b.size() - intersection_size(a, b);
+  }
+
+  friend bool operator==(const IdSet& a, const IdSet& b) { return a.ids_ == b.ids_; }
+
+ private:
+  std::vector<std::uint32_t> ids_;
+  bool dirty_ = false;
+};
+
+}  // namespace smash::util

@@ -1,0 +1,56 @@
+// String interning: maps strings to dense uint32_t ids and back.
+//
+// All hot-path structures in SMASH (similarity joins, Louvain, ASH sets)
+// operate on dense ids; strings appear only at the I/O boundary and in
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace smash::util {
+
+class Interner {
+ public:
+  // Returns the id for `s`, inserting it if new. Ids are assigned densely
+  // in insertion order starting at 0.
+  std::uint32_t intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  // Lookup without insertion.
+  std::optional<std::uint32_t> find(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& name(std::uint32_t id) const {
+    if (id >= strings_.size()) throw std::out_of_range("Interner::name: bad id");
+    return strings_[id];
+  }
+
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(strings_.size());
+  }
+
+  bool empty() const noexcept { return strings_.empty(); }
+
+  const std::vector<std::string>& names() const noexcept { return strings_; }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+};
+
+}  // namespace smash::util

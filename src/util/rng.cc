@@ -1,0 +1,59 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace smash::util {
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Dense case: partial Fisher-Yates over an index vector.
+  if (k * 3 >= n) {
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint64_t j = i + uniform(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling into a set.
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k * 2);
+  while (chosen.size() < k) {
+    const auto v = static_cast<std::uint32_t>(uniform(n));
+    if (chosen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (s < 0) throw std::invalid_argument("ZipfSampler: exponent must be >= 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r) + 1.0, s);
+    cdf_[r] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint32_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::uint32_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range("ZipfSampler::probability");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace smash::util

@@ -1,0 +1,143 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Every generator in this repository is seeded explicitly so that dataset
+// presets (Data2011day etc.) are bit-reproducible across runs and platforms.
+// We intentionally avoid std::mt19937 + std::uniform_*_distribution in the
+// synthesis path: the standard distributions are not guaranteed to produce
+// identical streams across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace smash::util {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state and
+// to derive independent substream seeds (seed ^ hash(tag)).
+constexpr std::uint64_t split_mix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a, used to derive substream seeds from human-readable tags.
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// xoshiro256**: fast, high-quality, tiny state. Public-domain algorithm by
+// Blackman & Vigna.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = split_mix64(sm);
+  }
+
+  // Derive an independent generator for a named substream. Distinct tags
+  // yield statistically independent streams from the same base seed.
+  [[nodiscard]] Rng fork(std::string_view tag) const noexcept {
+    return Rng{state_[0] ^ fnv1a(tag)};
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("Rng::uniform: bound must be > 0");
+    // Lemire's nearly-divisionless method, with rejection for exactness.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_range: lo > hi");
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  // Geometric-ish "at least one" count: 1 + Poisson-like tail, cheap.
+  std::uint32_t one_plus_geometric(double continue_p) noexcept {
+    std::uint32_t n = 1;
+    while (n < 100000 && bernoulli(continue_p)) ++n;
+    return n;
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform(i)]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n). k must be <= n.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+// Zipf(s, n) sampler over ranks {0, ..., n-1}: rank r has probability
+// proportional to 1/(r+1)^s. Precomputes the CDF; O(log n) per draw.
+// This models web-server popularity (a heavy head of CDNs/portals and a
+// long tail), which is what the paper's IDF filter exploits.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double s);
+
+  std::uint32_t sample(Rng& rng) const;
+
+  std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(cdf_.size()); }
+  double probability(std::uint32_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace smash::util

@@ -1,0 +1,49 @@
+// Descriptive statistics used by the evaluation harness and the figure
+// benches (CDFs, percentiles, histograms).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smash::util {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  // population variance
+
+// Percentile with linear interpolation, p in [0, 100]. v need not be sorted.
+double percentile(std::vector<double> v, double p);
+
+// Empirical CDF evaluated at the given points: fraction of samples <= x.
+struct CdfPoint {
+  double x = 0.0;
+  double fraction = 0.0;
+};
+
+// Full empirical CDF (one point per distinct sample value).
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples);
+
+// Fraction of samples <= x.
+double cdf_at(const std::vector<CdfPoint>& cdf, double x);
+
+// Fixed-width histogram over [lo, hi) with `bins` buckets; samples outside
+// the range are clamped into the first/last bucket.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::uint64_t> counts;
+
+  Histogram(double lo_, double hi_, std::size_t bins);
+  void add(double x);
+  std::uint64_t total() const;
+  // Render as an ASCII bar chart, `width` columns for the largest bucket.
+  std::string ascii(int width = 50, int label_decimals = 0) const;
+};
+
+// The "S"-shaped normalizer from paper eq. (9):
+//   phi(x) = 0.5 * (1 + erf((x - mu) / sigma)).
+// mu promotes groups larger than mu; sigma sets steepness.
+double phi_erf(double x, double mu, double sigma);
+
+}  // namespace smash::util

@@ -1,0 +1,33 @@
+// Small string helpers shared across modules. All functions are pure.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smash::util {
+
+// Split `s` on `sep`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+// Split, dropping empty fields.
+std::vector<std::string_view> split_nonempty(std::string_view s, char sep);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+// Render a double with fixed decimals (for table output).
+std::string format_fixed(double v, int decimals);
+
+// Thousands-separated integer rendering, e.g. 28544473 -> "28,544,473",
+// matching the paper's table style.
+std::string with_commas(std::uint64_t v);
+
+}  // namespace smash::util

@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smash::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  if (!rows_.empty()) throw std::logic_error("Table: set_header after add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (header_.empty()) throw std::logic_error("Table: add_row before set_header");
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  auto rule = [&] {
+    std::string line = "+";
+    for (auto w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+
+  std::string out;
+  out += title_ + "\n";
+  out += rule();
+  out += render_row(header_);
+  out += rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : render_row(row);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace smash::util

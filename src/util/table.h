@@ -1,0 +1,31 @@
+// ASCII table rendering for the benchmark harness. Every bench binary that
+// reproduces a paper table prints through this so the output layout matches
+// the paper's row/column structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smash::util {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  // The header row; must be set before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Insert a horizontal separator before the next row.
+  void add_separator();
+
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+}  // namespace smash::util

@@ -1,0 +1,197 @@
+#include "core/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "util/stats.h"
+
+namespace smash::core {
+namespace {
+
+using test::add_request;
+using test::resolve;
+
+SmashConfig base_config() {
+  SmashConfig config;
+  config.idf_threshold = 100;
+  return config;
+}
+
+struct MiniWorld {
+  net::Trace trace;
+  whois::Registry registry;
+};
+
+// A campaign of `n` servers sharing 2 bots, one URI file, and (optionally)
+// flux IPs + whois — the canonical multi-dimension herd.
+MiniWorld campaign_world(int n, bool with_ip, bool with_whois) {
+  MiniWorld world;
+  whois::Record shared;
+  shared.email = "herd@mail.com";
+  shared.phone = "+1.555";
+  for (int s = 0; s < n; ++s) {
+    const std::string host = "srv" + std::to_string(s) + ".com";
+    for (const char* bot : {"bot1", "bot2"}) {
+      add_request(world.trace, bot, host, "/mal/gate.php?id=1");
+    }
+    if (with_ip) {
+      resolve(world.trace, host, "9.9.9.1");
+      resolve(world.trace, host, "9.9.9.2");
+    }
+    if (with_whois) world.registry.add(host, shared);
+  }
+  // Background pair so the graph has benign content too.
+  add_request(world.trace, "u1", "benign1.org", "/b1x.html");
+  add_request(world.trace, "u2", "benign2.org", "/b2x.html");
+  world.trace.finalize();
+  return world;
+}
+
+CorrelationResult run_correlation(const MiniWorld& world, const SmashConfig& config,
+                                  PreprocessResult* pre_out = nullptr) {
+  auto pre = preprocess(world.trace, config);
+  const auto dims = mine_all_dimensions(pre, world.registry, config);
+  auto result = correlate(pre, dims, config);
+  if (pre_out != nullptr) *pre_out = std::move(pre);
+  return result;
+}
+
+TEST(Correlation, ScoreGrowsWithDimensions) {
+  const auto config = base_config();
+  const auto one_dim = run_correlation(campaign_world(10, false, false), config);
+  const auto two_dim = run_correlation(campaign_world(10, true, false), config);
+  const auto three_dim = run_correlation(campaign_world(10, true, true), config);
+
+  const auto max_score = [](const CorrelationResult& r) {
+    double best = 0.0;
+    for (double s : r.score) best = std::max(best, s);
+    return best;
+  };
+  EXPECT_LT(max_score(one_dim), max_score(two_dim));
+  EXPECT_LT(max_score(two_dim), max_score(three_dim));
+  // Each extra dimension adds ~phi(10) for this clique world.
+  EXPECT_NEAR(max_score(one_dim), util::phi_erf(10, config.mu, config.sigma), 0.05);
+  EXPECT_NEAR(max_score(three_dim),
+              3 * util::phi_erf(10, config.mu, config.sigma), 0.15);
+}
+
+TEST(Correlation, DimsMaskTracksContributingDimensions) {
+  const auto config = base_config();
+  PreprocessResult pre;
+  const auto result = run_correlation(campaign_world(8, true, true), config, &pre);
+  bool found = false;
+  for (std::uint32_t i = 0; i < pre.kept.size(); ++i) {
+    if (pre.agg.server_name(pre.kept[i]).starts_with("srv")) {
+      EXPECT_EQ(result.dims_mask[i], 0b111);  // file | ip | whois
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Correlation, ThresholdRemovesWeakServers) {
+  // Small single-dimension herd: phi(4) = 0.5, below the 0.8 default.
+  auto config = base_config();
+  config.score_threshold = 0.8;
+  const auto weak = run_correlation(campaign_world(4, false, false), config);
+  EXPECT_TRUE(weak.groups.empty());
+
+  config.score_threshold = 0.5;  // phi(4) == 0.5 passes (>= comparison)
+  const auto kept = run_correlation(campaign_world(4, false, false), config);
+  ASSERT_EQ(kept.groups.size(), 1u);
+  EXPECT_EQ(kept.groups[0].size(), 4u);
+}
+
+TEST(Correlation, PaperThresholdLadder) {
+  // One secondary dimension, large herd: detected at 0.8, not at 1.0
+  // ("score higher than 1.0 means ... at least two secondary dimensions").
+  auto config = base_config();
+  config.score_threshold = 1.0;
+  EXPECT_TRUE(run_correlation(campaign_world(30, false, false), config).groups.empty());
+  config.score_threshold = 0.8;
+  EXPECT_FALSE(run_correlation(campaign_world(30, false, false), config).groups.empty());
+  // Two secondary dimensions clear 1.0 but (for mid-size herds, where
+  // 2*phi(6) ~ 1.39) not 1.5; three dimensions clear 1.5.
+  config.score_threshold = 1.0;
+  EXPECT_FALSE(run_correlation(campaign_world(6, true, false), config).groups.empty());
+  config.score_threshold = 1.5;
+  EXPECT_TRUE(run_correlation(campaign_world(6, true, false), config).groups.empty());
+  EXPECT_FALSE(run_correlation(campaign_world(6, true, true), config).groups.empty());
+}
+
+TEST(Correlation, ServersWithoutMainHerdScoreZero) {
+  const auto config = base_config();
+  PreprocessResult pre;
+  const auto result = run_correlation(campaign_world(6, true, true), config, &pre);
+  for (std::uint32_t i = 0; i < pre.kept.size(); ++i) {
+    if (pre.agg.server_name(pre.kept[i]).starts_with("benign")) {
+      EXPECT_DOUBLE_EQ(result.score[i], 0.0);
+      EXPECT_EQ(result.dims_mask[i], 0);
+    }
+  }
+}
+
+TEST(Correlation, SingleClientHerdsUseStricterThreshold) {
+  MiniWorld world;
+  // One bot, 12 servers, file + ip dims: score ~ 2*phi(12) ~ 1.8.
+  for (int s = 0; s < 12; ++s) {
+    const std::string host = "solo" + std::to_string(s) + ".com";
+    add_request(world.trace, "lonebot", host, "/m/x.php");
+    resolve(world.trace, host, "5.5.5.5");
+  }
+  world.trace.finalize();
+
+  auto config = base_config();
+  config.score_threshold = 0.8;
+  config.single_client_score_threshold = 1.0;
+  auto pre = preprocess(world.trace, config);
+  const auto dims = mine_all_dimensions(pre, world.registry, config);
+  const auto result = correlate(pre, dims, config);
+  ASSERT_EQ(result.groups.size(), 1u);
+  for (auto member : result.groups[0]) {
+    EXPECT_EQ(result.herd_clients[member], 1u);
+  }
+  // With the single-client threshold pushed above the achievable score,
+  // the same herd disappears.
+  config.single_client_score_threshold = 2.5;
+  const auto strict = correlate(pre, dims, config);
+  EXPECT_TRUE(strict.groups.empty());
+}
+
+TEST(Correlation, SingletonSurvivorsAreDropped) {
+  // Two servers share bots (main herd), but only one of them shares a file
+  // with anything: the lone survivor cannot form a group.
+  MiniWorld world;
+  for (const char* bot : {"b1", "b2"}) {
+    add_request(world.trace, bot, "pair1.com", "/common.php");
+    add_request(world.trace, bot, "pair2.com", "/unique2.php");
+  }
+  // Unrelated herd that makes common.php a shared file for pair1 only...
+  // actually common.php needs >= 9 sharers to clear phi at 0.8; use 0.3.
+  for (const char* bot : {"z1", "z2"}) {
+    add_request(world.trace, bot, "other1.com", "/common.php");
+    add_request(world.trace, bot, "other2.com", "/unique3.php");
+  }
+  world.trace.finalize();
+
+  auto config = base_config();
+  config.score_threshold = 0.1;
+  auto pre = preprocess(world.trace, config);
+  const auto dims = mine_all_dimensions(pre, world.registry, config);
+  const auto result = correlate(pre, dims, config);
+  // Groups must never contain a single server (paper: "groups with only one
+  // server left are also removed").
+  for (const auto& group : result.groups) EXPECT_GE(group.size(), 2u);
+}
+
+TEST(Correlation, RequiresAllFourDimensions) {
+  MiniWorld world = campaign_world(4, false, false);
+  auto config = base_config();
+  auto pre = preprocess(world.trace, config);
+  auto dims = mine_all_dimensions(pre, world.registry, config);
+  dims.pop_back();
+  EXPECT_THROW(correlate(pre, dims, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smash::core

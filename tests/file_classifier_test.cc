@@ -1,0 +1,98 @@
+#include "core/file_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "util/interner.h"
+
+namespace smash::core {
+namespace {
+
+TEST(CharFrequencyCosine, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(char_frequency_cosine("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(char_frequency_cosine("abc", "cba"), 1.0);  // anagram
+  EXPECT_DOUBLE_EQ(char_frequency_cosine("aaa", "bbb"), 0.0);
+  EXPECT_DOUBLE_EQ(char_frequency_cosine("", "abc"), 0.0);
+}
+
+TEST(CharFrequencyCosine, PartialOverlap) {
+  const double sim = char_frequency_cosine("aab", "abb");
+  EXPECT_GT(sim, 0.5);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(FilesSimilar, ShortNamesRequireEquality) {
+  // eqs. (2)-(3): short names are similar only when identical.
+  EXPECT_TRUE(files_similar("login.php", "login.php", 25, 0.8));
+  EXPECT_FALSE(files_similar("login.php", "nigol.php", 25, 0.8));  // anagram!
+  EXPECT_FALSE(files_similar("a.php", "b.php", 25, 0.8));
+}
+
+TEST(FilesSimilar, LongNamesUseCosine) {
+  const std::string a = "abcabcabcabcabcabcabcabcabc123.php";   // > 25 chars
+  const std::string b = "cbacbacbacbacbacbacbacbacba321.php";   // same charset
+  const std::string c = "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz.php";
+  ASSERT_GT(a.size(), 25u);
+  EXPECT_TRUE(files_similar(a, b, 25, 0.8));
+  EXPECT_FALSE(files_similar(a, c, 25, 0.8));
+}
+
+TEST(FilesSimilar, MixedLengthFallsBackToEquality) {
+  const std::string long_name(30, 'x');
+  EXPECT_FALSE(files_similar(long_name, "x.php", 25, 0.8));
+}
+
+TEST(FileClassifier, ShortFilesGetOwnClasses) {
+  util::Interner files;
+  const auto a = files.intern("a.php");
+  const auto b = files.intern("b.php");
+  const auto a2 = files.intern("a.php");
+  const FileClassifier classifier(files, 25, 0.8);
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(classifier.class_of(a), classifier.class_of(b));
+  EXPECT_EQ(classifier.num_long_files(), 0u);
+}
+
+TEST(FileClassifier, LongSimilarFilesShareClass) {
+  util::Interner files;
+  const auto a = files.intern("qwqwqwqwqwqwqwqwqwqwqwqwqwqw11.php");
+  const auto b = files.intern("wqwqwqwqwqwqwqwqwqwqwqwqwqwq11.php");
+  const auto c = files.intern("zxzxzxzxzxzxzxzxzxzxzxzxzxzx99.bin");
+  const auto d = files.intern("short.php");
+  const FileClassifier classifier(files, 25, 0.8);
+  EXPECT_EQ(classifier.class_of(a), classifier.class_of(b));
+  EXPECT_NE(classifier.class_of(a), classifier.class_of(c));
+  EXPECT_NE(classifier.class_of(a), classifier.class_of(d));
+  EXPECT_EQ(classifier.num_long_files(), 3u);
+  EXPECT_EQ(classifier.num_classes(), 3u);  // {a,b}, {c}, {d}
+}
+
+TEST(FileClassifier, ClassIdsAreDense) {
+  util::Interner files;
+  for (int i = 0; i < 10; ++i) files.intern("file" + std::to_string(i) + ".php");
+  const FileClassifier classifier(files, 25, 0.8);
+  EXPECT_EQ(classifier.num_classes(), 10u);
+  for (std::uint32_t f = 0; f < 10; ++f) {
+    EXPECT_LT(classifier.class_of(f), classifier.num_classes());
+  }
+}
+
+TEST(FileClassifier, EmptyInterner) {
+  util::Interner files;
+  const FileClassifier classifier(files, 25, 0.8);
+  EXPECT_EQ(classifier.num_classes(), 0u);
+}
+
+TEST(FileClassifier, SingleLinkageIsTransitiveByConstruction) {
+  // a~b and b~c put a,c in one class even if a,c are just at the margin —
+  // the union-find family semantics the obfuscated-herd mining relies on.
+  util::Interner files;
+  const auto a = files.intern("aaaaaaaaaaaaaaaaaaaaaaaaaabb.php");
+  const auto b = files.intern("aaaaaaaaaaaaaaaaaaaaaaaaabbb.php");
+  const auto c = files.intern("aaaaaaaaaaaaaaaaaaaaaaaabbbb.php");
+  const FileClassifier classifier(files, 25, 0.8);
+  EXPECT_EQ(classifier.class_of(a), classifier.class_of(b));
+  EXPECT_EQ(classifier.class_of(b), classifier.class_of(c));
+}
+
+}  // namespace
+}  // namespace smash::core

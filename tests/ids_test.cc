@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "ids/blacklist.h"
+#include "ids/ground_truth.h"
+#include "ids/signature.h"
+#include "test_helpers.h"
+
+namespace smash::ids {
+namespace {
+
+using test::add_request;
+
+TEST(Signature, MatchCriteria) {
+  net::HttpRequest req;
+  req.path = "/a/login.php?uid=5&cmd=ping";
+  req.user_agent = "BotAgent";
+
+  Signature by_file{"T1", "login.php", "", "", Vintage::k2012};
+  Signature by_ua{"T2", "", "BotAgent", "", Vintage::k2012};
+  Signature by_pattern{"T3", "", "", "uid=&cmd=", Vintage::k2012};
+  Signature all_three{"T4", "login.php", "BotAgent", "uid=&cmd=", Vintage::k2012};
+  Signature wrong_file{"T5", "gate.php", "", "", Vintage::k2012};
+  Signature wrong_pattern{"T6", "", "", "a=&b=", Vintage::k2012};
+
+  EXPECT_TRUE(by_file.matches(req));
+  EXPECT_TRUE(by_ua.matches(req));
+  EXPECT_TRUE(by_pattern.matches(req));
+  EXPECT_TRUE(all_three.matches(req));
+  EXPECT_FALSE(wrong_file.matches(req));
+  EXPECT_FALSE(wrong_pattern.matches(req));
+}
+
+TEST(SignatureEngine, RejectsInvalidSignatures) {
+  SignatureEngine engine;
+  EXPECT_THROW(engine.add({"", "f.php", "", "", Vintage::k2012}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.add({"T", "", "", "", Vintage::k2012}), std::invalid_argument);
+}
+
+TEST(SignatureEngine, LabelsAggregateTo2ld) {
+  net::Trace trace;
+  add_request(trace, "c1", "www.evil.com", "/x/login.php?uid=1&cmd=2", "UA");
+  add_request(trace, "c1", "good.com", "/index.html", "UA");
+  trace.finalize();
+
+  SignatureEngine engine;
+  engine.add({"Trojan.X", "login.php", "", "", Vintage::k2012});
+  const auto labels = engine.label(trace, Vintage::k2012);
+  EXPECT_TRUE(labels.labeled("evil.com"));  // aggregated from www.evil.com
+  EXPECT_FALSE(labels.labeled("www.evil.com"));
+  EXPECT_FALSE(labels.labeled("good.com"));
+  EXPECT_EQ(labels.threats.at("evil.com").count("Trojan.X"), 1u);
+}
+
+TEST(SignatureEngine, VintageSemantics) {
+  net::Trace trace;
+  add_request(trace, "c1", "a.com", "/old.php");
+  add_request(trace, "c1", "b.com", "/new.php");
+  trace.finalize();
+
+  SignatureEngine engine;
+  engine.add({"Old", "old.php", "", "", Vintage::k2012});
+  engine.add({"New", "new.php", "", "", Vintage::k2013});
+
+  const auto l2012 = engine.label(trace, Vintage::k2012);
+  EXPECT_TRUE(l2012.labeled("a.com"));
+  EXPECT_FALSE(l2012.labeled("b.com"));  // 2013 rule invisible in 2012
+
+  // 2013 runs include 2012 rules: signature sets only grow.
+  const auto l2013 = engine.label(trace, Vintage::k2013);
+  EXPECT_TRUE(l2013.labeled("a.com"));
+  EXPECT_TRUE(l2013.labeled("b.com"));
+}
+
+TEST(Blacklist, PrimaryConfirmsAlone) {
+  Blacklist bl;
+  bl.add_primary_source("phishtank");
+  bl.list("phishtank", "bad.com");
+  EXPECT_TRUE(bl.confirmed("bad.com"));
+  EXPECT_FALSE(bl.confirmed("other.com"));
+}
+
+TEST(Blacklist, AggregatedNeedsTwo) {
+  Blacklist bl;
+  bl.add_aggregated_source("feed1");
+  bl.add_aggregated_source("feed2");
+  bl.list("feed1", "shady.com");
+  EXPECT_FALSE(bl.confirmed("shady.com"));  // one aggregated feed: no
+  bl.list("feed2", "shady.com");
+  EXPECT_TRUE(bl.confirmed("shady.com"));  // two: yes (>= 2-of-78 rule)
+}
+
+TEST(Blacklist, UnknownSourceThrows) {
+  Blacklist bl;
+  EXPECT_THROW(bl.list("nope", "x.com"), std::invalid_argument);
+}
+
+TEST(Blacklist, SourcesListing) {
+  Blacklist bl;
+  bl.add_primary_source("p1");
+  bl.add_aggregated_source("a1");
+  bl.list("p1", "x.com");
+  bl.list("a1", "x.com");
+  const auto sources = bl.sources_listing("x.com");
+  EXPECT_EQ(sources.size(), 2u);
+  EXPECT_EQ(bl.num_sources(), 2u);
+}
+
+TEST(GroundTruth, CampaignOwnershipAndKinds) {
+  GroundTruth truth;
+  CampaignTruth cnc;
+  cnc.name = "c1";
+  cnc.kind = CampaignKind::kCnc;
+  cnc.servers = {"evil.com", "evil2.com"};
+  truth.add_campaign(cnc);
+
+  CampaignTruth noise;
+  noise.name = "n1";
+  noise.kind = CampaignKind::kNoiseTorrent;
+  noise.servers = {"tracker.net"};
+  truth.add_campaign(noise);
+
+  EXPECT_TRUE(truth.server_is_malicious("evil.com"));
+  EXPECT_FALSE(truth.server_is_malicious("tracker.net"));
+  EXPECT_TRUE(truth.server_is_noise("tracker.net"));
+  EXPECT_FALSE(truth.server_is_noise("evil.com"));
+  EXPECT_FALSE(truth.server_is_malicious("unknown.com"));
+  EXPECT_EQ(truth.num_malicious_servers(), 2u);
+  ASSERT_TRUE(truth.campaign_of("evil2.com").has_value());
+  EXPECT_EQ(truth.campaigns()[*truth.campaign_of("evil2.com")].name, "c1");
+}
+
+TEST(GroundTruth, FirstRegistrationWins) {
+  GroundTruth truth;
+  CampaignTruth a;
+  a.name = "a";
+  a.kind = CampaignKind::kWebScanner;
+  a.servers = {"victim.org"};
+  truth.add_campaign(a);
+  CampaignTruth b;
+  b.name = "b";
+  b.kind = CampaignKind::kIframeInjection;
+  b.servers = {"victim.org"};
+  truth.add_campaign(b);
+  EXPECT_EQ(truth.campaigns()[*truth.campaign_of("victim.org")].name, "a");
+}
+
+TEST(GroundTruth, LivenessOracle) {
+  GroundTruth truth;
+  truth.mark_dead("gone.com");
+  EXPECT_TRUE(truth.is_dead("gone.com"));
+  EXPECT_FALSE(truth.is_dead("alive.com"));
+}
+
+TEST(GroundTruth, RejectsUnnamedCampaign) {
+  GroundTruth truth;
+  EXPECT_THROW(truth.add_campaign({}), std::invalid_argument);
+}
+
+TEST(CampaignKindHelpers, Taxonomy) {
+  EXPECT_TRUE(kind_is_malicious(CampaignKind::kCnc));
+  EXPECT_TRUE(kind_is_malicious(CampaignKind::kIframeInjection));
+  EXPECT_FALSE(kind_is_malicious(CampaignKind::kNoiseTorrent));
+  EXPECT_FALSE(kind_is_malicious(CampaignKind::kBenign));
+  EXPECT_TRUE(kind_is_attacking(CampaignKind::kWebScanner));
+  EXPECT_TRUE(kind_is_attacking(CampaignKind::kIframeInjection));
+  EXPECT_FALSE(kind_is_attacking(CampaignKind::kCnc));
+  EXPECT_NE(campaign_kind_name(CampaignKind::kDropZone), "?");
+}
+
+}  // namespace
+}  // namespace smash::ids

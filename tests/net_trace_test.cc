@@ -1,0 +1,132 @@
+#include "net/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "test_helpers.h"
+
+namespace smash::net {
+namespace {
+
+using test::add_request;
+using test::resolve;
+
+TEST(Trace, InternsAndCounts) {
+  Trace trace;
+  add_request(trace, "c1", "a.com", "/x.html");
+  add_request(trace, "c1", "a.com", "/y.html");
+  add_request(trace, "c2", "b.com", "/x.html");
+  trace.finalize();
+  EXPECT_EQ(trace.num_clients(), 2u);
+  EXPECT_EQ(trace.num_servers(), 2u);
+  EXPECT_EQ(trace.num_requests(), 3u);
+  EXPECT_EQ(trace.num_days(), 1u);
+}
+
+TEST(Trace, CountsDistinctUriFiles) {
+  Trace trace;
+  add_request(trace, "c1", "a.com", "/p/x.html");
+  add_request(trace, "c1", "a.com", "/q/x.html?v=1");  // same file
+  add_request(trace, "c1", "a.com", "/p/y.html");
+  trace.finalize();
+  EXPECT_EQ(trace.count_distinct_uri_files(), 2u);
+}
+
+TEST(Trace, ResolutionsNormalizeAndLookup) {
+  Trace trace;
+  add_request(trace, "c1", "a.com", "/");
+  resolve(trace, "a.com", "1.2.3.4");
+  resolve(trace, "a.com", "1.2.3.4");  // duplicate
+  resolve(trace, "a.com", "5.6.7.8");
+  trace.finalize();
+  EXPECT_EQ(trace.ips_of(trace.servers().find("a.com").value()).size(), 2u);
+  // Unresolved server yields the empty set.
+  add_request(trace, "c1", "b.com", "/");
+  trace.finalize();
+  EXPECT_TRUE(trace.ips_of(trace.servers().find("b.com").value()).empty());
+}
+
+TEST(Trace, RedirectTargets) {
+  Trace trace;
+  add_request(trace, "c1", "short.cc", "/go", "UA", "", 302);
+  trace.add_redirect(trace.intern_server("short.cc"), trace.intern_server("land.com"));
+  trace.finalize();
+  std::uint32_t to = 0;
+  ASSERT_TRUE(trace.redirect_target(*trace.servers().find("short.cc"), to));
+  EXPECT_EQ(trace.servers().name(to), "land.com");
+  EXPECT_FALSE(trace.redirect_target(*trace.servers().find("land.com"), to));
+}
+
+TEST(Trace, TsvRoundTrip) {
+  Trace trace;
+  add_request(trace, "c1", "a.com", "/x.php?p=1", "Agent/1.0", "ref.com", 200);
+  add_request(trace, "c2", "b.com", "/y.html", "", "", 404, /*day=*/2);
+  resolve(trace, "a.com", "9.9.9.9");
+  trace.add_redirect(trace.intern_server("a.com"), trace.intern_server("b.com"));
+  trace.finalize();
+
+  const auto path = std::filesystem::temp_directory_path() / "smash_trace_test.tsv";
+  trace.write_tsv(path.string());
+  const Trace loaded = Trace::read_tsv(path.string());
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(loaded.num_requests(), 2u);
+  EXPECT_EQ(loaded.num_clients(), 2u);
+  EXPECT_EQ(loaded.num_days(), 3u);  // max day 2 -> 3 days
+  const auto& r0 = loaded.requests()[0];
+  EXPECT_EQ(loaded.clients().name(r0.client), "c1");
+  EXPECT_EQ(loaded.servers().name(r0.server), "a.com");
+  EXPECT_EQ(r0.path, "/x.php?p=1");
+  EXPECT_EQ(r0.user_agent, "Agent/1.0");
+  EXPECT_EQ(r0.referrer, "ref.com");
+  const auto& r1 = loaded.requests()[1];
+  EXPECT_EQ(r1.status, 404);
+  EXPECT_EQ(r1.user_agent, "");  // "-" round-trips to empty
+  EXPECT_EQ(loaded.ips_of(*loaded.servers().find("a.com")).size(), 1u);
+  std::uint32_t to = 0;
+  EXPECT_TRUE(loaded.redirect_target(*loaded.servers().find("a.com"), to));
+}
+
+TEST(Trace, ReadTsvRejectsMalformed) {
+  const auto path = std::filesystem::temp_directory_path() / "smash_bad.tsv";
+  {
+    std::FILE* f = std::fopen(path.string().c_str(), "w");
+    std::fputs("REQ\tonly\tthree\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(Trace::read_tsv(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SliceDay, ExtractsSingleDay) {
+  Trace trace;
+  add_request(trace, "c1", "a.com", "/x", "UA", "", 200, /*day=*/0);
+  add_request(trace, "c1", "b.com", "/y", "UA", "", 200, /*day=*/1);
+  add_request(trace, "c2", "b.com", "/z", "UA", "", 200, /*day=*/1);
+  resolve(trace, "b.com", "4.4.4.4");
+  trace.finalize();
+
+  const Trace day1 = slice_day(trace, 1);
+  EXPECT_EQ(day1.num_requests(), 2u);
+  EXPECT_EQ(day1.num_clients(), 2u);
+  EXPECT_EQ(day1.num_days(), 1u);
+  ASSERT_TRUE(day1.servers().find("b.com").has_value());
+  EXPECT_FALSE(day1.servers().find("a.com").has_value());
+  EXPECT_EQ(day1.ips_of(*day1.servers().find("b.com")).size(), 1u);
+}
+
+TEST(Interner, DenseIdsAndLookup) {
+  util::Interner interner;
+  EXPECT_EQ(interner.intern("a"), 0u);
+  EXPECT_EQ(interner.intern("b"), 1u);
+  EXPECT_EQ(interner.intern("a"), 0u);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.name(1), "b");
+  EXPECT_FALSE(interner.find("zzz").has_value());
+  EXPECT_THROW(interner.name(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace smash::net

@@ -1,0 +1,132 @@
+#include "graph/similarity_join.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace smash::graph {
+namespace {
+
+using util::IdSet;
+
+TEST(CooccurrenceJoin, CountsSharedKeysExactly) {
+  std::vector<IdSet> items;
+  items.emplace_back(std::vector<std::uint32_t>{1, 2, 3});
+  items.emplace_back(std::vector<std::uint32_t>{2, 3, 4});
+  items.emplace_back(std::vector<std::uint32_t>{9});
+  const auto pairs = cooccurrence_join(items);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+  EXPECT_EQ(pairs[0].shared_keys, 2u);
+}
+
+TEST(CooccurrenceJoin, MinSharedFilters) {
+  std::vector<IdSet> items;
+  items.emplace_back(std::vector<std::uint32_t>{1, 2});
+  items.emplace_back(std::vector<std::uint32_t>{2, 3});
+  items.emplace_back(std::vector<std::uint32_t>{1, 2, 3});
+  EXPECT_EQ(cooccurrence_join(items, 1).size(), 3u);
+  EXPECT_EQ(cooccurrence_join(items, 2).size(), 2u);  // (0,2) and (1,2)
+  EXPECT_EQ(cooccurrence_join(items, 3).size(), 0u);
+  EXPECT_THROW(cooccurrence_join(items, 0), std::invalid_argument);
+}
+
+TEST(CooccurrenceJoin, PostingsCapSkipsHubKeys) {
+  // Key 7 is shared by all items; with a cap of 2 it contributes nothing.
+  std::vector<IdSet> items;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    items.emplace_back(std::vector<std::uint32_t>{7, 100 + i});
+  }
+  JoinOptions options;
+  options.max_postings_length = 2;
+  EXPECT_TRUE(cooccurrence_join(items, 1, options).empty());
+  options.max_postings_length = 10;
+  EXPECT_EQ(cooccurrence_join(items, 1, options).size(), 10u);  // C(5,2)
+}
+
+TEST(CooccurrenceJoin, RejectsUnnormalizedSets) {
+  std::vector<IdSet> items(1);
+  items[0].insert(3);  // inserted but never normalized
+  EXPECT_THROW(cooccurrence_join(items), std::invalid_argument);
+}
+
+TEST(CooccurrenceJoin, OutputSortedAndCanonical) {
+  std::vector<IdSet> items;
+  items.emplace_back(std::vector<std::uint32_t>{1});
+  items.emplace_back(std::vector<std::uint32_t>{1, 2});
+  items.emplace_back(std::vector<std::uint32_t>{1, 2});
+  const auto pairs = cooccurrence_join(items);
+  ASSERT_EQ(pairs.size(), 3u);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i].a, pairs[i].b);
+    if (i > 0) {
+      EXPECT_TRUE(pairs[i - 1].a < pairs[i].a ||
+                  (pairs[i - 1].a == pairs[i].a && pairs[i - 1].b < pairs[i].b));
+    }
+  }
+}
+
+// Property test: join agrees with brute-force intersection on random data.
+class JoinPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JoinPropertyTest, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  const std::uint32_t num_items = 30;
+  const std::uint32_t key_space = 40;
+  std::vector<IdSet> items(num_items);
+  for (auto& item : items) {
+    const auto count = rng.uniform(8);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      item.insert(static_cast<std::uint32_t>(rng.uniform(key_space)));
+    }
+    item.normalize();
+  }
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> expected;
+  for (std::uint32_t a = 0; a < num_items; ++a) {
+    for (std::uint32_t b = a + 1; b < num_items; ++b) {
+      const auto shared =
+          static_cast<std::uint32_t>(intersection_size(items[a], items[b]));
+      if (shared >= 1) expected[{a, b}] = shared;
+    }
+  }
+
+  const auto pairs = cooccurrence_join(items);
+  ASSERT_EQ(pairs.size(), expected.size());
+  for (const auto& pair : pairs) {
+    const auto it = expected.find({pair.a, pair.b});
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(pair.shared_keys, it->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+TEST(BidirectionalSimilarity, MatchesPaperEquation) {
+  // eq. (1): (|∩|/|A|) * (|∩|/|B|)
+  EXPECT_DOUBLE_EQ(bidirectional_similarity(2, 4, 2), 0.5);
+  EXPECT_DOUBLE_EQ(bidirectional_similarity(3, 3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(bidirectional_similarity(0, 3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(bidirectional_similarity(1, 0, 3), 0.0);  // guard
+}
+
+TEST(BidirectionalSimilarity, SymmetricAndBounded) {
+  for (std::uint32_t shared = 0; shared <= 5; ++shared) {
+    for (std::size_t a = shared; a <= 8; ++a) {
+      for (std::size_t b = shared; b <= 8; ++b) {
+        if (a == 0 || b == 0) continue;
+        const double s = bidirectional_similarity(shared, a, b);
+        EXPECT_DOUBLE_EQ(s, bidirectional_similarity(shared, b, a));
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smash::graph

@@ -1,0 +1,152 @@
+#include "synth/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dns/domain.h"
+
+namespace smash::synth {
+namespace {
+
+class TinyWorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { dataset_ = new Dataset(generate_world(tiny_world())); }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* TinyWorldTest::dataset_ = nullptr;
+
+TEST_F(TinyWorldTest, PopulationCountsAreSane) {
+  const auto cfg = tiny_world();
+  EXPECT_EQ(dataset_->trace.num_clients(), cfg.num_clients);
+  EXPECT_GT(dataset_->trace.num_servers(), cfg.benign.num_tail_servers);
+  EXPECT_GT(dataset_->trace.num_requests(), 1000u);
+  EXPECT_EQ(dataset_->trace.num_days(), 1u);
+}
+
+TEST_F(TinyWorldTest, DeterministicForSameSeed) {
+  const Dataset again = generate_world(tiny_world());
+  EXPECT_EQ(again.trace.num_requests(), dataset_->trace.num_requests());
+  EXPECT_EQ(again.trace.num_servers(), dataset_->trace.num_servers());
+  // Spot-check a few requests byte-for-byte.
+  for (std::size_t i = 0; i < 50 && i < again.trace.requests().size(); ++i) {
+    const auto& a = again.trace.requests()[i];
+    const auto& b = dataset_->trace.requests()[i];
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(again.trace.servers().name(a.server),
+              dataset_->trace.servers().name(b.server));
+  }
+}
+
+TEST_F(TinyWorldTest, DifferentSeedsDiffer) {
+  const Dataset other = generate_world(tiny_world(12345));
+  // Same structural counts family but different content.
+  bool any_difference = other.trace.num_requests() != dataset_->trace.num_requests();
+  if (!any_difference) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      if (other.trace.requests()[i].path != dataset_->trace.requests()[i].path) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(TinyWorldTest, GroundTruthCoversFlagships) {
+  std::set<std::string> names;
+  for (const auto& campaign : dataset_->truth.campaigns()) names.insert(campaign.name);
+  for (const char* expected :
+       {"zeus-0", "bagle-0", "sality-0", "iframe-0", "scan-0", "phish-0",
+        "dropzone-0", "exploitkit-0", "noise-torrent", "noise-teamviewer"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing campaign " << expected;
+  }
+}
+
+TEST_F(TinyWorldTest, CampaignServersAppearInTrace) {
+  std::set<std::string> trace_2lds;
+  for (std::uint32_t s = 0; s < dataset_->trace.servers().size(); ++s) {
+    trace_2lds.insert(dns::effective_2ld(dataset_->trace.servers().name(s)));
+  }
+  for (const auto& campaign : dataset_->truth.campaigns()) {
+    for (const auto& server : campaign.servers) {
+      EXPECT_TRUE(trace_2lds.count(server))
+          << campaign.name << " server " << server << " never requested";
+    }
+  }
+}
+
+TEST_F(TinyWorldTest, NoiseIsNotMalicious) {
+  for (const auto& campaign : dataset_->truth.campaigns()) {
+    const bool is_noise = campaign.kind == ids::CampaignKind::kNoiseTorrent ||
+                          campaign.kind == ids::CampaignKind::kNoiseTeamViewer;
+    if (!is_noise) continue;
+    for (const auto& server : campaign.servers) {
+      EXPECT_FALSE(dataset_->truth.server_is_malicious(server));
+      EXPECT_TRUE(dataset_->truth.server_is_noise(server));
+    }
+  }
+}
+
+TEST_F(TinyWorldTest, ZeusDomainsShareIpsAndWhois) {
+  const ids::CampaignTruth* zeus = nullptr;
+  for (const auto& campaign : dataset_->truth.campaigns()) {
+    if (campaign.name == "zeus-0") zeus = &campaign;
+  }
+  ASSERT_NE(zeus, nullptr);
+  ASSERT_GE(zeus->servers.size(), 2u);
+  // Whois: any two Zeus domains share phone + name servers.
+  const auto sim = dataset_->whois.similarity(zeus->servers[0], zeus->servers[1]);
+  EXPECT_GE(sim.shared_fields, 2);
+  // IPs: resolved sets overlap.
+  const auto id0 = dataset_->trace.servers().find(zeus->servers[0]);
+  const auto id1 = dataset_->trace.servers().find(zeus->servers[1]);
+  ASSERT_TRUE(id0 && id1);
+  EXPECT_GT(intersection_size(dataset_->trace.ips_of(*id0),
+                              dataset_->trace.ips_of(*id1)),
+            0u);
+}
+
+TEST_F(TinyWorldTest, SignatureEnginePopulated) {
+  EXPECT_GT(dataset_->signatures.size(), 3u);
+  const auto labels = dataset_->signatures.label(dataset_->trace, ids::Vintage::k2013);
+  EXPECT_GT(labels.threats.size(), 0u);
+}
+
+TEST(WeekWorld, MultiDayStructure) {
+  auto cfg = tiny_world(3);
+  cfg.num_days = 7;
+  cfg.name = "tiny-week";
+  const Dataset ds = generate_world(cfg);
+  EXPECT_EQ(ds.trace.num_days(), 7u);
+  // Some campaign must be active beyond day 0.
+  bool later_activity = false;
+  for (const auto& campaign : ds.truth.campaigns()) {
+    for (auto day : campaign.active_days) later_activity |= day > 0;
+  }
+  EXPECT_TRUE(later_activity);
+}
+
+TEST(ScaledConfig, ShrinksCounts) {
+  const auto base = data2011day();
+  const auto small = base.scaled(0.1);
+  EXPECT_LT(small.num_clients, base.num_clients);
+  EXPECT_LT(small.benign.num_tail_servers, base.benign.num_tail_servers);
+  EXPECT_GE(small.benign.num_popular_servers, 1u);
+  EXPECT_THROW(base.scaled(0.0), std::invalid_argument);
+}
+
+TEST(Presets, MatchPaperTableOne) {
+  EXPECT_EQ(data2011day().num_clients, 14649u);
+  EXPECT_EQ(data2012day().num_clients, 18354u);
+  EXPECT_EQ(data2012week().num_clients, 28285u);
+  EXPECT_EQ(data2012week().num_days, 7u);
+}
+
+}  // namespace
+}  // namespace smash::synth

@@ -1,0 +1,31 @@
+// Shared helpers for building tiny hand-crafted traces in unit tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/trace.h"
+
+namespace smash::test {
+
+// Appends one request; interns names on the fly.
+inline void add_request(net::Trace& trace, std::string_view client,
+                        std::string_view host, std::string path,
+                        std::string user_agent = "UA", std::string referrer = "",
+                        std::uint16_t status = 200, std::uint32_t day = 0) {
+  net::HttpRequest req;
+  req.client = trace.intern_client(client);
+  req.server = trace.intern_server(host);
+  req.day = day;
+  req.status = status;
+  req.path = std::move(path);
+  req.user_agent = std::move(user_agent);
+  req.referrer = std::move(referrer);
+  trace.add_request(std::move(req));
+}
+
+inline void resolve(net::Trace& trace, std::string_view host, std::string_view ip) {
+  trace.add_resolution(trace.intern_server(host), trace.intern_ip(ip));
+}
+
+}  // namespace smash::test

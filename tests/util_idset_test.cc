@@ -1,0 +1,59 @@
+#include "util/id_set.h"
+
+#include <gtest/gtest.h>
+
+namespace smash::util {
+namespace {
+
+TEST(IdSet, NormalizeSortsAndDedupes) {
+  IdSet s;
+  s.insert(5);
+  s.insert(1);
+  s.insert(5);
+  s.insert(3);
+  s.normalize();
+  EXPECT_EQ(s.values(), (std::vector<std::uint32_t>{1, 3, 5}));
+  EXPECT_TRUE(s.is_normalized());
+}
+
+TEST(IdSet, ContainsAfterNormalize) {
+  IdSet s({4, 2, 2, 9});
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(9));
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(IdSet, IntersectionSize) {
+  IdSet a({1, 2, 3, 4});
+  IdSet b({3, 4, 5});
+  EXPECT_EQ(intersection_size(a, b), 2u);
+  EXPECT_EQ(intersection_size(b, a), 2u);
+  EXPECT_EQ(intersection_size(a, IdSet{}), 0u);
+}
+
+TEST(IdSet, IntersectionValues) {
+  IdSet a({1, 2, 3});
+  IdSet b({2, 3, 4});
+  EXPECT_EQ(intersection(a, b).values(), (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(IdSet, UnionSize) {
+  IdSet a({1, 2, 3});
+  IdSet b({3, 4});
+  EXPECT_EQ(union_size(a, b), 4u);
+  EXPECT_EQ(union_size(a, a), 3u);
+}
+
+TEST(IdSet, EqualityAndEmpty) {
+  EXPECT_EQ(IdSet({2, 1}), IdSet({1, 2, 2}));
+  EXPECT_TRUE(IdSet{}.empty());
+  EXPECT_EQ(IdSet{}.size(), 0u);
+}
+
+TEST(IdSet, SelfIntersection) {
+  IdSet a({7, 8, 9});
+  EXPECT_EQ(intersection_size(a, a), 3u);
+}
+
+}  // namespace
+}  // namespace smash::util

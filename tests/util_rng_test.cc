@@ -1,0 +1,163 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace smash::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(99);
+  Rng fork_before = parent.fork("stream");
+  parent.next();
+  parent.next();
+  // fork() derives from the seed state, so consuming the parent after
+  // forking must not change what an identical fork would have produced.
+  Rng parent2(99);
+  Rng fork_again = parent2.fork("stream");
+  EXPECT_EQ(fork_before.next(), fork_again.next());
+}
+
+TEST(Rng, ForkDistinctTagsDistinctStreams) {
+  Rng parent(7);
+  Rng a = parent.fork("a");
+  Rng b = parent.fork("b");
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+class SampleWithoutReplacementTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(SampleWithoutReplacementTest, DistinctAndInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 1000 + k);
+  const auto sample = rng.sample_without_replacement(n, k);
+  EXPECT_EQ(sample.size(), k);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), k);
+  for (auto v : sample) EXPECT_LT(v, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SampleWithoutReplacementTest,
+    ::testing::Values(std::pair{1u, 0u}, std::pair{1u, 1u}, std::pair{10u, 3u},
+                      std::pair{10u, 10u}, std::pair{1000u, 5u},
+                      std::pair{1000u, 900u}, std::pair{50u, 49u}));
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(ZipfSampler, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double sum = 0.0;
+  for (std::uint32_t r = 0; r < 100; ++r) sum += zipf.probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, HeadIsMoreLikelyThanTail) {
+  ZipfSampler zipf(1000, 1.2);
+  EXPECT_GT(zipf.probability(0), zipf.probability(1));
+  EXPECT_GT(zipf.probability(1), zipf.probability(999));
+}
+
+TEST(ZipfSampler, SamplesFollowRankOrder) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(42);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49]);
+}
+
+TEST(ZipfSampler, ExponentZeroIsUniformish) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::uint32_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.probability(r), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfSampler, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(Fnv1a, StableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+}  // namespace
+}  // namespace smash::util

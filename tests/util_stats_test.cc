@@ -1,0 +1,97 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smash::util {
+namespace {
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Variance, KnownValue) {
+  // Population variance of {2, 4, 4, 4, 5, 5, 7, 9} is 4.
+  EXPECT_DOUBLE_EQ(variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
+}
+
+TEST(Percentile, InterpolatesAndClamps) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+  EXPECT_THROW(percentile(v, 101), std::invalid_argument);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, StepFunction) {
+  const auto cdf = empirical_cdf({1, 1, 2, 4});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].x, 1);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 3.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 100.0), 1.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.5);   // bucket 4
+  h.add(-3);    // clamped to 0
+  h.add(200);   // clamped to 4
+  h.add(5.0);   // bucket 2
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[4], 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_FALSE(h.ascii().empty());
+}
+
+TEST(HistogramTest, RejectsBadArguments) {
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5, 5, 3), std::invalid_argument);
+}
+
+// phi(x) = (1 + erf((x - mu)/sigma)) / 2, the eq. (9) normalizer.
+TEST(PhiErf, CenterIsHalf) {
+  EXPECT_NEAR(phi_erf(4.0, 4.0, 5.5), 0.5, 1e-12);
+}
+
+TEST(PhiErf, MonotoneInX) {
+  // Strictly increasing until double-precision erf saturates (~x = 25 for
+  // these parameters), non-decreasing after.
+  double prev = 0.0;
+  for (int x = 0; x <= 40; ++x) {
+    const double v = phi_erf(x, 4.0, 5.5);
+    if (x <= 20) EXPECT_GT(v, prev) << "x=" << x;
+    else EXPECT_GE(v, prev) << "x=" << x;
+    prev = v;
+  }
+}
+
+TEST(PhiErf, SaturatesNearOne) {
+  EXPECT_GT(phi_erf(40, 4.0, 5.5), 0.999);
+  EXPECT_LE(phi_erf(40, 4.0, 5.5), 1.0);  // saturates to 1 in double precision
+}
+
+TEST(PhiErf, PaperAnchors) {
+  // "a group with less than four servers receives a low score"
+  EXPECT_LT(phi_erf(2, 4.0, 5.5), 0.31);
+  EXPECT_LT(phi_erf(3, 4.0, 5.5), 0.5);
+  // Larger groups approach full confidence.
+  EXPECT_GT(phi_erf(10, 4.0, 5.5), 0.9);
+}
+
+TEST(PhiErf, RejectsBadSigma) {
+  EXPECT_THROW(phi_erf(1, 0, 0), std::invalid_argument);
+  EXPECT_THROW(phi_erf(1, 0, -2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smash::util

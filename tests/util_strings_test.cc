@@ -1,0 +1,88 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace smash::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingSeparator) {
+  const auto parts = split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitNonempty, DropsEmpties) {
+  const auto parts = split_nonempty(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Join, BasicAndEmpty) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(ToLower, MixedCase) { EXPECT_EQ(to_lower("AbC.Com"), "abc.com"); }
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foo", "foobar"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("bar", "foobar"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(0.064, 3), "0.064");
+}
+
+class WithCommasTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::string>> {};
+
+TEST_P(WithCommasTest, Formats) {
+  EXPECT_EQ(with_commas(GetParam().first), GetParam().second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, WithCommasTest,
+    ::testing::Values(std::pair<std::uint64_t, std::string>{0, "0"},
+                      std::pair<std::uint64_t, std::string>{7, "7"},
+                      std::pair<std::uint64_t, std::string>{999, "999"},
+                      std::pair<std::uint64_t, std::string>{1000, "1,000"},
+                      std::pair<std::uint64_t, std::string>{28544473, "28,544,473"},
+                      std::pair<std::uint64_t, std::string>{1521249, "1,521,249"}));
+
+}  // namespace
+}  // namespace smash::util

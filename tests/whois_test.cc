@@ -1,0 +1,109 @@
+#include "whois/whois.h"
+
+#include <gtest/gtest.h>
+
+namespace smash::whois {
+namespace {
+
+Record make_record(std::string registrant, std::string address, std::string email,
+                   std::string phone, std::string ns) {
+  Record rec;
+  rec.registrant = std::move(registrant);
+  rec.address = std::move(address);
+  rec.email = std::move(email);
+  rec.phone = std::move(phone);
+  rec.name_servers = std::move(ns);
+  return rec;
+}
+
+TEST(Registry, SimilaritySharedOverUnion) {
+  Registry reg;
+  // The paper's Fig. 5 shape: different registrants, same address, phone
+  // and name servers -> 3 shared of 5 -> 0.6.
+  reg.add("a.com", make_record("alice", "addr1", "a@x.com", "+1.555", "ns1,ns2"));
+  reg.add("b.com", make_record("bob", "addr1", "b@x.com", "+1.555", "ns1,ns2"));
+  const auto sim = reg.similarity("a.com", "b.com");
+  EXPECT_EQ(sim.shared_fields, 3);
+  EXPECT_EQ(sim.union_fields, 5);
+  EXPECT_DOUBLE_EQ(sim.score, 0.6);
+}
+
+TEST(Registry, MinSharedGate) {
+  Registry reg;
+  reg.add("a.com", make_record("alice", "addr1", "a@x.com", "+1", "ns1"));
+  reg.add("b.com", make_record("bob", "addr1", "b@y.com", "+2", "ns2"));
+  // Only one shared field: below the >= 2 gate.
+  const auto sim = reg.similarity("a.com", "b.com");
+  EXPECT_EQ(sim.shared_fields, 1);
+  EXPECT_DOUBLE_EQ(sim.score, 0.0);
+  // Explicit gate of 1 admits it.
+  EXPECT_GT(reg.similarity("a.com", "b.com", 1).score, 0.0);
+}
+
+TEST(Registry, ProxyValuesDoNotCount) {
+  Registry reg;
+  reg.add_proxy_value("WhoisGuard Protected");
+  reg.add_proxy_value("privacy@proxy.example");
+  reg.add("a.com", make_record("WhoisGuard Protected", "addr1",
+                               "privacy@proxy.example", "+1", "ns1"));
+  reg.add("b.com", make_record("WhoisGuard Protected", "addr2",
+                               "privacy@proxy.example", "+1", "ns2"));
+  // Registrant and email match but are proxy values; only phone counts.
+  const auto sim = reg.similarity("a.com", "b.com");
+  EXPECT_EQ(sim.shared_fields, 1);
+  EXPECT_DOUBLE_EQ(sim.score, 0.0);
+  EXPECT_TRUE(reg.is_proxy_value("WhoisGuard Protected"));
+  EXPECT_FALSE(reg.is_proxy_value("alice"));
+}
+
+TEST(Registry, EmptyFieldsShrinkTheUnion) {
+  Registry reg;
+  reg.add("a.com", make_record("alice", "", "a@x.com", "", "ns1"));
+  reg.add("b.com", make_record("alice", "", "a@x.com", "", ""));
+  const auto sim = reg.similarity("a.com", "b.com");
+  EXPECT_EQ(sim.shared_fields, 2);
+  EXPECT_EQ(sim.union_fields, 3);  // registrant, email, ns (one side)
+  EXPECT_DOUBLE_EQ(sim.score, 2.0 / 3.0);
+}
+
+TEST(Registry, UnknownDomainScoresZero) {
+  Registry reg;
+  reg.add("a.com", make_record("alice", "x", "y", "z", "ns"));
+  EXPECT_DOUBLE_EQ(reg.similarity("a.com", "missing.com").score, 0.0);
+  EXPECT_EQ(reg.find("missing.com"), nullptr);
+  EXPECT_NE(reg.find("a.com"), nullptr);
+}
+
+TEST(Registry, OverwriteReplacesRecord) {
+  Registry reg;
+  reg.add("a.com", make_record("old", "", "", "", ""));
+  reg.add("a.com", make_record("new", "", "", "", ""));
+  EXPECT_EQ(reg.find("a.com")->registrant, "new");
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(JoinNameServers, SortsAndDedupes) {
+  EXPECT_EQ(join_name_servers({"ns2.x.com", "ns1.x.com", "ns2.x.com"}),
+            "ns1.x.com,ns2.x.com");
+  EXPECT_EQ(join_name_servers({}), "");
+}
+
+TEST(Record, FieldAccessors) {
+  Record rec = make_record("r", "a", "e", "p", "n");
+  EXPECT_EQ(rec.value(Field::kRegistrant), "r");
+  EXPECT_EQ(rec.value(Field::kAddress), "a");
+  EXPECT_EQ(rec.value(Field::kEmail), "e");
+  EXPECT_EQ(rec.value(Field::kPhone), "p");
+  EXPECT_EQ(rec.value(Field::kNameServers), "n");
+  rec.value(Field::kEmail) = "e2";
+  EXPECT_EQ(rec.email, "e2");
+}
+
+TEST(FieldName, AllNamed) {
+  for (int f = 0; f < kNumFields; ++f) {
+    EXPECT_NE(field_name(static_cast<Field>(f)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace smash::whois
