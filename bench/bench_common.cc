@@ -1,11 +1,52 @@
 #include "bench_common.h"
 
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace smash::bench {
+
+std::vector<util::IdSet> random_key_sets(std::uint32_t items,
+                                         std::uint32_t keys_per_item,
+                                         std::uint32_t key_space,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<util::IdSet> out(items);
+  for (auto& item : out) {
+    item.reserve(keys_per_item);
+    for (std::uint32_t k = 0; k < keys_per_item; ++k) {
+      item.insert(static_cast<std::uint32_t>(rng.uniform(key_space)));
+    }
+    item.normalize();
+  }
+  return out;
+}
+
+graph::Graph planted_clique_graph(std::uint32_t cliques, std::uint32_t size,
+                                  double bridge_probability,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::GraphBuilder builder(cliques * size);
+  for (std::uint32_t c = 0; c < cliques; ++c) {
+    const std::uint32_t base = c * size;
+    for (std::uint32_t u = 0; u < size; ++u) {
+      for (std::uint32_t v = u + 1; v < size; ++v) {
+        builder.add_edge(base + u, base + v, 1.0);
+      }
+    }
+  }
+  for (std::uint32_t c = 0; c + 1 < cliques; ++c) {
+    if (rng.bernoulli(bridge_probability)) {
+      builder.add_edge(c * size, (c + 1) * size, 0.3);
+    }
+  }
+  return std::move(builder).build();
+}
 
 const synth::Dataset& dataset(const std::string& preset) {
   static std::map<std::string, synth::Dataset> cache;
@@ -112,6 +153,77 @@ util::Table server_sweep_table(const std::string& title,
   row("False Positives", [](const core::ServerCounts& c) { return c.false_positives; });
   row("FP (Updated)", [](const core::ServerCounts& c) { return c.fp_updated; });
   return table;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double value) {
+  std::ostringstream os;
+  os.precision(12);
+  os << value;
+  out += os.str();
+}
+
+}  // namespace
+
+void JsonReporter::add(const std::string& name, double ms,
+                       std::map<std::string, double> counters) {
+  entries_.push_back({name, ms, std::move(counters)});
+}
+
+std::string JsonReporter::to_json() const {
+  std::string out = "{\n  \"benchmark\": ";
+  append_json_string(out, benchmark_set_);
+  out += ",\n  \"unit\": \"ms\",\n  \"entries\": [";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& entry = entries_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_json_string(out, entry.name);
+    out += ", \"ms\": ";
+    append_json_number(out, entry.ms);
+    for (const auto& [key, value] : entry.counters) {
+      out += ", ";
+      append_json_string(out, key);
+      out += ": ";
+      append_json_number(out, value);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool JsonReporter::write(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "JsonReporter: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  file << to_json();
+  return static_cast<bool>(file);
 }
 
 OperatingPoint run_operating_point(const synth::Dataset& ds) {

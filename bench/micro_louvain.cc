@@ -4,36 +4,16 @@
 // planted structure the scoring step depends on.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "graph/louvain.h"
-#include "util/rng.h"
 
 namespace {
 
 using namespace smash::graph;
 
-Graph planted_cliques(std::uint32_t cliques, std::uint32_t size,
-                      double bridge_probability, std::uint64_t seed) {
-  smash::util::Rng rng(seed);
-  GraphBuilder builder(cliques * size);
-  for (std::uint32_t c = 0; c < cliques; ++c) {
-    const std::uint32_t base = c * size;
-    for (std::uint32_t u = 0; u < size; ++u) {
-      for (std::uint32_t v = u + 1; v < size; ++v) {
-        builder.add_edge(base + u, base + v, 1.0);
-      }
-    }
-  }
-  for (std::uint32_t c = 0; c + 1 < cliques; ++c) {
-    if (rng.bernoulli(bridge_probability)) {
-      builder.add_edge(c * size, (c + 1) * size, 0.3);
-    }
-  }
-  return std::move(builder).build();
-}
-
 void BM_Louvain(benchmark::State& state) {
   const auto cliques = static_cast<std::uint32_t>(state.range(0));
-  const Graph g = planted_cliques(cliques, 8, 0.5, 11);
+  const Graph g = smash::bench::planted_clique_graph(cliques, 8, 0.5, 11);
   double modularity = 0;
   for (auto _ : state) {
     const auto result = louvain(g);
@@ -47,7 +27,7 @@ BENCHMARK(BM_Louvain)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisec
 
 void BM_LouvainRefined(benchmark::State& state) {
   const auto cliques = static_cast<std::uint32_t>(state.range(0));
-  const Graph g = planted_cliques(cliques, 8, 0.5, 11);
+  const Graph g = smash::bench::planted_clique_graph(cliques, 8, 0.5, 11);
   std::uint32_t communities = 0;
   for (auto _ : state) {
     const auto result = louvain_refined(g);

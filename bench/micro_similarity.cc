@@ -3,33 +3,21 @@
 // N^2 pairs). Sweeps item count and key-set density.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "graph/similarity_join.h"
 #include "util/rng.h"
 
 namespace {
 
 using smash::graph::cooccurrence_join;
-using smash::util::IdSet;
 using smash::util::Rng;
-
-std::vector<IdSet> make_items(std::uint32_t items, std::uint32_t keys_per_item,
-                              std::uint32_t key_space, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<IdSet> out(items);
-  for (auto& item : out) {
-    for (std::uint32_t k = 0; k < keys_per_item; ++k) {
-      item.insert(static_cast<std::uint32_t>(rng.uniform(key_space)));
-    }
-    item.normalize();
-  }
-  return out;
-}
 
 void BM_CooccurrenceJoin(benchmark::State& state) {
   const auto items = static_cast<std::uint32_t>(state.range(0));
   const auto keys_per_item = static_cast<std::uint32_t>(state.range(1));
   // Key space scales with items (sparse, ISP-like overlap structure).
-  const auto data = make_items(items, keys_per_item, items * 2, 7);
+  const auto data =
+      smash::bench::random_key_sets(items, keys_per_item, items * 2, 7);
   std::size_t pairs = 0;
   for (auto _ : state) {
     const auto result = cooccurrence_join(data);

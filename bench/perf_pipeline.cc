@@ -1,0 +1,50 @@
+// End-to-end perf baseline: full SMASH pipeline (preprocess -> mine ->
+// correlate -> prune -> campaigns) per dataset preset, serial vs threaded
+// mining, written to BENCH_pipeline.json.
+//
+// Usage: perf_pipeline [output.json]   (default: BENCH_pipeline.json)
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+namespace {
+
+void bench_preset(smash::bench::JsonReporter& report,
+                  const std::string& preset, int repeats) {
+  const auto& ds = smash::bench::dataset(preset);
+
+  for (const unsigned threads : {1u, 4u}) {
+    smash::core::SmashConfig config;
+    config.num_threads = threads;
+    const smash::core::SmashPipeline pipeline(config);
+
+    std::size_t campaigns = 0;
+    std::size_t servers = 0;
+    const double ms = smash::bench::time_best_ms(repeats, [&] {
+      const auto result = pipeline.run(ds.trace, ds.whois);
+      campaigns = result.campaigns.size();
+      servers = result.pre.kept.size();
+    });
+    report.add("pipeline/" + preset + "/threads" + std::to_string(threads), ms,
+               {{"campaigns", static_cast<double>(campaigns)},
+                {"kept_servers", static_cast<double>(servers)},
+                {"threads", static_cast<double>(threads)}});
+    std::printf("pipeline %-9s threads=%u  %9.1f ms  (%zu campaigns, %zu kept servers)\n",
+                preset.c_str(), threads, ms, campaigns, servers);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
+  smash::bench::JsonReporter report("pipeline");
+
+  bench_preset(report, "2011day", 3);
+  bench_preset(report, "2012day", 3);
+
+  if (!report.write(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,12 +1,13 @@
 #include "core/dimensions.h"
 
+#include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "core/file_classifier.h"
 #include "graph/components.h"
 #include "graph/louvain.h"
 #include "graph/similarity_join.h"
+#include "util/thread_pool.h"
 
 namespace smash::core {
 
@@ -44,10 +45,15 @@ DimensionAshes mine_keyset_dimension(Dimension dimension,
                                      std::vector<util::IdSet> key_sets,
                                      double edge_threshold,
                                      std::uint32_t postings_cap,
-                                     const SmashConfig& config) {
+                                     const SmashConfig& config,
+                                     unsigned join_threads = 1) {
   graph::JoinOptions join_options;
   join_options.max_postings_length = postings_cap;
-  const auto pairs = graph::cooccurrence_join(key_sets, 1, join_options);
+  const auto pairs =
+      join_threads > 1
+          ? graph::cooccurrence_join_parallel(key_sets, 1, join_options,
+                                              join_threads)
+          : graph::cooccurrence_join(key_sets, 1, join_options);
 
   graph::GraphBuilder builder(static_cast<std::uint32_t>(key_sets.size()));
   for (const auto& pair : pairs) {
@@ -63,9 +69,12 @@ DimensionAshes mine_client_dimension(const PreprocessResult& pre,
   std::vector<util::IdSet> clients;
   clients.reserve(pre.kept.size());
   for (auto server : pre.kept) clients.push_back(pre.agg.profile(server).clients);
+  // The client join is the largest (every kept server has a client set), so
+  // it alone gets the probe-range-sharded parallel join.
   return mine_keyset_dimension(Dimension::kClient, std::move(clients),
                                config.client_edge_threshold,
-                               config.join_postings_cap, config);
+                               config.join_postings_cap, config,
+                               config.num_threads);
 }
 
 DimensionAshes mine_ip_dimension(const PreprocessResult& pre,
@@ -84,13 +93,13 @@ DimensionAshes mine_file_dimension(const PreprocessResult& pre,
                                   config.filename_cosine_threshold);
   std::vector<util::IdSet> classes;
   classes.reserve(pre.kept.size());
+  util::IdSet set;
   for (auto server : pre.kept) {
-    util::IdSet set;
-    for (auto file : pre.agg.profile(server).files) {
-      set.insert(classifier.class_of(file));
-    }
+    const auto& files = pre.agg.profile(server).files;
+    set.reserve(files.size());
+    for (auto file : files) set.insert(classifier.class_of(file));
     set.normalize();
-    classes.push_back(std::move(set));
+    classes.push_back(util::IdSet::from_sorted_unique(set.release()));
   }
   return mine_keyset_dimension(Dimension::kFile, std::move(classes),
                                config.file_edge_threshold,
@@ -102,13 +111,13 @@ DimensionAshes mine_param_dimension(const PreprocessResult& pre,
   util::Interner patterns;
   std::vector<util::IdSet> sets;
   sets.reserve(pre.kept.size());
+  util::IdSet set;
   for (auto server : pre.kept) {
-    util::IdSet set;
-    for (const auto& pattern : pre.agg.profile(server).param_patterns) {
-      set.insert(patterns.intern(pattern));
-    }
+    const auto& raw = pre.agg.profile(server).param_patterns;
+    set.reserve(raw.size());
+    for (const auto& pattern : raw) set.insert(patterns.intern(pattern));
     set.normalize();
-    sets.push_back(std::move(set));
+    sets.push_back(util::IdSet::from_sorted_unique(set.release()));
   }
   return mine_keyset_dimension(Dimension::kParam, std::move(sets),
                                config.param_edge_threshold,
@@ -126,6 +135,7 @@ DimensionAshes mine_whois_dimension(const PreprocessResult& pre,
   for (std::uint32_t i = 0; i < pre.kept.size(); ++i) {
     const whois::Record* rec = registry.find(pre.agg.server_name(pre.kept[i]));
     if (rec == nullptr) continue;
+    field_sets[i].reserve(whois::kNumFields);
     for (int f = 0; f < whois::kNumFields; ++f) {
       const auto& value = rec->value(static_cast<whois::Field>(f));
       if (value.empty() || registry.is_proxy_value(value)) continue;
@@ -191,11 +201,30 @@ std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,
                                                 const SmashConfig& config) {
   const int dimensions = config.enable_param_dimension ? kNumDimensions + 1
                                                        : kNumDimensions;
-  std::vector<DimensionAshes> out;
-  out.reserve(dimensions);
-  for (int d = 0; d < dimensions; ++d) {
-    out.push_back(mine_dimension(static_cast<Dimension>(d), pre, registry, config));
+  std::vector<DimensionAshes> out(dimensions);
+  if (config.num_threads <= 1) {
+    for (int d = 0; d < dimensions; ++d) {
+      out[d] = mine_dimension(static_cast<Dimension>(d), pre, registry, config);
+    }
+    return out;
   }
+  // Dimensions are independent (each reads `pre`/`registry` and writes only
+  // its own slot), so the result is identical for any thread count. The
+  // client dimension's own sharded join gets only the threads left over
+  // once every other dimension has a worker, keeping the total number of
+  // active threads within config.num_threads (the join would otherwise
+  // spawn a second full-size pool on top of this one).
+  SmashConfig inner = config;
+  const auto other_dimensions = static_cast<unsigned>(dimensions - 1);
+  inner.num_threads = config.num_threads > other_dimensions
+                          ? config.num_threads - other_dimensions
+                          : 1;
+  // parallel_for drains on the calling thread as well as the pool workers,
+  // so size the pool one short of the budget.
+  util::ThreadPool pool(std::min(config.num_threads - 1, other_dimensions));
+  util::parallel_for(pool, static_cast<std::size_t>(dimensions), [&](std::size_t d) {
+    out[d] = mine_dimension(static_cast<Dimension>(d), pre, registry, inner);
+  });
   return out;
 }
 

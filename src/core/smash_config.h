@@ -57,6 +57,13 @@ struct SmashConfig {
   // ("id=" alone) and are skipped, like the URI-file stop-file cap.
   std::uint32_t param_postings_cap = 1500;
 
+  // --- execution ---------------------------------------------------------------
+  // Worker threads for ASH mining: dimensions are mined concurrently and
+  // the client-dimension join is probe-range sharded. Results are
+  // identical for any thread count (each dimension is independent and the
+  // sharded join reproduces the serial output exactly); 1 = fully serial.
+  unsigned num_threads = 1;
+
   // --- pruning (paper §III-D) -------------------------------------------------
   // A server is "referred by" a host if at least this fraction of its
   // requests carry that Referer; a group is a referrer group if every

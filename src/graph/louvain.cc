@@ -1,22 +1,26 @@
 #include "graph/louvain.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace smash::graph {
 
 namespace {
 
-// Renumber arbitrary community labels to [0, k) preserving first-seen order.
+constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+
+// Renumber arbitrary community labels to [0, k) preserving first-seen
+// order. Labels are always < labels.size() (they start as node ids or
+// dense community ids), so a flat remap array suffices.
 std::uint32_t renumber(std::vector<std::uint32_t>& labels) {
-  std::unordered_map<std::uint32_t, std::uint32_t> remap;
-  remap.reserve(labels.size());
+  std::vector<std::uint32_t> remap(labels.size(), kUnset);
+  std::uint32_t next = 0;
   for (auto& label : labels) {
-    auto [it, inserted] = remap.emplace(label, static_cast<std::uint32_t>(remap.size()));
-    label = it->second;
+    if (remap[label] == kUnset) remap[label] = next++;
+    label = remap[label];
   }
-  return static_cast<std::uint32_t>(remap.size());
+  return next;
 }
 
 // One level of local moving. Returns the (renumbered) node -> community map
@@ -38,13 +42,19 @@ LevelResult local_moving(const Graph& g, const LouvainOptions& options) {
     result.num_communities = n;
     return result;  // edgeless graph: all singletons
   }
+  const double inv_m = 1.0 / g.total_weight();
 
   // tot[c]: sum of weighted degrees of nodes in community c.
   std::vector<double> tot(n, 0.0);
   for (std::uint32_t v = 0; v < n; ++v) tot[v] = g.weighted_degree(v);
 
   // Scratch: weight from the current node to each adjacent community.
-  std::unordered_map<std::uint32_t, double> weight_to_comm;
+  // Dense array + touched list; all-zero between nodes. Edge weights are
+  // strictly positive (GraphBuilder enforces it), so a touched community
+  // other than old_comm always has weight > 0.
+  std::vector<double> weight_to_comm(n, 0.0);
+  std::vector<std::uint32_t> touched;
+  touched.reserve(64);
 
   for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
     bool moved_this_sweep = false;
@@ -52,11 +62,13 @@ LevelResult local_moving(const Graph& g, const LouvainOptions& options) {
       const std::uint32_t old_comm = result.community_of[v];
       const double k_v = g.weighted_degree(v);
 
-      weight_to_comm.clear();
-      weight_to_comm[old_comm] = 0.0;  // moving back is always an option
+      touched.clear();
+      touched.push_back(old_comm);  // moving back is always an option
       for (const auto& nb : g.neighbors(v)) {
         if (nb.node == v) continue;  // self-loop does not affect the gain delta
-        weight_to_comm[result.community_of[nb.node]] += nb.weight;
+        const std::uint32_t c = result.community_of[nb.node];
+        if (weight_to_comm[c] == 0.0 && c != old_comm) touched.push_back(c);
+        weight_to_comm[c] += nb.weight;
       }
 
       // Remove v from its community for the gain computation.
@@ -65,17 +77,21 @@ LevelResult local_moving(const Graph& g, const LouvainOptions& options) {
       // Gain of joining community c (relative, constant terms dropped):
       //   dQ(c) = w(v->c)/m - tot[c]*k_v/(2m^2)
       // We compare 2m*dQ = 2*w(v->c) - tot[c]*k_v/m to avoid divisions.
+      // Candidates are scanned in ascending community id so the tie-break
+      // below is independent of adjacency order.
+      std::sort(touched.begin(), touched.end());
       std::uint32_t best_comm = old_comm;
       double best_gain =
-          2.0 * weight_to_comm[old_comm] - tot[old_comm] * k_v / g.total_weight();
-      for (const auto& [comm, w] : weight_to_comm) {
-        const double gain = 2.0 * w - tot[comm] * k_v / g.total_weight();
+          2.0 * weight_to_comm[old_comm] - tot[old_comm] * k_v * inv_m;
+      for (const std::uint32_t comm : touched) {
+        const double gain = 2.0 * weight_to_comm[comm] - tot[comm] * k_v * inv_m;
         if (gain > best_gain + options.min_modularity_gain ||
             (gain > best_gain && comm < best_comm)) {
           best_gain = gain;
           best_comm = comm;
         }
       }
+      for (const std::uint32_t comm : touched) weight_to_comm[comm] = 0.0;
 
       tot[best_comm] += k_v;
       if (best_comm != old_comm) {
@@ -92,26 +108,46 @@ LevelResult local_moving(const Graph& g, const LouvainOptions& options) {
 }
 
 // Aggregate: one node per community; edge weights summed; intra-community
-// weight becomes a self-loop.
+// weight becomes a self-loop. Community-bucketed counting sort over the
+// nodes, then a dense per-community weight accumulator — no hash maps.
 Graph aggregate(const Graph& g, const std::vector<std::uint32_t>& community_of,
                 std::uint32_t num_communities) {
-  GraphBuilder builder(num_communities);
-  // Sum weights per (cu, cv) pair; iterate each undirected edge once.
-  std::unordered_map<std::uint64_t, double> agg;
-  agg.reserve(g.num_edges());
-  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
-    for (const auto& nb : g.neighbors(u)) {
-      if (nb.node < u) continue;  // visit each undirected edge once
-      std::uint32_t cu = community_of[u];
-      std::uint32_t cv = community_of[nb.node];
-      if (cu > cv) std::swap(cu, cv);
-      const std::uint64_t key = (static_cast<std::uint64_t>(cu) << 32) | cv;
-      agg[key] += nb.weight;
-    }
+  const std::uint32_t n = g.num_nodes();
+
+  // Counting sort: members of community c are
+  // members[start[c] .. start[c+1]), ascending (nodes visited in order).
+  std::vector<std::uint32_t> start(num_communities + 1, 0);
+  for (std::uint32_t v = 0; v < n; ++v) ++start[community_of[v] + 1];
+  for (std::uint32_t c = 0; c < num_communities; ++c) start[c + 1] += start[c];
+  std::vector<std::uint32_t> members(n);
+  {
+    std::vector<std::uint32_t> cursor(start.begin(), start.end() - 1);
+    for (std::uint32_t v = 0; v < n; ++v) members[cursor[community_of[v]]++] = v;
   }
-  for (const auto& [key, weight] : agg) {
-    builder.add_edge(static_cast<std::uint32_t>(key >> 32),
-                     static_cast<std::uint32_t>(key & 0xffffffffu), weight);
+
+  GraphBuilder builder(num_communities);
+  std::vector<double> weight_to(num_communities, 0.0);
+  std::vector<std::uint32_t> touched;
+  for (std::uint32_t cu = 0; cu < num_communities; ++cu) {
+    touched.clear();
+    for (std::uint32_t idx = start[cu]; idx < start[cu + 1]; ++idx) {
+      const std::uint32_t u = members[idx];
+      for (const auto& nb : g.neighbors(u)) {
+        const std::uint32_t cv = community_of[nb.node];
+        // Each undirected edge is accumulated exactly once: from its
+        // lower-community endpoint, and within a community from its
+        // lower-id endpoint (self-loops pass the second test).
+        if (cv < cu) continue;
+        if (cv == cu && nb.node < u) continue;
+        if (weight_to[cv] == 0.0) touched.push_back(cv);
+        weight_to[cv] += nb.weight;
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const std::uint32_t cv : touched) {
+      builder.add_edge(cu, cv, weight_to[cv]);
+      weight_to[cv] = 0.0;
+    }
   }
   return std::move(builder).build();
 }
@@ -166,6 +202,10 @@ LouvainResult louvain_refined(const Graph& g, const LouvainOptions& options) {
   std::vector<std::vector<std::uint32_t>> queue = base.groups();
   std::vector<std::vector<std::uint32_t>> final_groups;
 
+  // Dense node -> local-subgraph id map, reused across queue entries and
+  // reset via the member list (kUnset marks non-members).
+  std::vector<std::uint32_t> local_id(g.num_nodes(), kUnset);
+
   while (!queue.empty()) {
     std::vector<std::uint32_t> members = std::move(queue.back());
     queue.pop_back();
@@ -175,18 +215,16 @@ LouvainResult louvain_refined(const Graph& g, const LouvainOptions& options) {
     }
 
     // Induced subgraph over `members`.
-    std::unordered_map<std::uint32_t, std::uint32_t> local_id;
-    local_id.reserve(members.size());
     for (std::uint32_t i = 0; i < members.size(); ++i) local_id[members[i]] = i;
     GraphBuilder builder(static_cast<std::uint32_t>(members.size()));
     for (auto u : members) {
       for (const auto& nb : g.neighbors(u)) {
         if (nb.node < u) continue;
-        auto it = local_id.find(nb.node);
-        if (it == local_id.end()) continue;
-        builder.add_edge(local_id[u], it->second, nb.weight);
+        if (local_id[nb.node] == kUnset) continue;
+        builder.add_edge(local_id[u], local_id[nb.node], nb.weight);
       }
     }
+    for (auto u : members) local_id[u] = kUnset;
     const Graph sub = std::move(builder).build();
     const LouvainResult split = louvain(sub, options);
 

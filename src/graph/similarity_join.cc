@@ -4,9 +4,182 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/thread_pool.h"
+
 namespace smash::graph {
 
+namespace {
+
+// Flat CSR inverted index: postings of key k are
+// entries[offsets[k] .. offsets[k+1]), in ascending item order (guaranteed
+// by the counting-sort build iterating items in order).
+struct PostingsIndex {
+  std::vector<std::size_t> offsets;     // size num_keys + 1
+  std::vector<std::uint32_t> entries;   // item ids
+  std::uint32_t num_keys = 0;           // max key + 1 (0 when no keys)
+
+  std::size_t length(std::uint32_t key) const {
+    return offsets[key + 1] - offsets[key];
+  }
+};
+
+PostingsIndex build_postings(std::span<const util::IdSet> items) {
+  PostingsIndex index;
+  std::uint32_t max_key = 0;
+  bool any_key = false;
+  std::size_t total_entries = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].is_normalized()) {
+      throw std::invalid_argument("cooccurrence_join: IdSet not normalized");
+    }
+    if (!items[i].empty()) {
+      any_key = true;
+      max_key = std::max(max_key, items[i].values().back());
+      total_entries += items[i].size();
+    }
+  }
+  index.num_keys = any_key ? max_key + 1 : 0;
+
+  index.offsets.assign(index.num_keys + 1, 0);
+  for (const auto& item : items) {
+    for (auto key : item) ++index.offsets[key + 1];
+  }
+  for (std::uint32_t k = 0; k < index.num_keys; ++k) {
+    index.offsets[k + 1] += index.offsets[k];
+  }
+
+  index.entries.resize(total_entries);
+  std::vector<std::size_t> cursor(index.offsets.begin(),
+                                  index.offsets.end() - 1);
+  for (std::uint32_t i = 0; i < items.size(); ++i) {
+    for (auto key : items[i]) index.entries[cursor[key]++] = i;
+  }
+  return index;
+}
+
+// Counts co-occurrences for probe items in [a_begin, a_end) against the
+// shared postings index, appending (a, b, count) triples grouped by `a` in
+// ascending (a, b) order. `counts` must be all-zero on entry and of size
+// >= items.size(); it is restored to all-zero on exit.
+void count_probe_range(std::span<const util::IdSet> items,
+                       const PostingsIndex& index, std::uint32_t a_begin,
+                       std::uint32_t a_end, std::uint32_t min_shared,
+                       std::uint32_t max_postings_length,
+                       std::vector<std::uint32_t>& counts,
+                       std::vector<std::uint32_t>& touched,
+                       std::vector<CooccurrencePair>& out,
+                       std::size_t& candidate_pairs) {
+  for (std::uint32_t a = a_begin; a < a_end; ++a) {
+    touched.clear();
+    for (auto key : items[a]) {
+      const std::size_t len = index.length(key);
+      if (len < 2 || len > max_postings_length) continue;
+      const auto* begin = index.entries.data() + index.offsets[key];
+      const auto* end = index.entries.data() + index.offsets[key + 1];
+      // Postings are ascending, so everything after `a` pairs with it.
+      const auto* it = std::upper_bound(begin, end, a);
+      candidate_pairs += static_cast<std::size_t>(end - it);
+      for (; it != end; ++it) {
+        const std::uint32_t b = *it;
+        // Edge weights into the scoring array; 0 means "untouched" (a key
+        // contributes exactly 1, so a touched slot is always >= 1).
+        if (counts[b]++ == 0) touched.push_back(b);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const std::uint32_t b : touched) {
+      if (counts[b] >= min_shared) out.push_back({a, b, counts[b]});
+      counts[b] = 0;
+    }
+  }
+}
+
+void fill_key_stats(const PostingsIndex& index,
+                    std::uint32_t max_postings_length, JoinStats& stats) {
+  stats.postings_entries = index.entries.size();
+  for (std::uint32_t k = 0; k < index.num_keys; ++k) {
+    const std::size_t len = index.length(k);
+    if (len == 0) continue;
+    ++stats.num_keys;
+    stats.peak_postings_length = std::max(stats.peak_postings_length, len);
+    if (len > max_postings_length) {
+      ++stats.skipped_keys;
+      stats.skipped_entries += len;
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<CooccurrencePair> cooccurrence_join(
+    std::span<const util::IdSet> items, std::uint32_t min_shared,
+    const JoinOptions& options, JoinStats* stats) {
+  if (min_shared == 0) {
+    throw std::invalid_argument("cooccurrence_join: min_shared must be >= 1");
+  }
+  const PostingsIndex index = build_postings(items);
+
+  JoinStats local;
+  fill_key_stats(index, options.max_postings_length, local);
+
+  std::vector<CooccurrencePair> out;
+  std::vector<std::uint32_t> counts(items.size(), 0);
+  std::vector<std::uint32_t> touched;
+  count_probe_range(items, index, 0, static_cast<std::uint32_t>(items.size()),
+                    min_shared, options.max_postings_length, counts, touched,
+                    out, local.candidate_pairs);
+  local.emitted_pairs = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<CooccurrencePair> cooccurrence_join_parallel(
+    std::span<const util::IdSet> items, std::uint32_t min_shared,
+    const JoinOptions& options, unsigned num_threads, JoinStats* stats) {
+  constexpr std::size_t kMinItemsPerShard = 256;
+  const std::size_t n = items.size();
+  unsigned shards = num_threads == 0 ? 1 : num_threads;
+  shards = static_cast<unsigned>(
+      std::min<std::size_t>(shards, std::max<std::size_t>(n / kMinItemsPerShard, 1)));
+  if (shards <= 1) return cooccurrence_join(items, min_shared, options, stats);
+  if (min_shared == 0) {
+    throw std::invalid_argument("cooccurrence_join: min_shared must be >= 1");
+  }
+
+  const PostingsIndex index = build_postings(items);
+
+  JoinStats local;
+  fill_key_stats(index, options.max_postings_length, local);
+
+  std::vector<std::vector<CooccurrencePair>> shard_out(shards);
+  std::vector<std::size_t> shard_candidates(shards, 0);
+  util::ThreadPool pool(std::min(num_threads, shards));
+  util::parallel_for(pool, shards, [&](std::size_t s) {
+    const auto lo = static_cast<std::uint32_t>(n * s / shards);
+    const auto hi = static_cast<std::uint32_t>(n * (s + 1) / shards);
+    std::vector<std::uint32_t> counts(n, 0);
+    std::vector<std::uint32_t> touched;
+    count_probe_range(items, index, lo, hi, min_shared,
+                      options.max_postings_length, counts, touched,
+                      shard_out[s], shard_candidates[s]);
+  });
+
+  std::vector<CooccurrencePair> out;
+  std::size_t total = 0;
+  for (const auto& part : shard_out) total += part.size();
+  out.reserve(total);
+  // Shards are contiguous ascending probe ranges, so plain concatenation
+  // reproduces the serial (a, b) order exactly.
+  for (auto& part : shard_out) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  for (const auto c : shard_candidates) local.candidate_pairs += c;
+  local.emitted_pairs = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<CooccurrencePair> cooccurrence_join_reference(
     std::span<const util::IdSet> items, std::uint32_t min_shared,
     const JoinOptions& options) {
   if (min_shared == 0) {

@@ -6,6 +6,13 @@
 // count |K_i ∩ K_j| for every j sharing at least one key is obtained by
 // walking key -> item postings lists. Pairs sharing no key (similarity 0
 // under eqs. 1/8) are never materialized.
+//
+// Implementation notes: the index is a flat CSR postings buffer (offsets +
+// one contiguous entry array, no per-key vectors) and pair counting uses a
+// probe-side dense scoring array with a touched list instead of a hash map
+// keyed by packed pairs. Output is produced already grouped by `a` in
+// ascending (a, b) order, so no final sort is needed and results are
+// byte-identical across runs.
 #pragma once
 
 #include <cstdint>
@@ -20,24 +27,58 @@ struct CooccurrencePair {
   std::uint32_t a = 0;  // a < b
   std::uint32_t b = 0;
   std::uint32_t shared_keys = 0;  // |K_a ∩ K_b|
+
+  friend bool operator==(const CooccurrencePair&, const CooccurrencePair&) = default;
 };
 
 struct JoinOptions {
   // Postings lists longer than this are skipped when enumerating pairs: a
   // key shared by k items contributes k(k-1)/2 pairs, so one pathological
   // key (e.g. a crawler client contacting everything) can blow up the join.
-  // Skipped keys still count toward exact similarity? No — see note below.
   //
   // NOTE: skipping a key UNDERCOUNTS shared_keys for the affected pairs;
   // SMASH's preprocessing (IDF filter) is responsible for removing such
   // hubs beforehand, and the default cap is high enough to be inert on
-  // realistic inputs. It exists as a safety valve only.
+  // realistic inputs. It exists as a safety valve only. JoinStats reports
+  // how often it fired so the undercount is observable instead of silent.
   std::uint32_t max_postings_length = 20000;
 };
 
+// Observability counters for one join invocation.
+struct JoinStats {
+  std::size_t num_keys = 0;              // distinct keys indexed
+  std::size_t postings_entries = 0;      // total (key, item) entries
+  std::size_t peak_postings_length = 0;  // longest postings list, incl. skipped
+  std::size_t skipped_keys = 0;          // keys over max_postings_length
+  std::size_t skipped_entries = 0;       // postings entries under skipped keys
+  std::size_t candidate_pairs = 0;       // counter increments performed
+  std::size_t emitted_pairs = 0;         // pairs meeting min_shared
+
+  friend bool operator==(const JoinStats&, const JoinStats&) = default;
+};
+
 // items[i] is the (normalized) key set of item i. Returns every pair with
-// shared_keys >= min_shared, each pair exactly once with a < b.
+// shared_keys >= min_shared, each pair exactly once with a < b, sorted by
+// (a, b). Deterministic: identical inputs yield identical outputs. When
+// `stats` is non-null it is overwritten with this invocation's counters.
 std::vector<CooccurrencePair> cooccurrence_join(
+    std::span<const util::IdSet> items, std::uint32_t min_shared = 1,
+    const JoinOptions& options = {}, JoinStats* stats = nullptr);
+
+// Probe-range-sharded parallel join: identical output to the serial form
+// (shards are contiguous ranges of `a`, concatenated in order), using up to
+// `num_threads` worker threads. Falls back to the serial join when
+// num_threads <= 1 or the input is small.
+std::vector<CooccurrencePair> cooccurrence_join_parallel(
+    std::span<const util::IdSet> items, std::uint32_t min_shared,
+    const JoinOptions& options, unsigned num_threads,
+    JoinStats* stats = nullptr);
+
+// The original hash-map-based join (packed-pair unordered_map), retained as
+// a reference implementation for equivalence tests and the speedup
+// benchmark in bench/perf_micro.cc. Same contract and output order as
+// cooccurrence_join.
+std::vector<CooccurrencePair> cooccurrence_join_reference(
     std::span<const util::IdSet> items, std::uint32_t min_shared = 1,
     const JoinOptions& options = {});
 

@@ -18,7 +18,29 @@ class IdSet {
     normalize();
   }
 
+  // Adopts `ids` without re-normalizing. The caller promises the vector is
+  // sorted and deduplicated (e.g. storage recovered via release()).
+  static IdSet from_sorted_unique(std::vector<std::uint32_t> ids) {
+    IdSet out;
+    out.ids_ = std::move(ids);
+    return out;
+  }
+
   void insert(std::uint32_t id) { ids_.push_back(id); dirty_ = true; }
+
+  // Pre-sizes the underlying vector, avoiding growth reallocations when
+  // the number of inserts is known up front.
+  void reserve(std::size_t n) { ids_.reserve(n); }
+
+  // Moves the underlying storage out, leaving the set empty. Pairs with
+  // from_sorted_unique() to hand a normalized set's ids to a new owner
+  // without copying.
+  std::vector<std::uint32_t> release() {
+    std::vector<std::uint32_t> out = std::move(ids_);
+    ids_.clear();
+    dirty_ = false;
+    return out;
+  }
 
   // Must be called after a batch of inserts and before any query.
   void normalize() {

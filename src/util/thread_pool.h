@@ -1,0 +1,53 @@
+// Minimal fixed-size thread pool plus a parallel_for helper.
+//
+// Used to mine the five similarity dimensions concurrently and to shard
+// the probe range of the client-dimension join (core/dimensions.cc). The
+// pool is deliberately tiny: a locked deque and condition variable are
+// plenty when tasks are milliseconds-to-seconds of graph work, and the
+// callers only ever need fork-join parallelism over a known index range.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smash::util {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers; 0 is clamped to 1.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues a task; the future reports completion and rethrows any
+  // exception the task raised.
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0), ..., fn(n-1) across the pool and the calling thread, blocking
+// until all complete. Rethrows the first exception encountered (remaining
+// iterations still run to completion). Iteration order across threads is
+// unspecified; callers must make iterations independent.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace smash::util

@@ -1,0 +1,257 @@
+// Equivalence tests for the flat-scratch Louvain rewrite (dense
+// weight-to-community array + touched list, counting-sort aggregation)
+// against the seed's hash-map implementation, which is reproduced here
+// verbatim as the reference. The rewrite visits candidate communities in
+// ascending id order (the seed visited them in unordered_map order), so on
+// graphs with genuinely tied moves the partitions may differ — but on
+// planted structure they must agree exactly, and modularity must never be
+// lower than the reference's on any input.
+#include "graph/louvain.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace smash::graph {
+namespace {
+
+// --- seed (hash-map) Louvain, kept as the behavioral reference ------------
+
+std::uint32_t reference_renumber(std::vector<std::uint32_t>& labels) {
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  remap.reserve(labels.size());
+  for (auto& label : labels) {
+    auto [it, inserted] =
+        remap.emplace(label, static_cast<std::uint32_t>(remap.size()));
+    label = it->second;
+  }
+  return static_cast<std::uint32_t>(remap.size());
+}
+
+struct ReferenceLevel {
+  std::vector<std::uint32_t> community_of;
+  std::uint32_t num_communities = 0;
+  bool improved = false;
+};
+
+ReferenceLevel reference_local_moving(const Graph& g,
+                                      const LouvainOptions& options) {
+  const std::uint32_t n = g.num_nodes();
+  ReferenceLevel result;
+  result.community_of.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) result.community_of[v] = v;
+  if (g.total_weight() <= 0.0) {
+    result.num_communities = n;
+    return result;
+  }
+
+  std::vector<double> tot(n, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) tot[v] = g.weighted_degree(v);
+  std::unordered_map<std::uint32_t, double> weight_to_comm;
+
+  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    bool moved_this_sweep = false;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t old_comm = result.community_of[v];
+      const double k_v = g.weighted_degree(v);
+
+      weight_to_comm.clear();
+      weight_to_comm[old_comm] = 0.0;
+      for (const auto& nb : g.neighbors(v)) {
+        if (nb.node == v) continue;
+        weight_to_comm[result.community_of[nb.node]] += nb.weight;
+      }
+
+      tot[old_comm] -= k_v;
+      std::uint32_t best_comm = old_comm;
+      double best_gain = 2.0 * weight_to_comm[old_comm] -
+                         tot[old_comm] * k_v / g.total_weight();
+      for (const auto& [comm, w] : weight_to_comm) {
+        const double gain = 2.0 * w - tot[comm] * k_v / g.total_weight();
+        if (gain > best_gain + options.min_modularity_gain ||
+            (gain > best_gain && comm < best_comm)) {
+          best_gain = gain;
+          best_comm = comm;
+        }
+      }
+
+      tot[best_comm] += k_v;
+      if (best_comm != old_comm) {
+        result.community_of[v] = best_comm;
+        moved_this_sweep = true;
+        result.improved = true;
+      }
+    }
+    if (!moved_this_sweep) break;
+  }
+
+  result.num_communities = reference_renumber(result.community_of);
+  return result;
+}
+
+Graph reference_aggregate(const Graph& g,
+                          const std::vector<std::uint32_t>& community_of,
+                          std::uint32_t num_communities) {
+  GraphBuilder builder(num_communities);
+  std::unordered_map<std::uint64_t, double> agg;
+  agg.reserve(g.num_edges());
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& nb : g.neighbors(u)) {
+      if (nb.node < u) continue;
+      std::uint32_t cu = community_of[u];
+      std::uint32_t cv = community_of[nb.node];
+      if (cu > cv) std::swap(cu, cv);
+      const std::uint64_t key = (static_cast<std::uint64_t>(cu) << 32) | cv;
+      agg[key] += nb.weight;
+    }
+  }
+  for (const auto& [key, weight] : agg) {
+    builder.add_edge(static_cast<std::uint32_t>(key >> 32),
+                     static_cast<std::uint32_t>(key & 0xffffffffu), weight);
+  }
+  return std::move(builder).build();
+}
+
+LouvainResult reference_louvain(const Graph& g, const LouvainOptions& options = {}) {
+  const std::uint32_t n = g.num_nodes();
+  LouvainResult result;
+  result.community_of.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) result.community_of[v] = v;
+  result.num_communities = n;
+
+  Graph level_graph;
+  const Graph* current = &g;
+  for (int level = 0; level < options.max_levels; ++level) {
+    ReferenceLevel lvl = reference_local_moving(*current, options);
+    if (!lvl.improved && level > 0) break;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      result.community_of[v] = lvl.community_of[result.community_of[v]];
+    }
+    result.num_communities = lvl.num_communities;
+    result.levels = level + 1;
+    if (!lvl.improved) break;
+    if (lvl.num_communities == current->num_nodes()) break;
+    level_graph = reference_aggregate(*current, lvl.community_of,
+                                      lvl.num_communities);
+    current = &level_graph;
+  }
+  result.num_communities = reference_renumber(result.community_of);
+  result.modularity = modularity(g, result.community_of);
+  return result;
+}
+
+// --- graph generators ------------------------------------------------------
+
+Graph planted_cliques(std::uint32_t cliques, std::uint32_t size,
+                      double bridge_probability, std::uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder builder(cliques * size);
+  for (std::uint32_t c = 0; c < cliques; ++c) {
+    const std::uint32_t base = c * size;
+    for (std::uint32_t u = 0; u < size; ++u) {
+      for (std::uint32_t v = u + 1; v < size; ++v) {
+        builder.add_edge(base + u, base + v, 1.0);
+      }
+    }
+  }
+  for (std::uint32_t c = 0; c + 1 < cliques; ++c) {
+    if (rng.bernoulli(bridge_probability)) {
+      builder.add_edge(c * size, (c + 1) * size, 0.3);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph random_graph(std::uint32_t n, double edge_probability,
+                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder builder(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(edge_probability)) {
+        builder.add_edge(u, v, 0.25 + rng.uniform01());
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+// Are two labelings the same partition (up to label renaming)?
+bool same_partition(const std::vector<std::uint32_t>& a,
+                    const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<std::uint32_t, std::uint32_t> a_to_b;
+  std::unordered_map<std::uint32_t, std::uint32_t> b_to_a;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto [ab, ab_new] = a_to_b.emplace(a[v], b[v]);
+    const auto [ba, ba_new] = b_to_a.emplace(b[v], a[v]);
+    if (ab->second != b[v] || ba->second != a[v]) return false;
+  }
+  return true;
+}
+
+// --- tests -----------------------------------------------------------------
+
+class LouvainScratchTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LouvainScratchTest, SamePartitionAsSeedOnPlantedCliques) {
+  const Graph g = planted_cliques(60, 6, 0.4, GetParam());
+  const auto dense = louvain(g);
+  const auto reference = reference_louvain(g);
+  EXPECT_TRUE(same_partition(dense.community_of, reference.community_of));
+  EXPECT_NEAR(dense.modularity, reference.modularity, 1e-9);
+}
+
+TEST_P(LouvainScratchTest, ModularityNeverLowerThanSeedOnRandomGraphs) {
+  const Graph g = random_graph(150, 0.04, GetParam() ^ 0x5a5aULL);
+  const auto dense = louvain(g);
+  const auto reference = reference_louvain(g);
+  // Tie-break order can differ (see file comment) but quality must not.
+  EXPECT_GE(dense.modularity, reference.modularity - 1e-9);
+  // And the result must be a valid partition of the same size scale.
+  EXPECT_GT(dense.num_communities, 0u);
+  for (auto c : dense.community_of) EXPECT_LT(c, dense.num_communities);
+}
+
+TEST_P(LouvainScratchTest, RefinedModularityNeverLowerAndDeterministic) {
+  const Graph g = random_graph(120, 0.05, GetParam() + 9000);
+  const auto a = louvain_refined(g);
+  const auto b = louvain_refined(g);
+  EXPECT_EQ(a.community_of, b.community_of);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LouvainScratchTest,
+                         ::testing::Values(3u, 21u, 77u, 500u, 8191u));
+
+TEST(LouvainScratch, DeterministicAcrossRepeatedRuns) {
+  const Graph g = random_graph(200, 0.03, 424242);
+  const auto a = louvain(g);
+  const auto b = louvain(g);
+  EXPECT_EQ(a.community_of, b.community_of);
+  EXPECT_EQ(a.num_communities, b.num_communities);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(LouvainScratch, AggregationHandlesSelfLoopsLikeSeed) {
+  // Force a two-level run: two cliques that merge, then aggregate with
+  // self-loops. The dense path must produce the same final modularity.
+  GraphBuilder builder(8);
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    for (std::uint32_t v = u + 1; v < 4; ++v) {
+      builder.add_edge(u, v, 1.0);
+      builder.add_edge(4 + u, 4 + v, 1.0);
+    }
+  }
+  builder.add_edge(0, 4, 0.1);
+  const Graph g = std::move(builder).build();
+  const auto dense = louvain(g);
+  const auto reference = reference_louvain(g);
+  EXPECT_EQ(dense.num_communities, reference.num_communities);
+  EXPECT_NEAR(dense.modularity, reference.modularity, 1e-12);
+}
+
+}  // namespace
+}  // namespace smash::graph

@@ -1,0 +1,137 @@
+// mine_all_dimensions with threads=N must return identical DimensionAshes
+// to the serial run: dimensions are independent and the sharded client
+// join reproduces the serial pair stream exactly.
+#include "core/dimensions.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace smash::core {
+namespace {
+
+using test::add_request;
+using test::resolve;
+
+// A trace with enough structure that every dimension produces herds:
+// campaign-style client overlap, shared files, shared IPs, plus benign
+// background noise.
+net::Trace structured_trace() {
+  util::Rng rng(2024);
+  net::Trace trace;
+
+  // Three campaigns of 4 servers, each visited by 3 dedicated bots
+  // requesting the same exe.
+  for (int campaign = 0; campaign < 3; ++campaign) {
+    for (int server = 0; server < 4; ++server) {
+      const std::string host = "c" + std::to_string(campaign) + "s" +
+                               std::to_string(server) + ".com";
+      for (int bot = 0; bot < 3; ++bot) {
+        const std::string client =
+            "bot" + std::to_string(campaign) + "_" + std::to_string(bot);
+        add_request(trace, client, host,
+                    "/drop" + std::to_string(campaign) + ".exe");
+      }
+      resolve(trace, host, "10.0." + std::to_string(campaign) + ".7");
+    }
+  }
+
+  // Benign background: 60 servers with light random traffic.
+  for (int server = 0; server < 60; ++server) {
+    const std::string host = "site" + std::to_string(server) + ".org";
+    const auto visitors = 1 + rng.uniform(4);
+    for (std::uint64_t i = 0; i < visitors; ++i) {
+      const std::string client = "user" + std::to_string(rng.uniform(40));
+      add_request(trace, client, host,
+                  "/page" + std::to_string(rng.uniform(6)) + ".html");
+    }
+    resolve(trace, host,
+            "192.168." + std::to_string(server % 8) + "." +
+                std::to_string(server));
+  }
+
+  trace.finalize();
+  return trace;
+}
+
+void expect_same_ashes(const DimensionAshes& a, const DimensionAshes& b) {
+  EXPECT_EQ(a.dimension, b.dimension);
+  EXPECT_EQ(a.ash_of, b.ash_of);
+  EXPECT_EQ(a.graph_edges, b.graph_edges);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+  ASSERT_EQ(a.ashes.size(), b.ashes.size());
+  for (std::size_t i = 0; i < a.ashes.size(); ++i) {
+    EXPECT_EQ(a.ashes[i].members, b.ashes[i].members);
+    EXPECT_DOUBLE_EQ(a.ashes[i].density, b.ashes[i].density);
+  }
+}
+
+TEST(ParallelMining, ThreadsFourMatchesSerial) {
+  const net::Trace trace = structured_trace();
+  const whois::Registry registry;
+
+  SmashConfig serial_config;
+  serial_config.idf_threshold = 100;
+  serial_config.num_threads = 1;
+  SmashConfig threaded_config = serial_config;
+  threaded_config.num_threads = 4;
+
+  const auto pre_serial = preprocess(trace, serial_config);
+  const auto pre_threaded = preprocess(trace, threaded_config);
+  EXPECT_EQ(pre_serial.kept, pre_threaded.kept);
+
+  const auto serial = mine_all_dimensions(pre_serial, registry, serial_config);
+  const auto threaded =
+      mine_all_dimensions(pre_threaded, registry, threaded_config);
+
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t d = 0; d < serial.size(); ++d) {
+    expect_same_ashes(serial[d], threaded[d]);
+  }
+}
+
+TEST(ParallelMining, ParamDimensionIncludedWhenEnabled) {
+  const net::Trace trace = structured_trace();
+  const whois::Registry registry;
+
+  SmashConfig config;
+  config.idf_threshold = 100;
+  config.enable_param_dimension = true;
+  config.num_threads = 4;
+
+  const auto pre = preprocess(trace, config);
+  const auto dims = mine_all_dimensions(pre, registry, config);
+  ASSERT_EQ(dims.size(), static_cast<std::size_t>(kNumDimensions + 1));
+
+  config.num_threads = 1;
+  const auto serial = mine_all_dimensions(pre, registry, config);
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    expect_same_ashes(serial[d], dims[d]);
+  }
+}
+
+TEST(ParallelMining, FullPipelineMatchesSerial) {
+  const net::Trace trace = structured_trace();
+  const whois::Registry registry;
+
+  SmashConfig config;
+  config.idf_threshold = 100;
+  config.num_threads = 1;
+  const auto serial = SmashPipeline(config).run(trace, registry);
+  config.num_threads = 4;
+  const auto threaded = SmashPipeline(config).run(trace, registry);
+
+  ASSERT_EQ(serial.campaigns.size(), threaded.campaigns.size());
+  for (std::size_t c = 0; c < serial.campaigns.size(); ++c) {
+    EXPECT_EQ(serial.campaigns[c].servers, threaded.campaigns[c].servers);
+    EXPECT_EQ(serial.campaigns[c].involved_clients,
+              threaded.campaigns[c].involved_clients);
+  }
+}
+
+}  // namespace
+}  // namespace smash::core

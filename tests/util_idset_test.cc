@@ -55,5 +55,40 @@ TEST(IdSet, SelfIntersection) {
   EXPECT_EQ(intersection_size(a, a), 3u);
 }
 
+TEST(IdSet, ReserveDoesNotChangeContents) {
+  IdSet s;
+  s.reserve(100);
+  EXPECT_TRUE(s.empty());
+  s.insert(2);
+  s.insert(1);
+  s.normalize();
+  EXPECT_EQ(s.values(), (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(IdSet, ReleaseHandsBackSortedStorageAndEmptiesSet) {
+  IdSet s({5, 1, 3, 3});
+  const auto ids = s.release();
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{1, 3, 5}));
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.is_normalized());  // empty set is trivially normalized
+
+  // The emptied set is reusable.
+  s.insert(9);
+  s.normalize();
+  EXPECT_EQ(s.values(), (std::vector<std::uint32_t>{9}));
+}
+
+TEST(IdSet, FromSortedUniqueAdoptsWithoutCopy) {
+  auto set = IdSet::from_sorted_unique({2, 4, 6});
+  EXPECT_TRUE(set.is_normalized());
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(4));
+
+  // Round trip: release() output is valid from_sorted_unique() input.
+  IdSet original({8, 8, 2});
+  auto adopted = IdSet::from_sorted_unique(original.release());
+  EXPECT_EQ(adopted, IdSet({2, 8}));
+}
+
 }  // namespace
 }  // namespace smash::util
