@@ -1,0 +1,201 @@
+// Streaming perf baseline: a day-long timestamped scenario driven through
+// the StreamEngine, measuring end-to-end epoch-close-to-snapshot-publish
+// latency (assemble / mine / snapshot breakdown), detection latency against
+// campaign ground truth, and VerdictService lookup throughput. Written to
+// BENCH_stream.json.
+//
+// Usage: perf_stream [output.json] [--smoke]
+//   --smoke: minutes-long scenario for CI bitrot checks (same code paths,
+//            tiny population).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "stream/engine.h"
+#include "stream/verdict.h"
+#include "synth/stream_gen.h"
+
+namespace {
+
+using smash::stream::EpochId;
+
+smash::synth::StreamScenarioConfig scenario_config(bool smoke) {
+  smash::synth::StreamScenarioConfig config;
+  config.seed = 2015;
+  if (smoke) {
+    config.duration_s = 2 * 3600;
+    config.benign_servers = 150;
+    config.benign_clients = 120;
+    config.benign_visits = 2500;
+    config.popular_servers = 2;
+    config.popular_clients = 250;
+    config.campaigns = 2;
+  } else {
+    config.duration_s = 86400;
+    config.benign_servers = 1200;
+    config.benign_clients = 800;
+    config.benign_visits = 40000;
+    config.popular_servers = 6;
+    config.popular_clients = 250;
+    config.campaigns = 6;
+  }
+  config.campaign_servers = 6;
+  config.campaign_bots = 5;
+  config.poll_interval_s = 300;
+  config.active_fraction = 0.35;
+  return config;
+}
+
+smash::stream::StreamConfig stream_config(bool smoke) {
+  smash::stream::StreamConfig config;
+  config.epoch_seconds = smoke ? 600 : 3600;
+  config.window_epochs = smoke ? 12 : 24;
+  config.smash.idf_threshold = 200;  // popular_clients = 250 get filtered
+  return config;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_stream.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const auto scenario = smash::synth::generate_stream(scenario_config(smoke));
+  const auto config = stream_config(smoke);
+  smash::bench::JsonReporter report("stream");
+
+  // --- drive the stream, probing detection after every publication ---------
+  smash::stream::StreamEngine engine(config, scenario.whois);
+  const smash::stream::VerdictService service(engine.slot());
+
+  std::vector<EpochId> first_flagged(scenario.campaigns.size(), 0);
+  std::vector<bool> detected(scenario.campaigns.size(), false);
+  std::uint64_t seen_publications = 0;
+  const auto probe = [&] {
+    for (std::size_t c = 0; c < scenario.campaigns.size(); ++c) {
+      if (detected[c]) continue;
+      if (service.lookup(scenario.campaigns[c].servers[0]).malicious) {
+        detected[c] = true;
+        first_flagged[c] = engine.snapshot()->last_epoch();
+      }
+    }
+  };
+
+  const double feed_ms = smash::bench::time_once_ms([&] {
+    for (const auto& event : scenario.events) {
+      smash::synth::ingest_event(engine, event);
+      if (engine.snapshots_published() != seen_publications) {
+        seen_publications = engine.snapshots_published();
+        probe();
+      }
+    }
+    engine.finish();
+    probe();
+  });
+
+  // --- epoch-close-to-publish latency ---------------------------------------
+  const auto& records = engine.close_records();
+  std::vector<double> total_ms, assemble_ms, mine_ms, snapshot_ms;
+  std::size_t peak_window_requests = 0;
+  for (const auto& record : records) {
+    total_ms.push_back(record.total_ms);
+    assemble_ms.push_back(record.assemble_ms);
+    mine_ms.push_back(record.mine_ms);
+    snapshot_ms.push_back(record.snapshot_ms);
+    peak_window_requests = std::max(peak_window_requests, record.window_requests);
+  }
+  const double worst_ms =
+      total_ms.empty() ? 0.0 : *std::max_element(total_ms.begin(), total_ms.end());
+  report.add("stream/epoch_close_to_publish", mean(total_ms),
+             {{"max_ms", worst_ms},
+              {"assemble_ms", mean(assemble_ms)},
+              {"mine_ms", mean(mine_ms)},
+              {"snapshot_ms", mean(snapshot_ms)},
+              {"publications", static_cast<double>(records.size())},
+              {"peak_window_requests", static_cast<double>(peak_window_requests)},
+              {"events", static_cast<double>(scenario.events.size())},
+              {"feed_total_ms", feed_ms}});
+  std::printf(
+      "stream  %zu events, %zu publications  close->publish %0.1f ms mean / "
+      "%0.1f ms max  (assemble %0.1f, mine %0.1f, snapshot %0.1f)\n",
+      scenario.events.size(), records.size(), mean(total_ms), worst_ms,
+      mean(assemble_ms), mean(mine_ms), mean(snapshot_ms));
+
+  // --- detection latency -----------------------------------------------------
+  std::vector<double> latency_epochs;
+  std::size_t missed = 0;
+  for (std::size_t c = 0; c < scenario.campaigns.size(); ++c) {
+    if (!detected[c]) {
+      ++missed;
+      continue;
+    }
+    const EpochId activation =
+        scenario.campaigns[c].start_s / config.epoch_seconds;
+    latency_epochs.push_back(first_flagged[c] >= activation
+                                 ? static_cast<double>(first_flagged[c] - activation)
+                                 : 0.0);
+  }
+  const double worst_latency =
+      latency_epochs.empty()
+          ? 0.0
+          : *std::max_element(latency_epochs.begin(), latency_epochs.end());
+  report.add("stream/detection_latency_epochs", mean(latency_epochs),
+             {{"max_epochs", worst_latency},
+              {"campaigns", static_cast<double>(scenario.campaigns.size())},
+              {"missed", static_cast<double>(missed)}});
+  std::printf("stream  detection latency %0.2f epochs mean / %0.0f max  (%zu/%zu detected)\n",
+              mean(latency_epochs), worst_latency,
+              scenario.campaigns.size() - missed, scenario.campaigns.size());
+
+  // --- verdict lookup throughput --------------------------------------------
+  const std::size_t lookups = smoke ? 20000 : 1000000;
+  std::size_t hits = 0;
+  const double lookup_ms = smash::bench::time_once_ms([&] {
+    for (std::size_t i = 0; i < lookups; ++i) {
+      // Alternate flagged / benign / unknown hosts to mix hash paths.
+      const auto& truth = scenario.campaigns[i % scenario.campaigns.size()];
+      switch (i % 3) {
+        case 0:
+          hits += service.lookup(truth.servers[i % truth.servers.size()]).malicious;
+          break;
+        case 1:
+          hits += service.lookup("site" + std::to_string(i % 97) + ".org").malicious;
+          break;
+        default:
+          hits += service.lookup("never-seen" + std::to_string(i % 31) + ".example")
+                      .malicious;
+          break;
+      }
+    }
+  });
+  const double qps = lookup_ms > 0.0
+                         ? static_cast<double>(lookups) / (lookup_ms / 1000.0)
+                         : 0.0;
+  report.add("stream/verdict_lookup", lookup_ms,
+             {{"lookups", static_cast<double>(lookups)},
+              {"qps", qps},
+              {"hits", static_cast<double>(hits)}});
+  std::printf("stream  %zu lookups in %0.1f ms  (%0.0f lookups/s)\n", lookups,
+              lookup_ms, qps);
+
+  if (!report.write(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

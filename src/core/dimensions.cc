@@ -49,11 +49,12 @@ DimensionAshes mine_keyset_dimension(Dimension dimension,
                                      unsigned join_threads = 1) {
   graph::JoinOptions join_options;
   join_options.max_postings_length = postings_cap;
+  graph::JoinStats stats;
   const auto pairs =
       join_threads > 1
           ? graph::cooccurrence_join_parallel(key_sets, 1, join_options,
-                                              join_threads)
-          : graph::cooccurrence_join(key_sets, 1, join_options);
+                                              join_threads, &stats)
+          : graph::cooccurrence_join(key_sets, 1, join_options, &stats);
 
   graph::GraphBuilder builder(static_cast<std::uint32_t>(key_sets.size()));
   for (const auto& pair : pairs) {
@@ -61,7 +62,9 @@ DimensionAshes mine_keyset_dimension(Dimension dimension,
         pair.shared_keys, key_sets[pair.a].size(), key_sets[pair.b].size());
     if (sim >= edge_threshold) builder.add_edge(pair.a, pair.b, sim);
   }
-  return extract_ashes(dimension, std::move(builder), config);
+  DimensionAshes out = extract_ashes(dimension, std::move(builder), config);
+  out.join_stats = stats;
+  return out;
 }
 
 DimensionAshes mine_client_dimension(const PreprocessResult& pre,
@@ -69,8 +72,6 @@ DimensionAshes mine_client_dimension(const PreprocessResult& pre,
   std::vector<util::IdSet> clients;
   clients.reserve(pre.kept.size());
   for (auto server : pre.kept) clients.push_back(pre.agg.profile(server).clients);
-  // The client join is the largest (every kept server has a client set), so
-  // it alone gets the probe-range-sharded parallel join.
   return mine_keyset_dimension(Dimension::kClient, std::move(clients),
                                config.client_edge_threshold,
                                config.join_postings_cap, config,
@@ -101,9 +102,12 @@ DimensionAshes mine_file_dimension(const PreprocessResult& pre,
     set.normalize();
     classes.push_back(util::IdSet::from_sorted_unique(set.release()));
   }
+  // Sharded like the client join: stop-file classes give this join the
+  // longest postings lists after the client dimension's.
   return mine_keyset_dimension(Dimension::kFile, std::move(classes),
                                config.file_edge_threshold,
-                               config.file_postings_cap, config);
+                               config.file_postings_cap, config,
+                               config.num_threads);
 }
 
 DimensionAshes mine_param_dimension(const PreprocessResult& pre,
@@ -148,9 +152,10 @@ DimensionAshes mine_whois_dimension(const PreprocessResult& pre,
 
   graph::JoinOptions join_options;
   join_options.max_postings_length = config.join_postings_cap;
-  const auto pairs = graph::cooccurrence_join(
+  graph::JoinStats stats;
+  const auto pairs = graph::cooccurrence_join_parallel(
       field_sets, static_cast<std::uint32_t>(config.whois_min_shared_fields),
-      join_options);
+      join_options, config.num_threads, &stats);
 
   graph::GraphBuilder builder(static_cast<std::uint32_t>(pre.kept.size()));
   for (const auto& pair : pairs) {
@@ -161,7 +166,9 @@ DimensionAshes mine_whois_dimension(const PreprocessResult& pre,
     builder.add_edge(pair.a, pair.b,
                      static_cast<double>(shared) / static_cast<double>(unioned));
   }
-  return extract_ashes(Dimension::kWhois, std::move(builder), config);
+  DimensionAshes out = extract_ashes(Dimension::kWhois, std::move(builder), config);
+  out.join_stats = stats;
+  return out;
 }
 
 }  // namespace
@@ -209,21 +216,27 @@ std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,
     return out;
   }
   // Dimensions are independent (each reads `pre`/`registry` and writes only
-  // its own slot), so the result is identical for any thread count. The
-  // client dimension's own sharded join gets only the threads left over
-  // once every other dimension has a worker, keeping the total number of
-  // active threads within config.num_threads (the join would otherwise
-  // spawn a second full-size pool on top of this one).
+  // its own slot), so the result is identical for any thread count. Inside
+  // the fan-out, only the client dimension — much the largest join — gets
+  // the threads left over once every other dimension has a worker; the
+  // file/whois joins run their serial path here so the total number of
+  // active threads stays within config.num_threads (three concurrent
+  // sharded joins would otherwise each spawn a leftover-sized pool). Their
+  // sharding still engages when a dimension is mined on its own.
   SmashConfig inner = config;
+  inner.num_threads = 1;
+  SmashConfig client_inner = config;
   const auto other_dimensions = static_cast<unsigned>(dimensions - 1);
-  inner.num_threads = config.num_threads > other_dimensions
-                          ? config.num_threads - other_dimensions
-                          : 1;
+  client_inner.num_threads = config.num_threads > other_dimensions
+                                 ? config.num_threads - other_dimensions
+                                 : 1;
   // parallel_for drains on the calling thread as well as the pool workers,
   // so size the pool one short of the budget.
   util::ThreadPool pool(std::min(config.num_threads - 1, other_dimensions));
   util::parallel_for(pool, static_cast<std::size_t>(dimensions), [&](std::size_t d) {
-    out[d] = mine_dimension(static_cast<Dimension>(d), pre, registry, inner);
+    const auto dimension = static_cast<Dimension>(d);
+    out[d] = mine_dimension(dimension, pre, registry,
+                            dimension == Dimension::kClient ? client_inner : inner);
   });
   return out;
 }

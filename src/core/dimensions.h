@@ -10,6 +10,7 @@
 #include "core/preprocess.h"
 #include "core/smash_config.h"
 #include "graph/graph.h"
+#include "graph/similarity_join.h"
 #include "whois/whois.h"
 
 namespace smash::core {
@@ -45,8 +46,17 @@ struct DimensionAshes {
   // Graph stats, for reports and the micro benches.
   std::size_t graph_edges = 0;
   double modularity = 0.0;
+  // Counters of this dimension's candidate-pair join. skipped_keys > 0
+  // means the postings cap fired and shared-key counts undercount for the
+  // affected pairs — streaming snapshots surface this so a window that
+  // exceeded the in-RAM postings budget is observable, not silent.
+  graph::JoinStats join_stats;
 
   std::size_t num_herded_servers() const;
+
+  bool postings_budget_exceeded() const noexcept {
+    return join_stats.skipped_keys > 0;
+  }
 };
 
 // Builds the similarity graph for `dimension` over pre.kept and extracts

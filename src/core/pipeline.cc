@@ -91,9 +91,21 @@ std::vector<const Campaign*> SmashResult::detected_campaigns(bool single_client)
   return out;
 }
 
+bool SmashResult::postings_budget_exceeded() const noexcept {
+  for (const auto& dim : dims) {
+    if (dim.postings_budget_exceeded()) return true;
+  }
+  return false;
+}
+
 SmashResult SmashPipeline::run(const net::Trace& trace,
                                const whois::Registry& registry) const {
-  SmashResult result{preprocess(trace, config_), {}, {}, {}, {}};
+  return run_preprocessed(preprocess(trace, config_), registry);
+}
+
+SmashResult SmashPipeline::run_preprocessed(PreprocessResult pre,
+                                            const whois::Registry& registry) const {
+  SmashResult result{std::move(pre), {}, {}, {}, {}};
   result.dims = mine_all_dimensions(result.pre, registry, config_);
   result.correlation = correlate(result.pre, result.dims, config_);
   result.pruned = prune(result.pre, result.correlation.groups, config_);

@@ -46,6 +46,12 @@ struct SmashResult {
   // the main (>= 2 clients) population of Tables II/III.
   std::vector<std::uint32_t> detected_servers(bool single_client) const;
   std::vector<const Campaign*> detected_campaigns(bool single_client) const;
+
+  // True when any dimension's join hit its postings cap, i.e. this window
+  // exceeded the in-RAM postings budget and similarity counts may
+  // undercount (see JoinOptions::max_postings_length). Streaming snapshots
+  // carry this flag so oversized windows are reported, never silent.
+  bool postings_budget_exceeded() const noexcept;
 };
 
 class SmashPipeline {
@@ -55,6 +61,13 @@ class SmashPipeline {
   const SmashConfig& config() const noexcept { return config_; }
 
   SmashResult run(const net::Trace& trace, const whois::Registry& registry) const;
+
+  // Mining/correlation/pruning/inference over an already-preprocessed
+  // window. Lets callers that maintain aggregates incrementally (the
+  // streaming engine's epoch assembler) skip re-aggregation, and is the
+  // tail of run().
+  SmashResult run_preprocessed(PreprocessResult pre,
+                               const whois::Registry& registry) const;
 
  private:
   SmashConfig config_;

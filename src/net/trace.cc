@@ -23,6 +23,56 @@ void Trace::finalize() {
   finalized_ = true;
 }
 
+void Trace::merge_from(const Trace& other) {
+  const auto replay_request = [&](const HttpRequest& r) {
+    HttpRequest copy = r;
+    copy.client = intern_client(other.clients_.name(r.client));
+    copy.server = intern_server(other.servers_.name(r.server));
+    add_request(std::move(copy));
+  };
+  const auto replay_resolution = [&](std::uint32_t server, std::uint32_t ip) {
+    add_resolution(intern_server(other.servers_.name(server)),
+                   intern_ip(other.ips_.name(ip)));
+  };
+  const auto replay_redirect = [&](std::uint32_t from, std::uint32_t to) {
+    add_redirect(intern_server(other.servers_.name(from)),
+                 intern_server(other.servers_.name(to)));
+  };
+
+  if (other.journal_enabled_) {
+    for (const auto& entry : other.journal_) {
+      switch (entry.kind) {
+        case JournalEntry::Kind::kRequest:
+          replay_request(other.requests_[entry.index]);
+          break;
+        case JournalEntry::Kind::kResolution:
+          replay_resolution(other.resolution_log_[entry.index].first,
+                            other.resolution_log_[entry.index].second);
+          break;
+        case JournalEntry::Kind::kRedirect:
+          replay_redirect(other.redirect_log_[entry.index].first,
+                          other.redirect_log_[entry.index].second);
+          break;
+      }
+    }
+    return;
+  }
+  // No journal: requests in order, then resolutions and redirects by
+  // ascending server id (not map order, which would make the merged
+  // interner ids run-dependent).
+  for (const auto& r : other.requests_) replay_request(r);
+  for (std::uint32_t s = 0; s < other.servers_.size(); ++s) {
+    if (auto it = other.resolutions_.find(s); it != other.resolutions_.end()) {
+      for (auto ip : it->second) replay_resolution(s, ip);
+    }
+  }
+  for (std::uint32_t s = 0; s < other.servers_.size(); ++s) {
+    if (auto it = other.redirects_.find(s); it != other.redirects_.end()) {
+      replay_redirect(s, it->second);
+    }
+  }
+}
+
 const util::IdSet& Trace::ips_of(std::uint32_t server) const {
   if (!finalized_) throw std::logic_error("Trace::ips_of before finalize()");
   auto it = resolutions_.find(server);

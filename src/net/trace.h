@@ -24,19 +24,56 @@ class Trace {
   std::uint32_t intern_server(std::string_view host) { return servers_.intern(host); }
   std::uint32_t intern_ip(std::string_view ip) { return ips_.intern(ip); }
 
-  void add_request(HttpRequest req) { requests_.push_back(std::move(req)); }
+  void add_request(HttpRequest req) {
+    requests_.push_back(std::move(req));
+    if (journal_enabled_) {
+      journal_.push_back({JournalEntry::Kind::kRequest,
+                          static_cast<std::uint32_t>(requests_.size() - 1)});
+    }
+    finalized_ = false;
+  }
 
   // Record that `server` resolved to `ip` during the window.
   void add_resolution(std::uint32_t server, std::uint32_t ip) {
     resolutions_[server].insert(ip);
+    if (journal_enabled_) {
+      resolution_log_.emplace_back(server, ip);
+      journal_.push_back({JournalEntry::Kind::kResolution,
+                          static_cast<std::uint32_t>(resolution_log_.size() - 1)});
+    }
+    finalized_ = false;
   }
 
   // Record a redirect edge: a request to `from` returned Location: `to`.
   void add_redirect(std::uint32_t from, std::uint32_t to) {
     redirects_[from] = to;
+    if (journal_enabled_) {
+      redirect_log_.emplace_back(from, to);
+      journal_.push_back({JournalEntry::Kind::kRedirect,
+                          static_cast<std::uint32_t>(redirect_log_.size() - 1)});
+    }
+    finalized_ = false;
   }
 
-  // Must be called once after all adds and before analysis.
+  // Arrival-order journal. When enabled (call before the first add), every
+  // add_request/add_resolution/add_redirect is recorded so merge_from can
+  // replay this trace's events into another trace in the exact order they
+  // arrived. Interner ids are assigned by first appearance, so journal
+  // replay makes a merged trace byte-identical to one built from the same
+  // event stream directly — the property the streaming engine's
+  // stream/batch equivalence rests on.
+  void enable_journal() { journal_enabled_ = true; }
+  bool journal_enabled() const noexcept { return journal_enabled_; }
+
+  // Appends every event of `other` onto this trace, interning names anew.
+  // If `other` has a journal, events replay in original arrival order;
+  // otherwise requests replay in order, then resolutions, then redirects.
+  // Leaves this trace un-finalized; call finalize() when done merging.
+  void merge_from(const Trace& other);
+
+  // Must be called after all adds and before analysis. Safe to call again
+  // after further adds or merges (re-finalizable): derived state —
+  // num_days, resolution-set normalization — is recomputed from scratch.
   void finalize();
 
   // --- accessors ------------------------------------------------------------
@@ -73,12 +110,22 @@ class Trace {
   static Trace read_tsv(const std::string& file_path);
 
  private:
+  struct JournalEntry {
+    enum class Kind : std::uint8_t { kRequest, kResolution, kRedirect };
+    Kind kind;
+    std::uint32_t index;  // into requests_ / resolution_log_ / redirect_log_
+  };
+
   util::Interner clients_;
   util::Interner servers_;
   util::Interner ips_;
   std::vector<HttpRequest> requests_;
   std::unordered_map<std::uint32_t, util::IdSet> resolutions_;
   std::unordered_map<std::uint32_t, std::uint32_t> redirects_;
+  bool journal_enabled_ = false;
+  std::vector<JournalEntry> journal_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> resolution_log_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> redirect_log_;
   std::uint32_t num_days_ = 1;
   bool finalized_ = false;
 };

@@ -1,0 +1,72 @@
+#include "stream/engine.h"
+
+#include <chrono>
+#include <utility>
+
+namespace smash::stream {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(StreamConfig config, const whois::Registry& registry)
+    : config_(config), registry_(registry), pipeline_(config.smash),
+      ingestor_(config) {}
+
+void StreamEngine::ingest(const RequestEvent& event) {
+  if (ingestor_.ingest(event).epochs_closed > 0) republish();
+}
+
+void StreamEngine::ingest(const ResolutionEvent& event) {
+  if (ingestor_.ingest(event).epochs_closed > 0) republish();
+}
+
+void StreamEngine::ingest(const RedirectEvent& event) {
+  if (ingestor_.ingest(event).epochs_closed > 0) republish();
+}
+
+void StreamEngine::finish() {
+  if (!ingestor_.has_open_epoch()) return;
+  ingestor_.close_epoch();
+  republish();
+}
+
+void StreamEngine::republish() {
+  const auto& window = ingestor_.window();
+  if (window.empty()) return;
+
+  EpochCloseRecord record;
+  record.last_epoch = window.back().id();
+  record.window_epochs = static_cast<std::uint32_t>(window.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  const net::Trace window_trace = ingestor_.assemble_window();
+  record.assemble_ms = ms_since(start);
+  record.window_requests = window_trace.num_requests();
+
+  const auto mine_start = std::chrono::steady_clock::now();
+  const core::SmashResult result = pipeline_.run(window_trace, registry_);
+  record.mine_ms = ms_since(mine_start);
+
+  const auto snapshot_start = std::chrono::steady_clock::now();
+  auto snapshot = DetectionSnapshot::build(
+      result, window_trace, ingestor_.aggregates(), window.front().id(),
+      window.back().id(), ++sequence_);
+  record.kept_servers = snapshot->kept_servers();
+  record.campaigns = snapshot->campaigns().size();
+  record.malicious_servers = snapshot->num_malicious_servers();
+  record.postings_budget_exceeded = snapshot->postings_budget_exceeded();
+  slot_.publish(std::move(snapshot));
+  record.snapshot_ms = ms_since(snapshot_start);
+
+  record.total_ms = ms_since(start);
+  close_records_.push_back(record);
+}
+
+}  // namespace smash::stream

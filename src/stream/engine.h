@@ -1,0 +1,115 @@
+// StreamEngine: the streaming dataflow over the batch pipeline.
+//
+//   events -> StreamIngestor (epoch shards, window ring, aggregates)
+//          -> on epoch close: assemble window trace (journal replay)
+//          -> SmashPipeline::run over the window
+//          -> DetectionSnapshot, published RCU-style via SnapshotSlot
+//          -> VerdictService (stream/verdict.h) answers without blocking
+//
+// Threading model: one writer thread calls ingest()/finish(); any number of
+// reader threads call snapshot()/VerdictService::lookup concurrently. The
+// only shared state is the SnapshotSlot's atomic shared_ptr — readers never
+// wait on mining (which happens entirely before publish) and keep their
+// snapshot alive until they drop it. See SnapshotSlot for the precise
+// (not-quite-lock-free) guarantee.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "stream/ingest.h"
+#include "stream/snapshot.h"
+#include "stream/stream_config.h"
+#include "whois/whois.h"
+
+namespace smash::stream {
+
+// RCU-style publication point: the writer stores a new immutable snapshot,
+// readers load the current one; the shared_ptr control block keeps old
+// snapshots alive for readers mid-lookup. Neither side takes a user-level
+// lock and readers never wait on mining, but note that mainstream standard
+// libraries implement std::atomic<std::shared_ptr> with a tiny internal
+// spinlock (is_lock_free() is false), so load/store briefly contend on a
+// refcount update. A hazard-pointer slot would make this truly lock-free
+// if that window ever shows up in profiles.
+class SnapshotSlot {
+ public:
+  void publish(std::shared_ptr<const DetectionSnapshot> next) {
+    slot_.store(std::move(next), std::memory_order_release);
+  }
+
+  [[nodiscard]] std::shared_ptr<const DetectionSnapshot> acquire() const {
+    return slot_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const DetectionSnapshot>> slot_{};
+};
+
+// Timing/outcome record of one snapshot publication (the perf_stream bench
+// reports these as epoch-close-to-publish latency).
+struct EpochCloseRecord {
+  EpochId last_epoch = 0;        // newest epoch in the published window
+  std::uint32_t window_epochs = 0;
+  std::size_t window_requests = 0;
+  std::size_t kept_servers = 0;
+  std::size_t campaigns = 0;
+  std::size_t malicious_servers = 0;
+  double assemble_ms = 0.0;  // shard merge + finalize
+  double mine_ms = 0.0;      // SmashPipeline::run
+  double snapshot_ms = 0.0;  // DetectionSnapshot::build + publish
+  double total_ms = 0.0;     // epoch close -> snapshot visible to readers
+  bool postings_budget_exceeded = false;
+};
+
+class StreamEngine {
+ public:
+  // `registry` must outlive the engine (whois data is registration-time
+  // state, not traffic, so it is not streamed).
+  StreamEngine(StreamConfig config, const whois::Registry& registry);
+
+  // Forwards to the ingestor; when the event closes one or more epochs the
+  // window is re-mined and a new snapshot published before the event is
+  // admitted to the next epoch. Single writer thread only.
+  void ingest(const RequestEvent& event);
+  void ingest(const ResolutionEvent& event);
+  void ingest(const RedirectEvent& event);
+
+  // Seals the open epoch and publishes a final snapshot; call at stream end
+  // (or at a forced checkpoint). No-op before the first event.
+  void finish();
+
+  // Current snapshot, or nullptr before the first publication. Callable
+  // from any thread; never waits on mining.
+  [[nodiscard]] std::shared_ptr<const DetectionSnapshot> snapshot() const {
+    return slot_.acquire();
+  }
+  const SnapshotSlot& slot() const noexcept { return slot_; }
+
+  const StreamIngestor& ingestor() const noexcept { return ingestor_; }
+  const StreamConfig& config() const noexcept { return config_; }
+  std::uint64_t snapshots_published() const noexcept { return sequence_; }
+  const std::vector<EpochCloseRecord>& close_records() const noexcept {
+    return close_records_;
+  }
+
+  // The current closed window as one trace (what the next publish would
+  // mine). Exposed for the stream/batch equivalence tests.
+  net::Trace assemble_window() const { return ingestor_.assemble_window(); }
+
+ private:
+  void republish();
+
+  StreamConfig config_;
+  const whois::Registry& registry_;
+  core::SmashPipeline pipeline_;
+  StreamIngestor ingestor_;
+  SnapshotSlot slot_;
+  std::uint64_t sequence_ = 0;
+  std::vector<EpochCloseRecord> close_records_;
+};
+
+}  // namespace smash::stream

@@ -1,0 +1,180 @@
+#include "stream/ingest.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "dns/domain.h"
+
+namespace smash::stream {
+
+namespace {
+constexpr std::uint64_t kSecondsPerDay = 86400;
+}  // namespace
+
+// --- EpochShard --------------------------------------------------------------
+
+EpochShard::EpochShard(EpochId id) : id_(id) { trace_.enable_journal(); }
+
+void EpochShard::add(const RequestEvent& event) {
+  net::HttpRequest req;
+  req.client = trace_.intern_client(event.client);
+  req.server = trace_.intern_server(event.host);
+  req.day = static_cast<std::uint32_t>(event.time_s / kSecondsPerDay);
+  req.method = event.method;
+  req.status = event.status;
+  req.path = event.path;
+  req.user_agent = event.user_agent;
+  req.referrer = event.referrer;
+  trace_.add_request(std::move(req));
+}
+
+void EpochShard::add(const ResolutionEvent& event) {
+  trace_.add_resolution(trace_.intern_server(event.host),
+                        trace_.intern_ip(event.ip));
+}
+
+void EpochShard::add(const RedirectEvent& event) {
+  trace_.add_redirect(trace_.intern_server(event.from),
+                      trace_.intern_server(event.to));
+}
+
+void EpochShard::seal() {
+  if (sealed_) return;
+  trace_.finalize();
+  for (const auto& req : trace_.requests()) {
+    auto& delta = per_2ld_[dns::effective_2ld(trace_.servers().name(req.server))];
+    ++delta.requests;
+    if (net::is_error_status(req.status)) ++delta.error_requests;
+  }
+  for (auto& [host, delta] : per_2ld_) delta.active_epochs = 1;
+  sealed_ = true;
+}
+
+// --- WindowAggregates --------------------------------------------------------
+
+void WindowAggregates::add_epoch(const EpochShard& shard) {
+  for (const auto& [host, delta] : shard.per_2ld()) {
+    auto& agg = by_2ld_[host];
+    agg.requests += delta.requests;
+    agg.error_requests += delta.error_requests;
+    agg.active_epochs += delta.active_epochs;
+    window_requests_ += delta.requests;
+  }
+}
+
+void WindowAggregates::remove_epoch(const EpochShard& shard) {
+  for (const auto& [host, delta] : shard.per_2ld()) {
+    auto it = by_2ld_.find(host);
+    if (it == by_2ld_.end()) continue;
+    auto& agg = it->second;
+    agg.requests -= delta.requests;
+    agg.error_requests -= delta.error_requests;
+    agg.active_epochs -= delta.active_epochs;
+    window_requests_ -= delta.requests;
+    if (agg.empty()) by_2ld_.erase(it);
+  }
+}
+
+const ServerWindowStats* WindowAggregates::find(std::string_view host_2ld) const {
+  auto it = by_2ld_.find(std::string(host_2ld));
+  return it == by_2ld_.end() ? nullptr : &it->second;
+}
+
+// --- StreamIngestor ----------------------------------------------------------
+
+StreamIngestor::StreamIngestor(StreamConfig config) : config_(config) {}
+
+IngestResult StreamIngestor::position(std::uint64_t time_s) {
+  const EpochId epoch = config_.epoch_of(time_s);
+  IngestResult result;
+  if (!started_) {
+    started_ = true;
+    open_epoch_ = epoch;
+    open_shard_ = EpochShard(epoch);
+    return result;
+  }
+  if (epoch < open_epoch_) {
+    if (config_.drop_late_events) {
+      ++stats_.late_dropped;
+      result.accepted = false;
+    } else {
+      ++stats_.late_folded;
+    }
+    return result;
+  }
+  if (epoch > open_epoch_) result.epochs_closed = advance_to(epoch);
+  return result;
+}
+
+IngestResult StreamIngestor::ingest(const RequestEvent& event) {
+  IngestResult result = position(event.time_s);
+  if (!result.accepted) return result;
+  open_shard_.add(event);
+  ++stats_.requests;
+  return result;
+}
+
+IngestResult StreamIngestor::ingest(const ResolutionEvent& event) {
+  IngestResult result = position(event.time_s);
+  if (!result.accepted) return result;
+  open_shard_.add(event);
+  ++stats_.resolutions;
+  return result;
+}
+
+IngestResult StreamIngestor::ingest(const RedirectEvent& event) {
+  IngestResult result = position(event.time_s);
+  if (!result.accepted) return result;
+  open_shard_.add(event);
+  ++stats_.redirects;
+  return result;
+}
+
+void StreamIngestor::close_epoch() {
+  if (!started_) return;
+  open_shard_.seal();
+  window_.push_back(std::move(open_shard_));
+  aggregates_.add_epoch(window_.back());
+  if (window_.size() > config_.window_epochs) {
+    aggregates_.remove_epoch(window_.front());
+    window_.pop_front();
+  }
+  ++open_epoch_;
+  open_shard_ = EpochShard(open_epoch_);
+}
+
+std::uint32_t StreamIngestor::advance_to(EpochId epoch) {
+  // A gap wider than the window would close epoch after empty epoch only to
+  // evict them all again — with a corrupt far-future timestamp that loop is
+  // effectively unbounded. Jump straight to the equivalent end state: the
+  // open shard sealed-and-evicted, a ring of empty epochs, no aggregates.
+  const EpochId gap = epoch - open_epoch_;
+  if (gap > config_.window_epochs) {
+    window_.clear();
+    aggregates_ = WindowAggregates();
+    for (EpochId e = epoch - config_.window_epochs; e < epoch; ++e) {
+      EpochShard empty(e);
+      empty.seal();
+      window_.push_back(std::move(empty));
+    }
+    open_epoch_ = epoch;
+    open_shard_ = EpochShard(epoch);
+    return static_cast<std::uint32_t>(
+        std::min<EpochId>(gap, std::numeric_limits<std::uint32_t>::max()));
+  }
+  std::uint32_t closed = 0;
+  while (open_epoch_ < epoch) {
+    close_epoch();
+    ++closed;
+  }
+  return closed;
+}
+
+net::Trace StreamIngestor::assemble_window() const {
+  net::Trace out;
+  for (const auto& shard : window_) out.merge_from(shard.trace());
+  out.finalize();
+  return out;
+}
+
+}  // namespace smash::stream

@@ -1,0 +1,67 @@
+#include "stream/snapshot.h"
+
+#include "dns/domain.h"
+
+namespace smash::stream {
+
+std::shared_ptr<const DetectionSnapshot> DetectionSnapshot::build(
+    const core::SmashResult& result, const net::Trace& window,
+    const WindowAggregates& aggregates, EpochId first_epoch,
+    EpochId last_epoch, std::uint64_t sequence) {
+  auto snap = std::shared_ptr<DetectionSnapshot>(new DetectionSnapshot());
+  snap->first_epoch_ = first_epoch;
+  snap->last_epoch_ = last_epoch;
+  snap->sequence_ = sequence;
+  snap->window_requests_ = window.num_requests();
+  snap->kept_servers_ = result.pre.kept.size();
+  snap->postings_budget_exceeded_ = result.postings_budget_exceeded();
+
+  for (const auto& campaign : result.campaigns) {
+    const auto campaign_index =
+        static_cast<std::uint32_t>(snap->campaigns_.size());
+    SnapshotCampaign out;
+    out.involved_clients =
+        static_cast<std::uint32_t>(campaign.involved_clients.size());
+    out.single_client = campaign.single_client();
+
+    ServerVerdict verdict;
+    verdict.campaign = campaign_index;
+    verdict.campaign_servers = static_cast<std::uint32_t>(campaign.servers.size());
+    verdict.single_client = out.single_client;
+
+    for (auto kept_idx : campaign.servers) {
+      const std::string& name = result.server_name(kept_idx);
+      out.servers.push_back(name);
+      if (const auto* window_stats = aggregates.find(name)) {
+        verdict.window_requests = window_stats->requests;
+        verdict.active_epochs = window_stats->active_epochs;
+      } else {
+        verdict.window_requests = 0;
+        verdict.active_epochs = 0;
+      }
+      snap->by_2ld_.emplace(name, verdict);
+      // Index every IP the campaign server resolved to in this window: a
+      // request straight to the IP (no Host aggregation possible) still
+      // gets a verdict.
+      for (auto ip : result.server_profile(kept_idx).ips) {
+        snap->by_ip_.emplace(window.ips().name(ip), verdict);
+      }
+    }
+    snap->campaigns_.push_back(std::move(out));
+  }
+
+  snap->built_at_ = std::chrono::steady_clock::now();
+  return snap;
+}
+
+const ServerVerdict* DetectionSnapshot::find_host(std::string_view host) const {
+  auto it = by_2ld_.find(dns::effective_2ld(host));
+  return it == by_2ld_.end() ? nullptr : &it->second;
+}
+
+const ServerVerdict* DetectionSnapshot::find_ip(std::string_view ip) const {
+  auto it = by_ip_.find(std::string(ip));
+  return it == by_ip_.end() ? nullptr : &it->second;
+}
+
+}  // namespace smash::stream

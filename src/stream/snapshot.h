@@ -1,0 +1,97 @@
+// DetectionSnapshot: an immutable verdict index built from one mined
+// window, published RCU-style (stream/engine.h) and read wait-free of the
+// mining path by the
+// VerdictService. Once built, a snapshot is never mutated; readers hold a
+// shared_ptr so a snapshot stays alive until the last in-flight lookup
+// drops it, no matter how many newer windows have been published since.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "stream/ingest.h"
+#include "stream/stream_config.h"
+
+namespace smash::stream {
+
+// Verdict for one malicious server (2LD) or server IP.
+struct ServerVerdict {
+  std::uint32_t campaign = 0;          // index into campaigns()
+  std::uint32_t campaign_servers = 0;  // size of that campaign
+  bool single_client = false;          // Appendix C population
+  // Sliding-window activity of this 2LD, from the ingestor's incrementally
+  // merged WindowAggregates (how loud the server was, and in how many of
+  // the window's epochs).
+  std::uint64_t window_requests = 0;
+  std::uint32_t active_epochs = 0;
+};
+
+// One inferred campaign, resolved to names for serving.
+struct SnapshotCampaign {
+  std::vector<std::string> servers;  // 2LD names, in kept-index order
+  std::uint32_t involved_clients = 0;
+  bool single_client = false;
+};
+
+class DetectionSnapshot {
+ public:
+  // Builds the index from a mined window. `window` must be the trace the
+  // result was mined from (it supplies server and IP names); `aggregates`
+  // the ingestor's sliding-window per-2LD stats for the same window.
+  static std::shared_ptr<const DetectionSnapshot> build(
+      const core::SmashResult& result, const net::Trace& window,
+      const WindowAggregates& aggregates, EpochId first_epoch,
+      EpochId last_epoch, std::uint64_t sequence);
+
+  // Verdict for any requested hostname (aggregated to its effective 2LD
+  // first, mirroring preprocessing), or nullptr when not flagged.
+  const ServerVerdict* find_host(std::string_view host) const;
+
+  // Verdict for a server IP observed in the window's resolutions.
+  const ServerVerdict* find_ip(std::string_view ip) const;
+
+  const std::vector<SnapshotCampaign>& campaigns() const noexcept {
+    return campaigns_;
+  }
+  std::size_t num_malicious_servers() const noexcept { return by_2ld_.size(); }
+
+  EpochId first_epoch() const noexcept { return first_epoch_; }
+  EpochId last_epoch() const noexcept { return last_epoch_; }
+  std::uint64_t sequence() const noexcept { return sequence_; }
+  std::chrono::steady_clock::time_point built_at() const noexcept {
+    return built_at_;
+  }
+
+  // Window facts carried for reporting.
+  std::size_t window_requests() const noexcept { return window_requests_; }
+  std::size_t kept_servers() const noexcept { return kept_servers_; }
+
+  // True when any dimension's join hit the postings cap while mining this
+  // window: the window exceeded the in-RAM postings budget and similarity
+  // counts may undercount (JoinStats), so verdicts may miss associations.
+  bool postings_budget_exceeded() const noexcept {
+    return postings_budget_exceeded_;
+  }
+
+ private:
+  DetectionSnapshot() = default;
+
+  std::unordered_map<std::string, ServerVerdict> by_2ld_;
+  std::unordered_map<std::string, ServerVerdict> by_ip_;
+  std::vector<SnapshotCampaign> campaigns_;
+  EpochId first_epoch_ = 0;
+  EpochId last_epoch_ = 0;
+  std::uint64_t sequence_ = 0;
+  std::size_t window_requests_ = 0;
+  std::size_t kept_servers_ = 0;
+  bool postings_budget_exceeded_ = false;
+  std::chrono::steady_clock::time_point built_at_{};
+};
+
+}  // namespace smash::stream

@@ -1,0 +1,42 @@
+// Configuration of the streaming subsystem: epoch-windowed ingest over the
+// batch SMASH pipeline. The paper mines a full collection window (one day,
+// or one week) as a single batch; the streaming engine instead ingests
+// timestamped requests continuously, partitions them into fixed epochs, and
+// re-mines a sliding window of the last `window_epochs` epochs on every
+// epoch close.
+#pragma once
+
+#include <cstdint>
+
+#include "core/smash_config.h"
+
+namespace smash::stream {
+
+// Epoch index: event time in seconds divided by StreamConfig::epoch_seconds.
+using EpochId = std::uint64_t;
+
+struct StreamConfig {
+  // Epoch length. One hour by default: long enough for a campaign's bots to
+  // accumulate the co-visits the client dimension needs, short enough that
+  // detection latency stays within the paper's daily cadence.
+  std::uint32_t epoch_seconds = 3600;
+
+  // Sliding window: the engine mines the last `window_epochs` closed epochs
+  // (a full day at the default epoch length), matching the batch pipeline's
+  // one-day collection window.
+  std::uint32_t window_epochs = 24;
+
+  // Events older than the open epoch. When true (default) they are dropped
+  // and counted (IngestStats::late_dropped); when false they are folded
+  // into the open epoch so no traffic is lost at the cost of epoch purity.
+  bool drop_late_events = true;
+
+  // Pipeline tunables for each window re-mine.
+  core::SmashConfig smash;
+
+  EpochId epoch_of(std::uint64_t time_s) const noexcept {
+    return epoch_seconds == 0 ? 0 : time_s / epoch_seconds;
+  }
+};
+
+}  // namespace smash::stream

@@ -1,0 +1,60 @@
+#include "stream/verdict.h"
+
+namespace smash::stream {
+
+VerdictAnswer VerdictService::answer(const ServerVerdict* verdict,
+                                     const DetectionSnapshot* snapshot) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  VerdictAnswer out;
+  if (snapshot != nullptr) {
+    out.snapshot_available = true;
+    out.snapshot_sequence = snapshot->sequence();
+    out.snapshot_last_epoch = snapshot->last_epoch();
+  }
+  if (verdict != nullptr) {
+    out.malicious = true;
+    out.verdict = *verdict;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+VerdictAnswer VerdictService::lookup(std::string_view host) const {
+  const auto snapshot = slot_.acquire();
+  if (!snapshot) return answer(nullptr, nullptr);
+  return answer(snapshot->find_host(host), snapshot.get());
+}
+
+VerdictAnswer VerdictService::lookup_request(std::string_view host,
+                                             std::string_view server_ip) const {
+  const auto snapshot = slot_.acquire();
+  if (!snapshot) return answer(nullptr, nullptr);
+  const ServerVerdict* verdict = snapshot->find_host(host);
+  if (verdict == nullptr && !server_ip.empty()) {
+    verdict = snapshot->find_ip(server_ip);
+  }
+  return answer(verdict, snapshot.get());
+}
+
+VerdictServiceStats VerdictService::stats() const {
+  VerdictServiceStats out;
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.hit_rate = out.queries == 0
+                     ? 0.0
+                     : static_cast<double>(out.hits) /
+                           static_cast<double>(out.queries);
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed_s =
+      std::chrono::duration<double>(now - start_).count();
+  out.qps = elapsed_s > 0.0 ? static_cast<double>(out.queries) / elapsed_s : 0.0;
+  if (const auto snapshot = slot_.acquire()) {
+    out.snapshot_available = true;
+    out.snapshot_sequence = snapshot->sequence();
+    out.snapshot_age_s =
+        std::chrono::duration<double>(now - snapshot->built_at()).count();
+  }
+  return out;
+}
+
+}  // namespace smash::stream

@@ -1,0 +1,64 @@
+// VerdictService: the online front-end. Answers per-host / per-request
+// verdicts from the engine's current DetectionSnapshot, from any number of
+// threads, while the engine keeps publishing newer windows. Lookups never
+// wait on mining; see SnapshotSlot (stream/engine.h) for the exact
+// publication guarantee.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "stream/engine.h"
+#include "stream/snapshot.h"
+
+namespace smash::stream {
+
+struct VerdictAnswer {
+  bool malicious = false;
+  // Valid when malicious.
+  ServerVerdict verdict{};
+  // Which snapshot answered (0 / false before the first publication).
+  bool snapshot_available = false;
+  std::uint64_t snapshot_sequence = 0;
+  EpochId snapshot_last_epoch = 0;
+};
+
+struct VerdictServiceStats {
+  std::uint64_t queries = 0;
+  std::uint64_t hits = 0;  // queries answered "malicious"
+  double hit_rate = 0.0;
+  double qps = 0.0;             // queries / seconds since service start
+  double snapshot_age_s = 0.0;  // now - current snapshot's build time
+  std::uint64_t snapshot_sequence = 0;
+  bool snapshot_available = false;
+};
+
+class VerdictService {
+ public:
+  // `slot` must outlive the service (it lives in the StreamEngine).
+  explicit VerdictService(const SnapshotSlot& slot)
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+
+  // Verdict for a hostname (aggregated to its effective 2LD).
+  VerdictAnswer lookup(std::string_view host) const;
+
+  // Verdict for a full request: the Host header, then the contacted server
+  // IP (catches requests straight to an IP of a flagged server).
+  VerdictAnswer lookup_request(std::string_view host,
+                               std::string_view server_ip) const;
+
+  VerdictServiceStats stats() const;
+
+ private:
+  VerdictAnswer answer(const ServerVerdict* verdict,
+                       const DetectionSnapshot* snapshot) const;
+
+  const SnapshotSlot& slot_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+};
+
+}  // namespace smash::stream

@@ -1,0 +1,192 @@
+#include "synth/stream_gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.h"
+
+namespace smash::synth {
+
+namespace {
+
+StreamEvent request_at(std::uint64_t time_s, std::string client,
+                       std::string host, std::string path,
+                       std::string user_agent = "Mozilla/5.0",
+                       std::string referrer = "") {
+  stream::RequestEvent event;
+  event.time_s = time_s;
+  event.client = std::move(client);
+  event.host = std::move(host);
+  event.path = std::move(path);
+  event.user_agent = std::move(user_agent);
+  event.referrer = std::move(referrer);
+  return event;
+}
+
+StreamEvent resolution_at(std::uint64_t time_s, std::string host,
+                          std::string ip) {
+  stream::ResolutionEvent event;
+  event.time_s = time_s;
+  event.host = std::move(host);
+  event.ip = std::move(ip);
+  return event;
+}
+
+void add_benign(const StreamScenarioConfig& config, util::Rng& rng,
+                std::vector<StreamEvent>& events) {
+  // One resolution per server, early in the stream so the window always has
+  // it regardless of where the first request lands.
+  for (std::uint32_t s = 0; s < config.benign_servers; ++s) {
+    const std::string host = "site" + std::to_string(s) + ".org";
+    events.push_back(resolution_at(
+        rng.uniform(std::max<std::uint64_t>(config.duration_s / 8, 1)), host,
+        "203.0." + std::to_string(s / 250) + "." + std::to_string(s % 250)));
+  }
+  for (std::uint32_t v = 0; v < config.benign_visits; ++v) {
+    const auto server = rng.uniform(config.benign_servers);
+    const std::string base = "site" + std::to_string(server) + ".org";
+    const std::string host =
+        rng.bernoulli(config.subdomain_fraction) ? "www." + base : base;
+    events.push_back(request_at(
+        rng.uniform(config.duration_s),
+        "user" + std::to_string(rng.uniform(config.benign_clients)), host,
+        "/page" + std::to_string(rng.uniform(6)) + ".html"));
+  }
+}
+
+void add_popular(const StreamScenarioConfig& config, util::Rng& rng,
+                 std::vector<StreamEvent>& events) {
+  for (std::uint32_t s = 0; s < config.popular_servers; ++s) {
+    const std::string host = "cdn" + std::to_string(s) + ".com";
+    events.push_back(resolution_at(rng.uniform(config.duration_s / 8 + 1),
+                                   host, "198.18.0." + std::to_string(s)));
+    for (std::uint32_t c = 0; c < config.popular_clients; ++c) {
+      events.push_back(request_at(rng.uniform(config.duration_s),
+                                  "cdnuser" + std::to_string(c), host,
+                                  "/asset" + std::to_string(rng.uniform(8)) +
+                                      ".js"));
+    }
+  }
+}
+
+void add_campaigns(const StreamScenarioConfig& config, util::Rng& rng,
+                   StreamScenario& scenario) {
+  const auto active_s = static_cast<std::uint64_t>(
+      static_cast<double>(config.duration_s) * config.active_fraction);
+  for (std::uint32_t k = 0; k < config.campaigns; ++k) {
+    StreamCampaignTruth truth;
+    truth.bots = config.campaign_bots;
+    // Staggered activations so campaigns appear (and end) mid-stream.
+    truth.start_s = config.campaigns == 0
+                        ? 0
+                        : (k + 1) * config.duration_s / (config.campaigns + 2);
+    truth.end_s = std::min(config.duration_s, truth.start_s + active_s);
+
+    const std::string shared_ip = "198.51." + std::to_string(k) + ".1";
+    whois::Record record;
+    record.registrant = "actor-" + std::to_string(k);
+    record.email = "actor" + std::to_string(k) + "@mail.test";
+
+    for (std::uint32_t s = 0; s < config.campaign_servers; ++s) {
+      const std::string host =
+          "c" + std::to_string(k) + "-s" + std::to_string(s) + ".biz";
+      truth.servers.push_back(host);
+      scenario.whois.add(host, record);
+    }
+
+    // Each bot polls every campaign server on the configured cadence, with
+    // a small per-request jitter that never crosses the next poll tick.
+    // Servers are re-resolved every tick (bots re-query DNS), so any window
+    // overlapping the active interval sees the shared IP — not just the
+    // window containing the activation epoch.
+    const std::uint64_t jitter =
+        std::max<std::uint64_t>(config.poll_interval_s / 4, 1);
+    for (std::uint64_t t = truth.start_s; t < truth.end_s;
+         t += config.poll_interval_s) {
+      for (const auto& host : truth.servers) {
+        scenario.events.push_back(resolution_at(t, host, shared_ip));
+      }
+      for (std::uint32_t b = 0; b < config.campaign_bots; ++b) {
+        const std::string bot =
+            "bot" + std::to_string(k) + "-" + std::to_string(b);
+        for (const auto& host : truth.servers) {
+          const auto when =
+              std::min(t + rng.uniform(jitter), truth.end_s - 1);
+          scenario.events.push_back(request_at(
+              when, bot, host,
+              "/gate.php?id=" + std::to_string(b) + "&c=" + std::to_string(k),
+              "-"));
+        }
+      }
+    }
+    scenario.campaigns.push_back(std::move(truth));
+  }
+}
+
+}  // namespace
+
+StreamScenario generate_stream(const StreamScenarioConfig& config) {
+  StreamScenario scenario;
+  scenario.duration_s = config.duration_s;
+
+  util::Rng base(config.seed);
+  util::Rng benign_rng = base.fork("stream-benign");
+  util::Rng popular_rng = base.fork("stream-popular");
+  util::Rng campaign_rng = base.fork("stream-campaigns");
+
+  add_benign(config, benign_rng, scenario.events);
+  add_popular(config, popular_rng, scenario.events);
+  add_campaigns(config, campaign_rng, scenario);
+
+  // Benign servers get distinct registrations so whois only associates the
+  // campaigns.
+  for (std::uint32_t s = 0; s < config.benign_servers; s += 7) {
+    whois::Record record;
+    record.registrant = "owner-" + std::to_string(s);
+    record.email = "owner" + std::to_string(s) + "@mail.test";
+    scenario.whois.add("site" + std::to_string(s) + ".org", record);
+  }
+
+  // Stable by time: events at the same second keep generation order, so the
+  // stream is fully deterministic.
+  std::stable_sort(scenario.events.begin(), scenario.events.end(),
+                   [](const StreamEvent& a, const StreamEvent& b) {
+                     return event_time(a) < event_time(b);
+                   });
+  return scenario;
+}
+
+void feed(stream::StreamEngine& engine, const StreamScenario& scenario) {
+  for (const auto& event : scenario.events) ingest_event(engine, event);
+}
+
+net::Trace batch_trace(const StreamScenario& scenario, std::uint64_t begin_s,
+                       std::uint64_t end_s) {
+  net::Trace trace;
+  for (const auto& event : scenario.events) {
+    const auto t = event_time(event);
+    if (t < begin_s || t >= end_s) continue;
+    if (const auto* e = std::get_if<stream::RequestEvent>(&event)) {
+      net::HttpRequest req;
+      req.client = trace.intern_client(e->client);
+      req.server = trace.intern_server(e->host);
+      req.day = static_cast<std::uint32_t>(t / 86400);
+      req.method = e->method;
+      req.status = e->status;
+      req.path = e->path;
+      req.user_agent = e->user_agent;
+      req.referrer = e->referrer;
+      trace.add_request(std::move(req));
+    } else if (const auto* r = std::get_if<stream::ResolutionEvent>(&event)) {
+      trace.add_resolution(trace.intern_server(r->host),
+                           trace.intern_ip(r->ip));
+    } else if (const auto* d = std::get_if<stream::RedirectEvent>(&event)) {
+      trace.add_redirect(trace.intern_server(d->from),
+                         trace.intern_server(d->to));
+    }
+  }
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace smash::synth

@@ -1,0 +1,87 @@
+// Timestamped workload for the streaming engine: a day-long (configurable)
+// event stream of benign browsing plus malicious campaigns that appear and
+// disappear mid-stream, so detection latency — epochs from activation to
+// first verdict — is measurable against ground truth. Deterministic from
+// the seed, like every other generator in src/synth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/trace.h"
+#include "stream/engine.h"
+#include "stream/ingest.h"
+#include "whois/whois.h"
+
+namespace smash::synth {
+
+// One timestamped edge event.
+using StreamEvent = std::variant<stream::RequestEvent, stream::ResolutionEvent,
+                                 stream::RedirectEvent>;
+
+inline std::uint64_t event_time(const StreamEvent& event) noexcept {
+  return std::visit([](const auto& e) { return e.time_s; }, event);
+}
+
+// Routes the event to the matching StreamEngine::ingest overload.
+inline void ingest_event(stream::StreamEngine& engine, const StreamEvent& event) {
+  std::visit([&engine](const auto& e) { engine.ingest(e); }, event);
+}
+
+struct StreamCampaignTruth {
+  std::vector<std::string> servers;  // 2LD hostnames
+  std::uint64_t start_s = 0;         // active interval [start_s, end_s)
+  std::uint64_t end_s = 0;
+  std::uint32_t bots = 0;
+};
+
+struct StreamScenarioConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t duration_s = 86400;
+
+  // Benign background: light random browsing over a long tail of servers.
+  std::uint32_t benign_servers = 300;
+  std::uint32_t benign_clients = 200;
+  std::uint32_t benign_visits = 4000;  // total page visits across the stream
+  // Fraction of benign requests that go through a www. subdomain, so 2LD
+  // aggregation has work to do in every epoch.
+  double subdomain_fraction = 0.3;
+
+  // Popular head: servers contacted by more distinct clients than the IDF
+  // threshold the consumer runs with (pick idf_threshold < popular_clients
+  // in SmashConfig to exercise the filter).
+  std::uint32_t popular_servers = 4;
+  std::uint32_t popular_clients = 80;
+
+  // Campaigns: `campaign_bots` infected clients polling every server of the
+  // campaign on a fixed cadence while active. Activation windows are
+  // staggered across the stream so campaigns appear and disappear
+  // mid-stream.
+  std::uint32_t campaigns = 3;
+  std::uint32_t campaign_servers = 5;
+  std::uint32_t campaign_bots = 4;
+  std::uint32_t poll_interval_s = 600;
+  double active_fraction = 0.4;  // of duration_s
+};
+
+struct StreamScenario {
+  std::vector<StreamEvent> events;  // nondecreasing time_s
+  whois::Registry whois;            // shared registrant/email per campaign
+  std::vector<StreamCampaignTruth> campaigns;
+  std::uint64_t duration_s = 0;
+};
+
+StreamScenario generate_stream(const StreamScenarioConfig& config);
+
+// Replays every event into the engine, in order. Does not call finish().
+void feed(stream::StreamEngine& engine, const StreamScenario& scenario);
+
+// The trace a monolithic batch run would see over [begin_s, end_s): same
+// events, same order, same day indices — the comparator for the
+// stream/batch equivalence tests. Finalized.
+net::Trace batch_trace(const StreamScenario& scenario, std::uint64_t begin_s,
+                       std::uint64_t end_s);
+
+}  // namespace smash::synth

@@ -69,9 +69,14 @@ TEST_P(JoinEquivalenceTest, DenseMatchesHashMapReference) {
 
 TEST_P(JoinEquivalenceTest, ParallelMatchesSerialExactly) {
   const auto items = random_items(1500, 8, 900, GetParam() ^ 0xabcdULL);
-  const auto serial = cooccurrence_join(items, 2);
+  JoinStats serial_stats;
+  const auto serial = cooccurrence_join(items, 2, {}, &serial_stats);
   for (const unsigned threads : {2u, 3u, 4u, 7u}) {
-    EXPECT_EQ(cooccurrence_join_parallel(items, 2, {}, threads), serial);
+    JoinStats parallel_stats;
+    EXPECT_EQ(cooccurrence_join_parallel(items, 2, {}, threads, &parallel_stats),
+              serial);
+    // Counters too: shard candidate counts sum to the serial probe count.
+    EXPECT_EQ(parallel_stats, serial_stats) << "threads=" << threads;
   }
 }
 

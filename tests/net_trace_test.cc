@@ -117,6 +117,89 @@ TEST(SliceDay, ExtractsSingleDay) {
   EXPECT_EQ(day1.ips_of(*day1.servers().find("b.com")).size(), 1u);
 }
 
+TEST(Trace, FinalizeIsRefinalizable) {
+  Trace trace;
+  add_request(trace, "c1", "a.com", "/x", "UA", "", 200, /*day=*/0);
+  resolve(trace, "a.com", "1.1.1.1");
+  trace.finalize();
+  EXPECT_EQ(trace.num_days(), 1u);
+
+  // Mutating after finalize un-finalizes; a second finalize recomputes
+  // derived state from scratch.
+  add_request(trace, "c2", "a.com", "/y", "UA", "", 200, /*day=*/4);
+  resolve(trace, "a.com", "2.2.2.2");
+  trace.finalize();
+  EXPECT_EQ(trace.num_days(), 5u);
+  EXPECT_EQ(trace.ips_of(*trace.servers().find("a.com")).size(), 2u);
+
+  // finalize() is idempotent.
+  trace.finalize();
+  EXPECT_EQ(trace.num_days(), 5u);
+}
+
+TEST(Trace, MergeFromCombinesTraces) {
+  Trace a;
+  add_request(a, "c1", "a.com", "/x");
+  resolve(a, "a.com", "1.1.1.1");
+  a.finalize();
+
+  Trace b;
+  add_request(b, "c1", "b.com", "/y");
+  add_request(b, "c2", "a.com", "/z");
+  resolve(b, "a.com", "9.9.9.9");
+  b.add_redirect(b.intern_server("b.com"), b.intern_server("a.com"));
+  b.finalize();
+
+  Trace merged;
+  merged.merge_from(a);
+  merged.merge_from(b);
+  merged.finalize();
+
+  EXPECT_EQ(merged.num_requests(), 3u);
+  EXPECT_EQ(merged.num_clients(), 2u);
+  EXPECT_EQ(merged.num_servers(), 2u);
+  // Resolutions union across the merged traces.
+  EXPECT_EQ(merged.ips_of(*merged.servers().find("a.com")).size(), 2u);
+  std::uint32_t to = 0;
+  ASSERT_TRUE(merged.redirect_target(*merged.servers().find("b.com"), to));
+  EXPECT_EQ(merged.servers().name(to), "a.com");
+}
+
+TEST(Trace, JournalReplayPreservesArrivalOrder) {
+  // Interleave a resolution between requests: the resolved-only host gets
+  // its interner id *before* later-requested hosts. Journal replay must
+  // reproduce that exact id assignment; the non-journal fallback cannot
+  // (it replays requests first).
+  const auto build = [](Trace& trace) {
+    add_request(trace, "c1", "a.com", "/x");
+    resolve(trace, "early.com", "1.1.1.1");  // interned before b.com
+    add_request(trace, "c2", "b.com", "/y");
+  };
+
+  Trace direct;
+  build(direct);
+  direct.finalize();
+
+  Trace journaled;
+  journaled.enable_journal();
+  build(journaled);
+  journaled.finalize();
+
+  Trace replayed;
+  replayed.merge_from(journaled);
+  replayed.finalize();
+
+  ASSERT_EQ(replayed.num_servers(), direct.num_servers());
+  for (std::uint32_t s = 0; s < direct.num_servers(); ++s) {
+    EXPECT_EQ(replayed.servers().name(s), direct.servers().name(s));
+  }
+  ASSERT_EQ(replayed.num_requests(), direct.num_requests());
+  for (std::size_t i = 0; i < direct.requests().size(); ++i) {
+    EXPECT_EQ(replayed.requests()[i].server, direct.requests()[i].server);
+    EXPECT_EQ(replayed.requests()[i].client, direct.requests()[i].client);
+  }
+}
+
 TEST(Interner, DenseIdsAndLookup) {
   util::Interner interner;
   EXPECT_EQ(interner.intern("a"), 0u);

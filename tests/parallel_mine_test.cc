@@ -114,6 +114,47 @@ TEST(ParallelMining, ParamDimensionIncludedWhenEnabled) {
   }
 }
 
+// The whois and file joins are probe-range sharded like the client join;
+// their output must be identical for any thread count.
+TEST(ParallelMining, WhoisAndFileJoinShardsMatchSerial) {
+  const net::Trace trace = structured_trace();
+
+  // Whois records sharing registrant+email inside each campaign, so the
+  // whois join has real pairs to find.
+  whois::Registry registry;
+  for (int campaign = 0; campaign < 3; ++campaign) {
+    whois::Record record;
+    record.registrant = "actor" + std::to_string(campaign);
+    record.email = "a" + std::to_string(campaign) + "@mail.test";
+    for (int server = 0; server < 4; ++server) {
+      registry.add("c" + std::to_string(campaign) + "s" +
+                       std::to_string(server) + ".com",
+                   record);
+    }
+  }
+
+  SmashConfig serial_config;
+  serial_config.idf_threshold = 100;
+  serial_config.num_threads = 1;
+  const auto pre = preprocess(trace, serial_config);
+
+  for (const auto dimension : {Dimension::kWhois, Dimension::kFile}) {
+    const auto serial =
+        mine_dimension(dimension, pre, registry, serial_config);
+    EXPECT_FALSE(serial.ashes.empty())
+        << dimension_name(dimension) << " found no herds; test is vacuous";
+    for (const unsigned threads : {2u, 3u, 5u, 8u}) {
+      SmashConfig threaded_config = serial_config;
+      threaded_config.num_threads = threads;
+      const auto threaded =
+          mine_dimension(dimension, pre, registry, threaded_config);
+      expect_same_ashes(serial, threaded);
+      EXPECT_EQ(serial.join_stats, threaded.join_stats)
+          << dimension_name(dimension) << " threads=" << threads;
+    }
+  }
+}
+
 TEST(ParallelMining, FullPipelineMatchesSerial) {
   const net::Trace trace = structured_trace();
   const whois::Registry registry;

@@ -1,0 +1,318 @@
+// Streaming subsystem units: epoch bucketing, window ring + incremental
+// aggregates, snapshot verdict index, RCU-style snapshot swap, verdict
+// service counters, and JoinStats surfacing into snapshots.
+#include "stream/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/ingest.h"
+#include "stream/verdict.h"
+#include "synth/stream_gen.h"
+
+namespace smash::stream {
+namespace {
+
+RequestEvent req(std::uint64_t time_s, std::string client, std::string host,
+                 std::string path = "/x.html") {
+  RequestEvent e;
+  e.time_s = time_s;
+  e.client = std::move(client);
+  e.host = std::move(host);
+  e.path = std::move(path);
+  e.user_agent = "UA";
+  return e;
+}
+
+ResolutionEvent res(std::uint64_t time_s, std::string host, std::string ip) {
+  ResolutionEvent e;
+  e.time_s = time_s;
+  e.host = std::move(host);
+  e.ip = std::move(ip);
+  return e;
+}
+
+StreamConfig small_config(std::uint32_t epoch_s = 100,
+                          std::uint32_t window = 3) {
+  StreamConfig config;
+  config.epoch_seconds = epoch_s;
+  config.window_epochs = window;
+  config.smash.idf_threshold = 50;
+  return config;
+}
+
+TEST(StreamIngestor, BucketsEventsIntoEpochs) {
+  StreamIngestor ingestor(small_config(/*epoch_s=*/100, /*window=*/10));
+  EXPECT_FALSE(ingestor.has_open_epoch());
+
+  EXPECT_TRUE(ingestor.ingest(req(10, "c1", "a.com")).accepted);
+  EXPECT_TRUE(ingestor.has_open_epoch());
+  EXPECT_EQ(ingestor.open_epoch(), 0u);
+
+  // Crossing into epoch 2 closes epochs 0 and 1 (1 is empty).
+  const auto result = ingestor.ingest(req(250, "c2", "b.com"));
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.epochs_closed, 2u);
+  EXPECT_EQ(ingestor.open_epoch(), 2u);
+  ASSERT_EQ(ingestor.window().size(), 2u);
+  EXPECT_EQ(ingestor.window()[0].id(), 0u);
+  EXPECT_EQ(ingestor.window()[0].num_requests(), 1u);
+  EXPECT_EQ(ingestor.window()[1].id(), 1u);
+  EXPECT_TRUE(ingestor.window()[1].empty());
+  EXPECT_EQ(ingestor.stats().requests, 2u);
+}
+
+TEST(StreamIngestor, DropsOrFoldsLateEvents) {
+  StreamIngestor dropping(small_config());
+  dropping.ingest(req(250, "c1", "a.com"));  // opens epoch 2
+  EXPECT_FALSE(dropping.ingest(req(50, "c2", "b.com")).accepted);
+  EXPECT_EQ(dropping.stats().late_dropped, 1u);
+  EXPECT_EQ(dropping.stats().requests, 1u);
+
+  StreamConfig folding = small_config();
+  folding.drop_late_events = false;
+  StreamIngestor folder(folding);
+  folder.ingest(req(250, "c1", "a.com"));
+  EXPECT_TRUE(folder.ingest(req(50, "c2", "b.com")).accepted);
+  EXPECT_EQ(folder.stats().late_folded, 1u);
+  EXPECT_EQ(folder.stats().requests, 2u);
+}
+
+TEST(StreamIngestor, WindowRingEvictsAndAggregatesIncrementally) {
+  // Window of 2 epochs; the same 2LD is hit in epochs 0, 1, 2.
+  StreamIngestor ingestor(small_config(/*epoch_s=*/100, /*window=*/2));
+  ingestor.ingest(req(10, "c1", "a.com"));
+  ingestor.ingest(req(20, "c1", "only-epoch0.com"));
+  ingestor.ingest(req(110, "c2", "www.a.com"));  // aggregates to a.com
+  ingestor.ingest(req(210, "c3", "a.com"));
+  ingestor.close_epoch();  // seal epoch 2; window now epochs [1, 2]
+
+  ASSERT_EQ(ingestor.window().size(), 2u);
+  EXPECT_EQ(ingestor.window().front().id(), 1u);
+
+  const auto* a = ingestor.aggregates().find("a.com");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->requests, 2u);       // epoch 0's hit evicted
+  EXPECT_EQ(a->active_epochs, 2u);  // present in epochs 1 and 2
+  // Evicted-only server vanishes from the window aggregates entirely.
+  EXPECT_EQ(ingestor.aggregates().find("only-epoch0.com"), nullptr);
+  EXPECT_EQ(ingestor.aggregates().window_requests(), 2u);
+}
+
+TEST(StreamIngestor, FarFutureGapIsBoundedAndEquivalent) {
+  // A gap wider than the window fast-forwards instead of closing epochs
+  // one by one (a corrupt far-future timestamp must not hang the writer).
+  const auto drive = [](StreamIngestor& ingestor, std::uint64_t gap_to) {
+    ingestor.ingest(req(10, "c1", "a.com"));
+    ingestor.ingest(req(gap_to, "c2", "b.com"));
+  };
+
+  // Equivalence at a modest gap: fast path (window=3) vs what the ring
+  // must look like afterwards — all-empty window ending just before the
+  // new open epoch, no aggregates.
+  StreamIngestor ingestor(small_config(/*epoch_s=*/100, /*window=*/3));
+  drive(ingestor, 900);  // epoch 9; gap of 9 > window 3
+  EXPECT_EQ(ingestor.open_epoch(), 9u);
+  ASSERT_EQ(ingestor.window().size(), 3u);
+  EXPECT_EQ(ingestor.window().front().id(), 6u);
+  EXPECT_EQ(ingestor.window().back().id(), 8u);
+  for (const auto& shard : ingestor.window()) EXPECT_TRUE(shard.empty());
+  EXPECT_EQ(ingestor.aggregates().num_servers(), 0u);
+
+  // The pathological case completes instantly and ingest keeps working.
+  StreamIngestor far(small_config(/*epoch_s=*/3600, /*window=*/24));
+  drive(far, 4'000'000'000ULL);  // ~126 years in
+  EXPECT_EQ(far.open_epoch(), 4'000'000'000ULL / 3600);
+  EXPECT_EQ(far.window().size(), 24u);
+  EXPECT_TRUE(far.ingest(req(4'000'000'100ULL, "c3", "c.com")).accepted);
+  EXPECT_EQ(far.stats().requests, 3u);
+}
+
+TEST(StreamIngestor, AssembledWindowMatchesShardContents) {
+  StreamIngestor ingestor(small_config(/*epoch_s=*/100, /*window=*/4));
+  ingestor.ingest(req(10, "c1", "a.com"));
+  ingestor.ingest(res(20, "a.com", "1.1.1.1"));
+  ingestor.ingest(req(150, "c2", "b.com"));
+  ingestor.ingest(res(160, "b.com", "2.2.2.2"));
+  ingestor.close_epoch();
+
+  const net::Trace window = ingestor.assemble_window();
+  EXPECT_EQ(window.num_requests(), 2u);
+  EXPECT_EQ(window.num_clients(), 2u);
+  EXPECT_EQ(window.ips_of(*window.servers().find("a.com")).size(), 1u);
+  EXPECT_EQ(window.ips_of(*window.servers().find("b.com")).size(), 1u);
+}
+
+// A scenario small enough for unit tests whose campaigns the pipeline
+// reliably detects.
+synth::StreamScenarioConfig tiny_scenario_config() {
+  synth::StreamScenarioConfig config;
+  config.seed = 11;
+  config.duration_s = 6 * 600;
+  config.benign_servers = 60;
+  config.benign_clients = 40;
+  config.benign_visits = 500;
+  config.popular_servers = 2;
+  config.popular_clients = 70;
+  config.campaigns = 1;
+  config.campaign_servers = 5;
+  config.campaign_bots = 4;
+  config.poll_interval_s = 120;
+  config.active_fraction = 0.5;
+  return config;
+}
+
+StreamConfig tiny_stream_config(unsigned threads = 1) {
+  StreamConfig config;
+  config.epoch_seconds = 600;
+  config.window_epochs = 6;
+  config.smash.idf_threshold = 50;  // popular_clients = 70 get filtered
+  config.smash.num_threads = threads;
+  return config;
+}
+
+TEST(StreamEngine, PublishesSnapshotsAndServesVerdicts) {
+  const auto scenario = synth::generate_stream(tiny_scenario_config());
+  StreamEngine engine(tiny_stream_config(), scenario.whois);
+  const VerdictService service(engine.slot());
+
+  // Before any epoch closes there is no snapshot.
+  EXPECT_EQ(engine.snapshot(), nullptr);
+  EXPECT_FALSE(service.lookup("c0-s0.biz").snapshot_available);
+
+  synth::feed(engine, scenario);
+  engine.finish();
+
+  const auto snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_GT(engine.snapshots_published(), 0u);
+  EXPECT_EQ(snapshot->sequence(), engine.snapshots_published());
+  EXPECT_FALSE(snapshot->campaigns().empty());
+
+  // Every campaign server is flagged, by 2LD, by subdomain, and by IP, and
+  // the verdict carries the server's sliding-window activity from the
+  // incrementally merged aggregates.
+  const auto& truth = scenario.campaigns[0];
+  for (const auto& host : truth.servers) {
+    const auto answer = service.lookup(host);
+    EXPECT_TRUE(answer.malicious) << host;
+    EXPECT_TRUE(answer.snapshot_available);
+    EXPECT_EQ(answer.verdict.campaign_servers, truth.servers.size());
+    EXPECT_GT(answer.verdict.window_requests, 0u) << host;
+    EXPECT_GE(answer.verdict.active_epochs, 1u) << host;
+  }
+  EXPECT_TRUE(service.lookup("www." + truth.servers[0]).malicious);
+  EXPECT_TRUE(service.lookup_request("unknown.example", "198.51.0.1").malicious);
+
+  // Benign hosts stay clean.
+  EXPECT_FALSE(service.lookup("site3.org").malicious);
+  EXPECT_FALSE(service.lookup_request("site4.org", "203.0.0.4").malicious);
+
+  const auto stats = service.stats();
+  // The pre-feed lookup plus: one per campaign server, the subdomain
+  // lookup, the IP lookup, and the two benign lookups.
+  EXPECT_EQ(stats.queries,
+            static_cast<std::uint64_t>(truth.servers.size()) + 5);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(truth.servers.size()) + 2);
+  EXPECT_GT(stats.hit_rate, 0.0);
+  EXPECT_TRUE(stats.snapshot_available);
+  EXPECT_GE(stats.snapshot_age_s, 0.0);
+
+  // Close records carry the latency breakdown for every publication.
+  ASSERT_EQ(engine.close_records().size(), engine.snapshots_published());
+  for (const auto& record : engine.close_records()) {
+    EXPECT_GE(record.total_ms,
+              record.mine_ms);  // total includes assemble + mine + snapshot
+    EXPECT_LE(record.window_epochs, engine.config().window_epochs);
+  }
+}
+
+TEST(StreamEngine, SnapshotSwapIsSafeUnderConcurrentReaders) {
+  // Readers hammer the slot while the writer publishes snapshot after
+  // snapshot; ASan/UBSan (CI) would flag a stale read or torn swap.
+  const auto scenario = synth::generate_stream(tiny_scenario_config());
+  StreamEngine engine(tiny_stream_config(), scenario.whois);
+  const VerdictService service(engine.slot());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> last_seq{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto answer = service.lookup("c0-s0.biz");
+        if (answer.snapshot_available) {
+          // Sequences are published in order; a reader may see an older
+          // snapshot than another reader but never sequence 0.
+          EXPECT_GE(answer.snapshot_sequence, 1u);
+          last_seq.store(answer.snapshot_sequence, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  synth::feed(engine, scenario);
+  engine.finish();
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_GT(service.stats().queries, 0u);
+  EXPECT_LE(last_seq.load(), engine.snapshots_published());
+}
+
+TEST(StreamSnapshot, SurfacesPostingsBudgetOverflow) {
+  const auto scenario = synth::generate_stream(tiny_scenario_config());
+
+  // A postings cap small enough that the benign client join overflows it.
+  StreamConfig strangled = tiny_stream_config();
+  strangled.smash.join_postings_cap = 2;
+  strangled.smash.file_postings_cap = 2;
+  StreamEngine engine(strangled, scenario.whois);
+  synth::feed(engine, scenario);
+  engine.finish();
+
+  const auto snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_TRUE(snapshot->postings_budget_exceeded());
+
+  // With the default (inert) caps the same window reports a clean budget,
+  // and the stats agree with the per-dimension JoinStats.
+  StreamEngine healthy(tiny_stream_config(), scenario.whois);
+  synth::feed(healthy, scenario);
+  healthy.finish();
+  ASSERT_NE(healthy.snapshot(), nullptr);
+  EXPECT_FALSE(healthy.snapshot()->postings_budget_exceeded());
+}
+
+TEST(StreamSnapshot, JoinStatsFlowIntoSmashResult) {
+  const auto scenario = synth::generate_stream(tiny_scenario_config());
+  const net::Trace trace =
+      synth::batch_trace(scenario, 0, scenario.duration_s);
+
+  core::SmashConfig config;
+  config.idf_threshold = 50;
+  const auto result = core::SmashPipeline(config).run(trace, scenario.whois);
+  // The client join indexed something and skipped nothing at default caps.
+  const auto& client_stats =
+      result.dims[static_cast<int>(core::Dimension::kClient)].join_stats;
+  EXPECT_GT(client_stats.num_keys, 0u);
+  EXPECT_GT(client_stats.postings_entries, 0u);
+  EXPECT_EQ(client_stats.skipped_keys, 0u);
+  EXPECT_FALSE(result.postings_budget_exceeded());
+
+  core::SmashConfig tiny_cap = config;
+  tiny_cap.join_postings_cap = 2;
+  tiny_cap.file_postings_cap = 2;
+  const auto capped = core::SmashPipeline(tiny_cap).run(trace, scenario.whois);
+  EXPECT_TRUE(capped.postings_budget_exceeded());
+  EXPECT_GT(capped.dims[static_cast<int>(core::Dimension::kClient)]
+                .join_stats.skipped_keys,
+            0u);
+}
+
+}  // namespace
+}  // namespace smash::stream
