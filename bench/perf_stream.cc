@@ -1,13 +1,19 @@
 // Streaming perf baseline: a day-long timestamped scenario driven through
-// the StreamEngine, measuring end-to-end epoch-close-to-snapshot-publish
-// latency (assemble / mine / snapshot breakdown), detection latency against
-// campaign ground truth, and VerdictService lookup throughput. Written to
-// BENCH_stream.json.
+// the StreamEngine twice — synchronous mining (the re-mine runs on the
+// ingest thread at epoch close) and asynchronous mining (the close hands
+// the window to the mining thread and ingest returns immediately; bursts
+// coalesce to the newest window). Measures end-to-end
+// epoch-close-to-snapshot-publish latency (merge / mine / snapshot
+// breakdown), the max per-event ingest stall in each mode (the async
+// acceptance bar: ingest must never block on mining), detection latency
+// against campaign ground truth, and VerdictService lookup throughput.
+// Written to BENCH_stream.json.
 //
 // Usage: perf_stream [output.json] [--smoke]
 //   --smoke: minutes-long scenario for CI bitrot checks (same code paths,
 //            tiny population).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -49,11 +55,12 @@ smash::synth::StreamScenarioConfig scenario_config(bool smoke) {
   return config;
 }
 
-smash::stream::StreamConfig stream_config(bool smoke) {
+smash::stream::StreamConfig stream_config(bool smoke, bool async) {
   smash::stream::StreamConfig config;
   config.epoch_seconds = smoke ? 600 : 3600;
   config.window_epochs = smoke ? 12 : 24;
   config.smash.idf_threshold = 200;  // popular_clients = 250 get filtered
+  config.async_mining = async;
   return config;
 }
 
@@ -62,6 +69,89 @@ double mean(const std::vector<double>& v) {
   double sum = 0.0;
   for (const double x : v) sum += x;
   return sum / static_cast<double>(v.size());
+}
+
+double max_of(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+struct FeedResult {
+  double feed_ms = 0.0;
+  double stall_max_ms = 0.0;   // worst single ingest() call
+  double stall_mean_ms = 0.0;  // mean ingest() call
+};
+
+// Feeds every event, timing each ingest call individually; `on_publish`
+// (may be empty) runs whenever the publication counter advanced.
+template <typename OnPublish>
+FeedResult feed_timed(smash::stream::StreamEngine& engine,
+                      const smash::synth::StreamScenario& scenario,
+                      OnPublish&& on_publish) {
+  FeedResult out;
+  std::uint64_t seen_publications = 0;
+  double stall_sum_ms = 0.0;
+  const auto feed_start = std::chrono::steady_clock::now();
+  for (const auto& event : scenario.events) {
+    const auto start = std::chrono::steady_clock::now();
+    smash::synth::ingest_event(engine, event);
+    const double stall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    stall_sum_ms += stall_ms;
+    out.stall_max_ms = std::max(out.stall_max_ms, stall_ms);
+    if (engine.snapshots_published() != seen_publications) {
+      seen_publications = engine.snapshots_published();
+      on_publish();
+    }
+  }
+  engine.finish();
+  on_publish();
+  out.feed_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - feed_start)
+                    .count();
+  out.stall_mean_ms =
+      scenario.events.empty()
+          ? 0.0
+          : stall_sum_ms / static_cast<double>(scenario.events.size());
+  return out;
+}
+
+void report_close_records(smash::bench::JsonReporter& report,
+                          const smash::stream::StreamEngine& engine,
+                          const FeedResult& feed, const char* prefix) {
+  const auto records = engine.close_records();
+  std::vector<double> total_ms, assemble_ms, mine_ms, snapshot_ms;
+  std::size_t peak_window_requests = 0;
+  for (const auto& record : records) {
+    total_ms.push_back(record.total_ms);
+    assemble_ms.push_back(record.assemble_ms);
+    mine_ms.push_back(record.mine_ms);
+    snapshot_ms.push_back(record.snapshot_ms);
+    peak_window_requests = std::max(peak_window_requests, record.window_requests);
+  }
+  report.add(std::string(prefix) + "/epoch_close_to_publish", mean(total_ms),
+             {{"max_ms", max_of(total_ms)},
+              {"assemble_ms", mean(assemble_ms)},
+              {"mine_ms", mean(mine_ms)},
+              {"snapshot_ms", mean(snapshot_ms)},
+              {"publications", static_cast<double>(records.size())},
+              {"epochs_closed", static_cast<double>(engine.epochs_closed_total())},
+              {"windows_coalesced", static_cast<double>(engine.windows_coalesced())},
+              {"peak_window_requests", static_cast<double>(peak_window_requests)},
+              {"feed_total_ms", feed.feed_ms}});
+  report.add(std::string(prefix) + "/ingest_stall", feed.stall_max_ms,
+             {{"mean_ms", feed.stall_mean_ms},
+              {"mine_mean_ms", mean(mine_ms)}});
+  std::printf(
+      "%-13s %zu closes, %zu publications (%llu coalesced)  close->publish "
+      "%0.1f ms mean / %0.1f ms max  (merge %0.2f, mine %0.1f, snapshot "
+      "%0.2f)  ingest stall %0.3f ms max / %0.4f ms mean\n",
+      prefix, static_cast<std::size_t>(engine.epochs_closed_total()),
+      records.size(),
+      static_cast<unsigned long long>(engine.windows_coalesced()),
+      mean(total_ms), max_of(total_ms), mean(assemble_ms), mean(mine_ms),
+      mean(snapshot_ms), feed.stall_max_ms, feed.stall_mean_ms);
 }
 
 }  // namespace
@@ -78,16 +168,16 @@ int main(int argc, char** argv) {
   }
 
   const auto scenario = smash::synth::generate_stream(scenario_config(smoke));
-  const auto config = stream_config(smoke);
   smash::bench::JsonReporter report("stream");
 
-  // --- drive the stream, probing detection after every publication ---------
-  smash::stream::StreamEngine engine(config, scenario.whois);
+  // --- synchronous engine: probe detection after every publication ----------
+  smash::stream::StreamEngine engine(stream_config(smoke, /*async=*/false),
+                                     scenario.whois);
   const smash::stream::VerdictService service(engine.slot());
+  const std::uint32_t epoch_seconds = engine.config().epoch_seconds;
 
   std::vector<EpochId> first_flagged(scenario.campaigns.size(), 0);
   std::vector<bool> detected(scenario.campaigns.size(), false);
-  std::uint64_t seen_publications = 0;
   const auto probe = [&] {
     for (std::size_t c = 0; c < scenario.campaigns.size(); ++c) {
       if (detected[c]) continue;
@@ -97,48 +187,16 @@ int main(int argc, char** argv) {
       }
     }
   };
+  const FeedResult sync_feed = feed_timed(engine, scenario, probe);
+  report_close_records(report, engine, sync_feed, "stream");
 
-  const double feed_ms = smash::bench::time_once_ms([&] {
-    for (const auto& event : scenario.events) {
-      smash::synth::ingest_event(engine, event);
-      if (engine.snapshots_published() != seen_publications) {
-        seen_publications = engine.snapshots_published();
-        probe();
-      }
-    }
-    engine.finish();
-    probe();
-  });
+  // --- asynchronous engine: ingest must never block on mining ---------------
+  smash::stream::StreamEngine async_engine(stream_config(smoke, /*async=*/true),
+                                           scenario.whois);
+  const FeedResult async_feed = feed_timed(async_engine, scenario, [] {});
+  report_close_records(report, async_engine, async_feed, "stream_async");
 
-  // --- epoch-close-to-publish latency ---------------------------------------
-  const auto& records = engine.close_records();
-  std::vector<double> total_ms, assemble_ms, mine_ms, snapshot_ms;
-  std::size_t peak_window_requests = 0;
-  for (const auto& record : records) {
-    total_ms.push_back(record.total_ms);
-    assemble_ms.push_back(record.assemble_ms);
-    mine_ms.push_back(record.mine_ms);
-    snapshot_ms.push_back(record.snapshot_ms);
-    peak_window_requests = std::max(peak_window_requests, record.window_requests);
-  }
-  const double worst_ms =
-      total_ms.empty() ? 0.0 : *std::max_element(total_ms.begin(), total_ms.end());
-  report.add("stream/epoch_close_to_publish", mean(total_ms),
-             {{"max_ms", worst_ms},
-              {"assemble_ms", mean(assemble_ms)},
-              {"mine_ms", mean(mine_ms)},
-              {"snapshot_ms", mean(snapshot_ms)},
-              {"publications", static_cast<double>(records.size())},
-              {"peak_window_requests", static_cast<double>(peak_window_requests)},
-              {"events", static_cast<double>(scenario.events.size())},
-              {"feed_total_ms", feed_ms}});
-  std::printf(
-      "stream  %zu events, %zu publications  close->publish %0.1f ms mean / "
-      "%0.1f ms max  (assemble %0.1f, mine %0.1f, snapshot %0.1f)\n",
-      scenario.events.size(), records.size(), mean(total_ms), worst_ms,
-      mean(assemble_ms), mean(mine_ms), mean(snapshot_ms));
-
-  // --- detection latency -----------------------------------------------------
+  // --- detection latency (sync engine) ---------------------------------------
   std::vector<double> latency_epochs;
   std::size_t missed = 0;
   for (std::size_t c = 0; c < scenario.campaigns.size(); ++c) {
@@ -146,22 +204,17 @@ int main(int argc, char** argv) {
       ++missed;
       continue;
     }
-    const EpochId activation =
-        scenario.campaigns[c].start_s / config.epoch_seconds;
+    const EpochId activation = scenario.campaigns[c].start_s / epoch_seconds;
     latency_epochs.push_back(first_flagged[c] >= activation
                                  ? static_cast<double>(first_flagged[c] - activation)
                                  : 0.0);
   }
-  const double worst_latency =
-      latency_epochs.empty()
-          ? 0.0
-          : *std::max_element(latency_epochs.begin(), latency_epochs.end());
   report.add("stream/detection_latency_epochs", mean(latency_epochs),
-             {{"max_epochs", worst_latency},
+             {{"max_epochs", max_of(latency_epochs)},
               {"campaigns", static_cast<double>(scenario.campaigns.size())},
               {"missed", static_cast<double>(missed)}});
   std::printf("stream  detection latency %0.2f epochs mean / %0.0f max  (%zu/%zu detected)\n",
-              mean(latency_epochs), worst_latency,
+              mean(latency_epochs), max_of(latency_epochs),
               scenario.campaigns.size() - missed, scenario.campaigns.size());
 
   // --- verdict lookup throughput --------------------------------------------

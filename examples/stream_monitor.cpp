@@ -43,7 +43,7 @@ int main() {
     if (engine.snapshots_published() == seen) return;
     seen = engine.snapshots_published();
     const auto snapshot = engine.snapshot();
-    const auto& record = engine.close_records().back();
+    const auto record = engine.close_records().back();
     std::printf("%-7llu %-9zu %-9zu %-10zu %-10zu %6.1f ms%s\n",
                 static_cast<unsigned long long>(snapshot->last_epoch()),
                 snapshot->window_requests(), snapshot->kept_servers(),

@@ -52,14 +52,28 @@ AggregatedTrace AggregatedTrace::build(const net::Trace& trace) {
   return out;
 }
 
-PreprocessResult preprocess(const net::Trace& trace, const SmashConfig& config) {
-  PreprocessResult out{AggregatedTrace::build(trace), {}, {}};
-  const auto& agg = out.agg;
+AggregatedTrace AggregatedTrace::from_parts(
+    util::Interner servers, util::Interner files,
+    std::vector<ServerProfile> profiles,
+    std::unordered_map<std::uint32_t, std::uint32_t> redirects,
+    std::uint32_t raw_servers) {
+  AggregatedTrace out;
+  out.servers_ = std::move(servers);
+  out.files_ = std::move(files);
+  out.profiles_ = std::move(profiles);
+  out.redirects_ = std::move(redirects);
+  out.raw_servers_ = raw_servers;
+  out.profiles_.resize(out.servers_.size());
+  return out;
+}
 
-  out.total_requests = trace.num_requests();
+void apply_idf_filter(PreprocessResult& out, const SmashConfig& config) {
+  const auto& agg = out.agg;
   out.servers_before_aggregation = agg.num_servers_before_aggregation();
   out.servers_after_aggregation = agg.servers().size();
 
+  out.kept.clear();
+  out.requests_after_filter = 0;
   out.kept_index_of.assign(agg.servers().size(), -1);
   for (std::uint32_t s = 0; s < agg.servers().size(); ++s) {
     const auto& p = agg.profile(s);
@@ -70,6 +84,12 @@ PreprocessResult preprocess(const net::Trace& trace, const SmashConfig& config) 
     out.requests_after_filter += p.requests;
   }
   out.servers_after_filter = static_cast<std::uint32_t>(out.kept.size());
+}
+
+PreprocessResult preprocess(const net::Trace& trace, const SmashConfig& config) {
+  PreprocessResult out{AggregatedTrace::build(trace), {}, {}};
+  out.total_requests = trace.num_requests();
+  apply_idf_filter(out, config);
   return out;
 }
 

@@ -41,6 +41,17 @@ class AggregatedTrace {
   // Builds profiles for every 2LD server in the trace.
   static AggregatedTrace build(const net::Trace& trace);
 
+  // Assembles an AggregatedTrace from already-merged parts (the streaming
+  // engine's per-epoch preprocessed shards, core/preshard.h). `servers` is
+  // the 2LD interner, `profiles` parallel to it; `raw_servers` the hostname
+  // count before aggregation. The caller guarantees the parts are exactly
+  // what build() would have produced for the assembled window.
+  static AggregatedTrace from_parts(
+      util::Interner servers, util::Interner files,
+      std::vector<ServerProfile> profiles,
+      std::unordered_map<std::uint32_t, std::uint32_t> redirects,
+      std::uint32_t raw_servers);
+
   const util::Interner& servers() const noexcept { return servers_; }
   const util::Interner& files() const noexcept { return files_; }
   const std::vector<ServerProfile>& profiles() const noexcept { return profiles_; }
@@ -84,5 +95,12 @@ struct PreprocessResult {
 };
 
 PreprocessResult preprocess(const net::Trace& trace, const SmashConfig& config);
+
+// The filter tail of preprocess(): fills the aggregation stats and the
+// kept/kept_index_of IDF-filter output from `out.agg`. Shared by
+// preprocess() and the streaming shard merge (core/preshard.h) so both
+// paths keep identical semantics. Expects `out.agg` (and total_requests)
+// to be set; overwrites the rest.
+void apply_idf_filter(PreprocessResult& out, const SmashConfig& config);
 
 }  // namespace smash::core

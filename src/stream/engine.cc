@@ -1,7 +1,11 @@
 #include "stream/engine.h"
 
 #include <chrono>
+#include <cstdio>
+#include <thread>
 #include <utility>
+
+#include "core/preshard.h"
 
 namespace smash::stream {
 
@@ -17,56 +21,207 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 StreamEngine::StreamEngine(StreamConfig config, const whois::Registry& registry)
     : config_(config), registry_(registry), pipeline_(config.smash),
-      ingestor_(config) {}
+      ingestor_(config) {
+  if (config_.async_mining) {
+    miner_ = std::make_unique<util::ThreadPool>(1);
+  }
+}
+
+StreamEngine::~StreamEngine() {
+  // The drain can rethrow a mining failure; a destructor must not.
+  try {
+    wait_for_mining();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "StreamEngine: async mine failed at teardown: %s\n",
+                 e.what());
+  } catch (...) {
+    std::fprintf(stderr, "StreamEngine: async mine failed at teardown\n");
+  }
+}
 
 void StreamEngine::ingest(const RequestEvent& event) {
-  if (ingestor_.ingest(event).epochs_closed > 0) republish();
+  on_epochs_closed(ingestor_.ingest(event).epochs_closed);
 }
 
 void StreamEngine::ingest(const ResolutionEvent& event) {
-  if (ingestor_.ingest(event).epochs_closed > 0) republish();
+  on_epochs_closed(ingestor_.ingest(event).epochs_closed);
 }
 
 void StreamEngine::ingest(const RedirectEvent& event) {
-  if (ingestor_.ingest(event).epochs_closed > 0) republish();
+  on_epochs_closed(ingestor_.ingest(event).epochs_closed);
 }
 
 void StreamEngine::finish() {
-  if (!ingestor_.has_open_epoch()) return;
-  ingestor_.close_epoch();
-  republish();
+  if (ingestor_.has_open_epoch()) {
+    ingestor_.close_epoch();
+    on_epochs_closed(1);
+  }
+  wait_for_mining();
 }
 
-void StreamEngine::republish() {
-  const auto& window = ingestor_.window();
-  if (window.empty()) return;
+void StreamEngine::wait_for_mining() {
+  if (!miner_) return;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mine_mutex_);
+    mine_cv_.wait(lock, [this] { return !mine_in_flight_ && !pending_; });
+    error = std::exchange(mine_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
 
+void StreamEngine::on_epochs_closed(std::uint32_t closed) {
+  if (closed == 0) return;
+  closes_total_ += closed;
+  if (ingestor_.window().empty()) return;
+  if (config_.async_mining) {
+    submit_or_coalesce();
+  } else {
+    republish_sync();
+  }
+}
+
+void StreamEngine::republish_sync() {
+  mine_and_publish(
+      {ingestor_.window().begin(), ingestor_.window().end()},
+      &ingestor_.aggregates(), ingestor_.stats(), closes_total_,
+      std::chrono::steady_clock::now());
+}
+
+void StreamEngine::submit_or_coalesce() {
+  MiningJob job;
+  job.shards.assign(ingestor_.window().begin(), ingestor_.window().end());
+  job.ingest_stats = ingestor_.stats();
+  job.closes_upto = closes_total_;
+  job.closed_at = std::chrono::steady_clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(mine_mutex_);
+    if (mine_in_flight_) {
+      // Skip-to-newest: replace any job still waiting — the miner only ever
+      // sees the latest window, and sequence accounting records the skip.
+      if (pending_) windows_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      pending_ = std::move(job);
+      return;
+    }
+    mine_in_flight_ = true;
+  }
+  miner_->submit(
+      [this, job = std::move(job)]() mutable { mining_loop(std::move(job)); });
+}
+
+void StreamEngine::mining_loop(MiningJob job) {
+  for (;;) {
+    try {
+      mine_and_publish(job.shards, /*live_aggregates=*/nullptr,
+                       job.ingest_stats, job.closes_upto, job.closed_at);
+    } catch (...) {
+      // A wedged engine would deadlock finish()/~StreamEngine; park the
+      // error for the writer thread (wait_for_mining rethrows) and leave
+      // the engine drainable — the next close simply mines a newer window.
+      const std::lock_guard<std::mutex> lock(mine_mutex_);
+      mine_error_ = std::current_exception();
+      pending_.reset();
+      mine_in_flight_ = false;
+      mine_cv_.notify_all();
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mine_mutex_);
+    if (pending_) {
+      job = std::move(*pending_);
+      pending_.reset();
+      continue;
+    }
+    mine_in_flight_ = false;
+    mine_cv_.notify_all();
+    return;
+  }
+}
+
+void StreamEngine::mine_and_publish(
+    const std::vector<std::shared_ptr<const EpochShard>>& shards,
+    const WindowAggregates* live_aggregates, const IngestStats& ingest_stats,
+    std::uint64_t closes_upto,
+    std::chrono::steady_clock::time_point closed_at) {
   EpochCloseRecord record;
-  record.last_epoch = window.back().id();
-  record.window_epochs = static_cast<std::uint32_t>(window.size());
+  record.last_epoch = shards.back()->id();
+  record.window_epochs = static_cast<std::uint32_t>(shards.size());
 
-  const auto start = std::chrono::steady_clock::now();
-  const net::Trace window_trace = ingestor_.assemble_window();
-  record.assemble_ms = ms_since(start);
-  record.window_requests = window_trace.num_requests();
+  // The sync path reads the ingestor's live incremental aggregates; the
+  // async path rebuilds identical per-2LD stats from the captured immutable
+  // shards, so the mining thread never touches mutable ingest state.
+  WindowAggregates rebuilt;
+  if (live_aggregates == nullptr) {
+    for (const auto& shard : shards) rebuilt.add_epoch(*shard);
+    live_aggregates = &rebuilt;
+  }
 
-  const auto mine_start = std::chrono::steady_clock::now();
-  const core::SmashResult result = pipeline_.run(window_trace, registry_);
-  record.mine_ms = ms_since(mine_start);
+  const auto prepare_start = std::chrono::steady_clock::now();
+  core::SmashResult result;
+  util::Interner merged_ips;
+  net::Trace window_trace;
+  const util::Interner* ip_names = nullptr;
+  std::size_t window_requests = 0;
+  if (config_.reuse_shard_preprocess) {
+    std::vector<core::ShardPreRef> refs;
+    refs.reserve(shards.size());
+    for (const auto& shard : shards) {
+      refs.push_back({&shard->trace(), &shard->pre()});
+    }
+    auto window_pre = core::merge_shard_pres(refs, config_.smash);
+    record.assemble_ms = ms_since(prepare_start);
+    merged_ips = std::move(window_pre.ips);
+    ip_names = &merged_ips;
+    window_requests = window_pre.pre.total_requests;
+
+    const auto mine_start = std::chrono::steady_clock::now();
+    result = pipeline_.run_preprocessed(std::move(window_pre.pre), registry_);
+    record.mine_ms = ms_since(mine_start);
+  } else {
+    for (const auto& shard : shards) window_trace.merge_from(shard->trace());
+    window_trace.finalize();
+    record.assemble_ms = ms_since(prepare_start);
+    ip_names = &window_trace.ips();
+    window_requests = window_trace.num_requests();
+
+    const auto mine_start = std::chrono::steady_clock::now();
+    result = pipeline_.run(window_trace, registry_);
+    record.mine_ms = ms_since(mine_start);
+  }
+  record.window_requests = window_requests;
+
+  if (config_.mine_throttle_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.mine_throttle_ms));
+  }
+  if (config_.mine_test_hook) config_.mine_test_hook();
 
   const auto snapshot_start = std::chrono::steady_clock::now();
   auto snapshot = DetectionSnapshot::build(
-      result, window_trace, ingestor_.aggregates(), window.front().id(),
-      window.back().id(), ++sequence_);
+      result, *ip_names, window_requests, *live_aggregates, ingest_stats,
+      shards.front()->id(), shards.back()->id(), closes_upto);
   record.kept_servers = snapshot->kept_servers();
   record.campaigns = snapshot->campaigns().size();
   record.malicious_servers = snapshot->num_malicious_servers();
   record.postings_budget_exceeded = snapshot->postings_budget_exceeded();
   slot_.publish(std::move(snapshot));
   record.snapshot_ms = ms_since(snapshot_start);
+  record.total_ms = ms_since(closed_at);
 
-  record.total_ms = ms_since(start);
-  close_records_.push_back(record);
+  {
+    const std::lock_guard<std::mutex> lock(records_mutex_);
+    record.epochs_closed = closes_upto - published_closes_;
+    published_closes_ = closes_upto;
+    close_records_.push_back(record);
+  }
+  // Advance the counter only after the record is in close_records_, so a
+  // reader that polls snapshots_published() and then reads the records
+  // always finds one per publication it observed.
+  snapshots_published_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<EpochCloseRecord> StreamEngine::close_records() const {
+  const std::lock_guard<std::mutex> lock(records_mutex_);
+  return close_records_;
 }
 
 }  // namespace smash::stream

@@ -1,28 +1,55 @@
 // StreamEngine: the streaming dataflow over the batch pipeline.
 //
 //   events -> StreamIngestor (epoch shards, window ring, aggregates)
-//          -> on epoch close: assemble window trace (journal replay)
-//          -> SmashPipeline::run over the window
+//          -> on epoch close: hand the window's sealed shards to the miner
+//          -> merge cached per-epoch preprocessed shards (core/preshard.h)
+//          -> SmashPipeline::run_preprocessed over the merged window
 //          -> DetectionSnapshot, published RCU-style via SnapshotSlot
 //          -> VerdictService (stream/verdict.h) answers without blocking
 //
 // Threading model: one writer thread calls ingest()/finish(); any number of
-// reader threads call snapshot()/VerdictService::lookup concurrently. The
-// only shared state is the SnapshotSlot's atomic shared_ptr — readers never
-// wait on mining (which happens entirely before publish) and keep their
-// snapshot alive until they drop it. See SnapshotSlot for the precise
-// (not-quite-lock-free) guarantee.
+// reader threads call snapshot()/VerdictService::lookup concurrently.
+//
+// Mining runs in one of two modes (StreamConfig::async_mining):
+//
+//  - Synchronous (default): the re-mine runs on the ingest thread at epoch
+//    close, exactly one snapshot per republish. Ingest stalls for the
+//    duration of the mine.
+//  - Asynchronous: the close captures the window (shared_ptr'd immutable
+//    shards + ingest counters) into a MiningJob and returns to ingest
+//    immediately; a single dedicated mining thread mines and publishes.
+//    Closes that arrive while a mine is in flight coalesce into one
+//    pending "latest window" job — skip-to-newest, the queue never grows
+//    past one entry — and snapshots still publish in close order.
+//
+// Snapshot `sequence()` counts epoch closes, not publications: in both
+// modes a jump of more than one (EpochCloseRecord::epochs_closed > 1)
+// records intermediate windows that were skipped — by a multi-epoch
+// timestamp gap in ingest, or by async coalescing. Nothing is skipped
+// silently.
+//
+// The only writer->reader shared state is the SnapshotSlot's atomic
+// shared_ptr — readers never wait on mining and keep their snapshot alive
+// until they drop it. See SnapshotSlot for the precise (not-quite-lock-free)
+// guarantee. Mining-thread/ingest-thread shared state is confined to the
+// job hand-off (mine_mutex_) and the close records (records_mutex_).
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "stream/ingest.h"
 #include "stream/snapshot.h"
 #include "stream/stream_config.h"
+#include "util/thread_pool.h"
 #include "whois/whois.h"
 
 namespace smash::stream {
@@ -54,12 +81,16 @@ class SnapshotSlot {
 struct EpochCloseRecord {
   EpochId last_epoch = 0;        // newest epoch in the published window
   std::uint32_t window_epochs = 0;
+  // Epoch closes this publication covers. 1 in steady state; > 1 when
+  // intermediate windows were skipped (multi-epoch ingest gap, or async
+  // coalescing while a mine was in flight).
+  std::uint64_t epochs_closed = 1;
   std::size_t window_requests = 0;
   std::size_t kept_servers = 0;
   std::size_t campaigns = 0;
   std::size_t malicious_servers = 0;
-  double assemble_ms = 0.0;  // shard merge + finalize
-  double mine_ms = 0.0;      // SmashPipeline::run
+  double assemble_ms = 0.0;  // preprocessed-shard merge (or trace assembly)
+  double mine_ms = 0.0;      // SmashPipeline mining tail
   double snapshot_ms = 0.0;  // DetectionSnapshot::build + publish
   double total_ms = 0.0;     // epoch close -> snapshot visible to readers
   bool postings_budget_exceeded = false;
@@ -70,17 +101,31 @@ class StreamEngine {
   // `registry` must outlive the engine (whois data is registration-time
   // state, not traffic, so it is not streamed).
   StreamEngine(StreamConfig config, const whois::Registry& registry);
+  // Drains any in-flight mine (the final snapshot still publishes).
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
 
   // Forwards to the ingestor; when the event closes one or more epochs the
-  // window is re-mined and a new snapshot published before the event is
-  // admitted to the next epoch. Single writer thread only.
+  // window is re-mined — synchronously before this call returns, or handed
+  // to the mining thread (async mode). Single writer thread only.
   void ingest(const RequestEvent& event);
   void ingest(const ResolutionEvent& event);
   void ingest(const RedirectEvent& event);
 
-  // Seals the open epoch and publishes a final snapshot; call at stream end
-  // (or at a forced checkpoint). No-op before the first event.
+  // Seals the open epoch, publishes a final snapshot, and waits for any
+  // in-flight mining to finish; on return the snapshot reflects the full
+  // stream. Call at stream end (or a forced checkpoint). No-op before the
+  // first event.
   void finish();
+
+  // Blocks until no mine is running or pending (async mode; immediate
+  // no-op in sync mode). The last published snapshot then reflects the
+  // newest closed window. If an async mine failed, rethrows its exception
+  // here on the calling (writer) thread — the engine itself stays usable
+  // and the next epoch close mines again.
+  void wait_for_mining();
 
   // Current snapshot, or nullptr before the first publication. Callable
   // from any thread; never waits on mining.
@@ -91,25 +136,79 @@ class StreamEngine {
 
   const StreamIngestor& ingestor() const noexcept { return ingestor_; }
   const StreamConfig& config() const noexcept { return config_; }
-  std::uint64_t snapshots_published() const noexcept { return sequence_; }
-  const std::vector<EpochCloseRecord>& close_records() const noexcept {
-    return close_records_;
+
+  // Snapshots actually published. Callable from any thread.
+  std::uint64_t snapshots_published() const noexcept {
+    return snapshots_published_.load(std::memory_order_acquire);
   }
+  // Epoch closes observed so far (>= snapshots_published(); the difference
+  // is windows skipped by gaps or coalescing). Writer thread's view.
+  std::uint64_t epochs_closed_total() const noexcept { return closes_total_; }
+  // Times a pending (not yet started) mining job was replaced by a newer
+  // window before it ran.
+  std::uint64_t windows_coalesced() const noexcept {
+    return windows_coalesced_.load(std::memory_order_relaxed);
+  }
+
+  // Per-publication records, in publication order. Returns a copy: in
+  // async mode the mining thread appends concurrently.
+  std::vector<EpochCloseRecord> close_records() const;
 
   // The current closed window as one trace (what the next publish would
   // mine). Exposed for the stream/batch equivalence tests.
   net::Trace assemble_window() const { return ingestor_.assemble_window(); }
 
  private:
-  void republish();
+  // An immutable capture of one closed window, handed to the miner.
+  struct MiningJob {
+    std::vector<std::shared_ptr<const EpochShard>> shards;
+    IngestStats ingest_stats{};
+    std::uint64_t closes_upto = 0;  // closes_total_ when the job was made
+    std::chrono::steady_clock::time_point closed_at{};
+  };
+
+  // Ingest-thread epilogue: accounts `closed` epoch closes and routes the
+  // new window to the sync or async mining path.
+  void on_epochs_closed(std::uint32_t closed);
+  // Sync path: mine and publish on the calling (ingest) thread.
+  void republish_sync();
+  // Async path: capture the window; start the miner or coalesce into the
+  // pending job.
+  void submit_or_coalesce();
+  // Mining-thread loop: mine `job`, then keep draining pending jobs.
+  void mining_loop(MiningJob job);
+  // Shared mine+publish tail. `live_aggregates` is the ingestor's map (sync
+  // path only); the async path rebuilds identical aggregates from the
+  // captured shards so the mining thread never reads mutable ingest state.
+  void mine_and_publish(
+      const std::vector<std::shared_ptr<const EpochShard>>& shards,
+      const WindowAggregates* live_aggregates, const IngestStats& ingest_stats,
+      std::uint64_t closes_upto, std::chrono::steady_clock::time_point closed_at);
 
   StreamConfig config_;
   const whois::Registry& registry_;
   core::SmashPipeline pipeline_;
   StreamIngestor ingestor_;
   SnapshotSlot slot_;
-  std::uint64_t sequence_ = 0;
+
+  std::uint64_t closes_total_ = 0;  // ingest thread only
+  std::atomic<std::uint64_t> snapshots_published_{0};
+  std::atomic<std::uint64_t> windows_coalesced_{0};
+
+  mutable std::mutex records_mutex_;
+  std::uint64_t published_closes_ = 0;  // guarded by records_mutex_
   std::vector<EpochCloseRecord> close_records_;
+
+  std::mutex mine_mutex_;
+  std::condition_variable mine_cv_;
+  bool mine_in_flight_ = false;          // guarded by mine_mutex_
+  std::optional<MiningJob> pending_;     // guarded by mine_mutex_
+  // Exception that escaped an async mine, rethrown by wait_for_mining() on
+  // the writer thread. Guarded by mine_mutex_.
+  std::exception_ptr mine_error_;
+  // Single-thread pool running mining_loop; last member so it is destroyed
+  // (joined) before any state the loop touches.
+  std::unique_ptr<util::ThreadPool> miner_;
 };
 
 }  // namespace smash::stream

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "dns/domain.h"
+#include "util/check.h"
 
 namespace smash::stream {
 
@@ -41,12 +43,17 @@ void EpochShard::add(const RedirectEvent& event) {
 void EpochShard::seal() {
   if (sealed_) return;
   trace_.finalize();
-  for (const auto& req : trace_.requests()) {
-    auto& delta = per_2ld_[dns::effective_2ld(trace_.servers().name(req.server))];
-    ++delta.requests;
-    if (net::is_error_status(req.status)) ++delta.error_requests;
+  // All per-request parsing happens once, here: the cached ShardPre feeds
+  // both the window aggregates delta and every future window re-mine.
+  pre_ = core::build_shard_pre(trace_);
+  for (std::size_t d = 0; d < pre_.deltas.size(); ++d) {
+    const auto& shard_delta = pre_.deltas[d];
+    if (shard_delta.requests == 0) continue;  // resolution/redirect-only 2LD
+    auto& delta = per_2ld_[pre_.delta_2lds[d]];
+    delta.requests = shard_delta.requests;
+    delta.error_requests = shard_delta.error_requests;
+    delta.active_epochs = 1;
   }
-  for (auto& [host, delta] : per_2ld_) delta.active_epochs = 1;
   sealed_ = true;
 }
 
@@ -65,8 +72,18 @@ void WindowAggregates::add_epoch(const EpochShard& shard) {
 void WindowAggregates::remove_epoch(const EpochShard& shard) {
   for (const auto& [host, delta] : shard.per_2ld()) {
     auto it = by_2ld_.find(host);
-    if (it == by_2ld_.end()) continue;
+    // An evicted shard's delta was added when the shard entered the window;
+    // a missing entry or a delta exceeding the accumulated value means the
+    // aggregates no longer describe the window — underflow here would serve
+    // garbage verdict stats silently, so fail loudly instead.
+    SMASH_CHECK(it != by_2ld_.end(),
+                "WindowAggregates underflow: evicted 2LD absent from window");
     auto& agg = it->second;
+    SMASH_CHECK(agg.requests >= delta.requests &&
+                    agg.error_requests >= delta.error_requests &&
+                    agg.active_epochs >= delta.active_epochs &&
+                    window_requests_ >= delta.requests,
+                "WindowAggregates underflow: evicted delta exceeds window");
     agg.requests -= delta.requests;
     agg.error_requests -= delta.error_requests;
     agg.active_epochs -= delta.active_epochs;
@@ -133,10 +150,11 @@ IngestResult StreamIngestor::ingest(const RedirectEvent& event) {
 void StreamIngestor::close_epoch() {
   if (!started_) return;
   open_shard_.seal();
-  window_.push_back(std::move(open_shard_));
-  aggregates_.add_epoch(window_.back());
+  window_.push_back(
+      std::make_shared<const EpochShard>(std::move(open_shard_)));
+  aggregates_.add_epoch(*window_.back());
   if (window_.size() > config_.window_epochs) {
-    aggregates_.remove_epoch(window_.front());
+    aggregates_.remove_epoch(*window_.front());
     window_.pop_front();
   }
   ++open_epoch_;
@@ -155,7 +173,7 @@ std::uint32_t StreamIngestor::advance_to(EpochId epoch) {
     for (EpochId e = epoch - config_.window_epochs; e < epoch; ++e) {
       EpochShard empty(e);
       empty.seal();
-      window_.push_back(std::move(empty));
+      window_.push_back(std::make_shared<const EpochShard>(std::move(empty)));
     }
     open_epoch_ = epoch;
     open_shard_ = EpochShard(epoch);
@@ -172,7 +190,7 @@ std::uint32_t StreamIngestor::advance_to(EpochId epoch) {
 
 net::Trace StreamIngestor::assemble_window() const {
   net::Trace out;
-  for (const auto& shard : window_) out.merge_from(shard.trace());
+  for (const auto& shard : window_) out.merge_from(shard->trace());
   out.finalize();
   return out;
 }

@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "core/preshard.h"
 #include "net/http.h"
 #include "net/trace.h"
 #include "stream/stream_config.h"
@@ -57,13 +59,17 @@ struct ServerWindowStats {
   std::uint64_t error_requests = 0;  // 4xx/5xx
   std::uint32_t active_epochs = 0;   // window epochs with >= 1 request
 
-  bool empty() const noexcept { return requests == 0 && active_epochs == 0; }
+  bool empty() const noexcept {
+    return requests == 0 && error_requests == 0 && active_epochs == 0;
+  }
 };
 
 // One epoch's worth of traffic, parsed exactly once at ingest time. The
-// trace is journaled and finalized when the epoch is sealed; per-2LD deltas
-// are computed at seal time so window aggregates merge without touching the
-// requests again.
+// trace is journaled and finalized when the epoch is sealed; sealing also
+// caches the shard's preprocessed form (core/preshard.h) and derives the
+// per-2LD delta from it, so window slides and re-mines never touch the
+// requests again. A sealed shard is immutable: the window ring and any
+// in-flight mining task share it by shared_ptr.
 class EpochShard {
  public:
   explicit EpochShard(EpochId id = 0);
@@ -78,6 +84,10 @@ class EpochShard {
     return per_2ld_;
   }
 
+  // Cached preprocessed form (valid after seal); merged across the window
+  // by the mining path instead of re-preprocessing the assembled trace.
+  const core::ShardPre& pre() const noexcept { return pre_; }
+
  private:
   friend class StreamIngestor;
 
@@ -88,6 +98,7 @@ class EpochShard {
 
   EpochId id_ = 0;
   net::Trace trace_;
+  core::ShardPre pre_;
   std::unordered_map<std::string, ServerWindowStats> per_2ld_;
   bool sealed_ = false;
 };
@@ -96,7 +107,10 @@ class EpochShard {
 
 // Sliding-window per-2LD aggregate maintained by adding the delta of each
 // newly closed epoch and subtracting the delta of each evicted one — O(epoch)
-// per slide, independent of window length.
+// per slide, independent of window length. Removal enforces (SMASH_CHECK,
+// fatal in release builds too) that the evicted delta never exceeds the
+// accumulated value and erases entries whose stats drain to empty, so the
+// map can never underflow into garbage verdict stats or leak evicted 2LDs.
 class WindowAggregates {
  public:
   void add_epoch(const EpochShard& shard);
@@ -151,8 +165,12 @@ class StreamIngestor {
   bool open_epoch_empty() const noexcept { return open_shard_.empty(); }
 
   // Closed shards currently in the window, oldest first (at most
-  // config.window_epochs of them; empty epochs included).
-  const std::deque<EpochShard>& window() const noexcept { return window_; }
+  // config.window_epochs of them; empty epochs included). Shards are
+  // immutable once sealed and shared by pointer, so an off-thread mining
+  // task keeps its window alive across evictions.
+  const std::deque<std::shared_ptr<const EpochShard>>& window() const noexcept {
+    return window_;
+  }
 
   const WindowAggregates& aggregates() const noexcept { return aggregates_; }
   const IngestStats& stats() const noexcept { return stats_; }
@@ -175,7 +193,7 @@ class StreamIngestor {
   bool started_ = false;
   EpochId open_epoch_ = 0;
   EpochShard open_shard_;
-  std::deque<EpochShard> window_;
+  std::deque<std::shared_ptr<const EpochShard>> window_;
   WindowAggregates aggregates_;
   IngestStats stats_;
 };

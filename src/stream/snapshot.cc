@@ -5,16 +5,18 @@
 namespace smash::stream {
 
 std::shared_ptr<const DetectionSnapshot> DetectionSnapshot::build(
-    const core::SmashResult& result, const net::Trace& window,
-    const WindowAggregates& aggregates, EpochId first_epoch,
-    EpochId last_epoch, std::uint64_t sequence) {
+    const core::SmashResult& result, const util::Interner& window_ips,
+    std::size_t window_requests, const WindowAggregates& aggregates,
+    const IngestStats& ingest, EpochId first_epoch, EpochId last_epoch,
+    std::uint64_t sequence) {
   auto snap = std::shared_ptr<DetectionSnapshot>(new DetectionSnapshot());
   snap->first_epoch_ = first_epoch;
   snap->last_epoch_ = last_epoch;
   snap->sequence_ = sequence;
-  snap->window_requests_ = window.num_requests();
+  snap->window_requests_ = window_requests;
   snap->kept_servers_ = result.pre.kept.size();
   snap->postings_budget_exceeded_ = result.postings_budget_exceeded();
+  snap->ingest_stats_ = ingest;
 
   for (const auto& campaign : result.campaigns) {
     const auto campaign_index =
@@ -44,7 +46,7 @@ std::shared_ptr<const DetectionSnapshot> DetectionSnapshot::build(
       // request straight to the IP (no Host aggregation possible) still
       // gets a verdict.
       for (auto ip : result.server_profile(kept_idx).ips) {
-        snap->by_ip_.emplace(window.ips().name(ip), verdict);
+        snap->by_ip_.emplace(window_ips.name(ip), verdict);
       }
     }
     snap->campaigns_.push_back(std::move(out));

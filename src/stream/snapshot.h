@@ -41,13 +41,19 @@ struct SnapshotCampaign {
 
 class DetectionSnapshot {
  public:
-  // Builds the index from a mined window. `window` must be the trace the
-  // result was mined from (it supplies server and IP names); `aggregates`
-  // the ingestor's sliding-window per-2LD stats for the same window.
+  // Builds the index from a mined window. `window_ips` must be the IP
+  // interner of the window the result was mined from (the assembled
+  // trace's, or the shard merge's — identical by construction);
+  // `aggregates` the sliding-window per-2LD stats for the same window and
+  // `ingest` the ingest counters at the close that produced it. `sequence`
+  // counts epoch closes, not publications: a jump of more than one records
+  // intermediate windows skipped by a multi-epoch gap or by async-mining
+  // coalescing.
   static std::shared_ptr<const DetectionSnapshot> build(
-      const core::SmashResult& result, const net::Trace& window,
-      const WindowAggregates& aggregates, EpochId first_epoch,
-      EpochId last_epoch, std::uint64_t sequence);
+      const core::SmashResult& result, const util::Interner& window_ips,
+      std::size_t window_requests, const WindowAggregates& aggregates,
+      const IngestStats& ingest, EpochId first_epoch, EpochId last_epoch,
+      std::uint64_t sequence);
 
   // Verdict for any requested hostname (aggregated to its effective 2LD
   // first, mirroring preprocessing), or nullptr when not flagged.
@@ -79,6 +85,17 @@ class DetectionSnapshot {
     return postings_budget_exceeded_;
   }
 
+  // Ingest counters at the close that produced this snapshot — data loss
+  // (late-dropped events) is observable next to the verdicts it may have
+  // affected, never silent.
+  const IngestStats& ingest_stats() const noexcept { return ingest_stats_; }
+  std::uint64_t late_dropped() const noexcept {
+    return ingest_stats_.late_dropped;
+  }
+  std::uint64_t late_folded() const noexcept {
+    return ingest_stats_.late_folded;
+  }
+
  private:
   DetectionSnapshot() = default;
 
@@ -91,6 +108,7 @@ class DetectionSnapshot {
   std::size_t window_requests_ = 0;
   std::size_t kept_servers_ = 0;
   bool postings_budget_exceeded_ = false;
+  IngestStats ingest_stats_{};
   std::chrono::steady_clock::time_point built_at_{};
 };
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/smash_config.h"
 
@@ -30,6 +31,34 @@ struct StreamConfig {
   // and counted (IngestStats::late_dropped); when false they are folded
   // into the open epoch so no traffic is lost at the cost of epoch purity.
   bool drop_late_events = true;
+
+  // Asynchronous mining: epoch closes hand the window to a dedicated
+  // mining thread and ingest returns immediately; closes that arrive while
+  // a mine is in flight coalesce into one "latest window" re-mine
+  // (skip-to-newest — the queue never grows past one pending job), and
+  // snapshots publish in close order with `DetectionSnapshot::sequence()`
+  // accounting for every skipped intermediate window. When false (default)
+  // the re-mine runs synchronously on the ingest thread, one snapshot per
+  // republish, as the batch-equivalence tests drive it.
+  bool async_mining = false;
+
+  // Reuse each epoch shard's preprocessed form (cached at seal time,
+  // core/preshard.h): every re-mine merges the cached shards instead of
+  // re-preprocessing the assembled window, so sliding the window costs
+  // O(new epoch) per-request work. Output is byte-identical either way;
+  // disable only to cross-check against the assemble-and-preprocess path.
+  bool reuse_shard_preprocess = true;
+
+  // Test/bench hook: artificial delay (per mine, before snapshot build)
+  // used to force epoch closes to pile up behind an in-flight mine so
+  // coalescing is deterministic in tests. Leave 0 in production.
+  std::uint32_t mine_throttle_ms = 0;
+
+  // Test hook: invoked once per mine at the throttle point (after mining,
+  // before snapshot build). An exception it throws takes the mine-failure
+  // path: the engine stays drainable and finish()/wait_for_mining() rethrow
+  // the error on the writer thread. Leave null in production.
+  std::function<void()> mine_test_hook;
 
   // Pipeline tunables for each window re-mine.
   core::SmashConfig smash;

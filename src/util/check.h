@@ -1,0 +1,20 @@
+// Always-on invariant checks. Unlike <cassert>, these fire in release
+// builds too: the streaming engine's incremental aggregates are mutated by
+// one thread and consumed by another, and a silent underflow there would
+// serve corrupt verdicts long after the bug occurred. Abort loudly instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// SMASH_CHECK(cond, msg): aborts with a diagnostic when `cond` is false.
+// `msg` is a plain C string literal describing the violated invariant.
+#define SMASH_CHECK(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "SMASH_CHECK failed at %s:%d: (%s) — %s\n",    \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::fflush(stderr);                                                \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

@@ -122,7 +122,7 @@ TEST_P(StreamBatchEquivalence, SlidWindowAfterEviction) {
 
   ASSERT_EQ(engine.ingestor().window().size(), 5u);
   const std::uint64_t window_begin_s =
-      engine.ingestor().window().front().id() * config.epoch_seconds;
+      engine.ingestor().window().front()->id() * config.epoch_seconds;
 
   const net::Trace window = engine.assemble_window();
   const net::Trace batch =
@@ -139,6 +139,129 @@ INSTANTIATE_TEST_SUITE_P(Threads, StreamBatchEquivalence,
                          [](const auto& info) {
                            return "threads" + std::to_string(info.param);
                          });
+
+// Deep equality of two published snapshots: the verdict index a reader
+// sees must be byte-identical, not merely campaign-count equal.
+void expect_identical_snapshots(const DetectionSnapshot& a,
+                                const DetectionSnapshot& b) {
+  EXPECT_EQ(a.first_epoch(), b.first_epoch());
+  EXPECT_EQ(a.last_epoch(), b.last_epoch());
+  EXPECT_EQ(a.sequence(), b.sequence());
+  EXPECT_EQ(a.window_requests(), b.window_requests());
+  EXPECT_EQ(a.kept_servers(), b.kept_servers());
+  EXPECT_EQ(a.num_malicious_servers(), b.num_malicious_servers());
+  EXPECT_EQ(a.postings_budget_exceeded(), b.postings_budget_exceeded());
+  ASSERT_EQ(a.campaigns().size(), b.campaigns().size());
+  for (std::size_t c = 0; c < a.campaigns().size(); ++c) {
+    EXPECT_EQ(a.campaigns()[c].servers, b.campaigns()[c].servers);
+    EXPECT_EQ(a.campaigns()[c].involved_clients,
+              b.campaigns()[c].involved_clients);
+    EXPECT_EQ(a.campaigns()[c].single_client, b.campaigns()[c].single_client);
+    for (const auto& host : a.campaigns()[c].servers) {
+      const auto* va = a.find_host(host);
+      const auto* vb = b.find_host(host);
+      ASSERT_NE(va, nullptr) << host;
+      ASSERT_NE(vb, nullptr) << host;
+      EXPECT_EQ(va->campaign, vb->campaign) << host;
+      EXPECT_EQ(va->campaign_servers, vb->campaign_servers) << host;
+      EXPECT_EQ(va->window_requests, vb->window_requests) << host;
+      EXPECT_EQ(va->active_epochs, vb->active_epochs) << host;
+    }
+  }
+}
+
+class AsyncStreamEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AsyncStreamEquivalence, FinalSnapshotMatchesSyncEngine) {
+  const unsigned threads = GetParam();
+  const auto scenario = synth::generate_stream(scenario_config());
+
+  const StreamConfig sync_config = stream_config(threads, 5);
+  StreamEngine sync_engine(sync_config, scenario.whois);
+  synth::feed(sync_engine, scenario);
+  sync_engine.finish();
+
+  StreamConfig async_config = sync_config;
+  async_config.async_mining = true;
+  StreamEngine async_engine(async_config, scenario.whois);
+  synth::feed(async_engine, scenario);
+  async_engine.finish();  // drains the mining thread
+
+  // finish() accounted every close, so the final async snapshot mines the
+  // same window with the same sequence as the synchronous engine — and the
+  // verdict index must be byte-identical, whether or not intermediate
+  // windows were coalesced along the way.
+  EXPECT_EQ(async_engine.epochs_closed_total(),
+            sync_engine.epochs_closed_total());
+  const auto sync_snapshot = sync_engine.snapshot();
+  const auto async_snapshot = async_engine.snapshot();
+  ASSERT_NE(sync_snapshot, nullptr);
+  ASSERT_NE(async_snapshot, nullptr);
+  expect_identical_snapshots(*async_snapshot, *sync_snapshot);
+  EXPECT_FALSE(sync_snapshot->campaigns().empty());
+
+  // Publications never exceed closes, and every close is accounted.
+  EXPECT_LE(async_engine.snapshots_published(),
+            async_engine.epochs_closed_total());
+  std::uint64_t accounted = 0;
+  for (const auto& record : async_engine.close_records()) {
+    accounted += record.epochs_closed;
+  }
+  EXPECT_EQ(accounted, async_engine.epochs_closed_total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, AsyncStreamEquivalence,
+                         ::testing::Values(1u, 4u),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST(AsyncStreamCoalescing, BurstOfClosesSkipsToNewestWindow) {
+  auto scenario_cfg = scenario_config();
+  scenario_cfg.duration_s = 12 * 600;  // 12 epochs of data
+  const auto scenario = synth::generate_stream(scenario_cfg);
+
+  StreamConfig config = stream_config(/*threads=*/1, /*window=*/4);
+  config.async_mining = true;
+  // Throttle each mine well past the feed time of an epoch, so closes pile
+  // up behind the in-flight mine and must coalesce.
+  config.mine_throttle_ms = 150;
+  StreamEngine engine(config, scenario.whois);
+  synth::feed(engine, scenario);
+  engine.finish();
+
+  // The burst coalesced: strictly fewer publications than closes, at least
+  // one pending job replaced by a newer window, and nothing unaccounted.
+  EXPECT_EQ(engine.epochs_closed_total(), 12u);
+  EXPECT_LT(engine.snapshots_published(), engine.epochs_closed_total());
+  EXPECT_GE(engine.windows_coalesced(), 1u);
+
+  const auto records = engine.close_records();
+  ASSERT_EQ(records.size(), engine.snapshots_published());
+  std::uint64_t accounted = 0;
+  EpochId last_epoch = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    accounted += records[i].epochs_closed;
+    if (i > 0) EXPECT_GT(records[i].last_epoch, last_epoch);  // newest wins
+    last_epoch = records[i].last_epoch;
+  }
+  EXPECT_EQ(accounted, engine.epochs_closed_total());
+
+  // The final snapshot is the newest window with a monotone sequence equal
+  // to the total closes, identical to what a synchronous engine publishes.
+  const auto snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->sequence(), engine.epochs_closed_total());
+  EXPECT_EQ(snapshot->last_epoch(), 11u);
+
+  StreamConfig sync_config = stream_config(/*threads=*/1, /*window=*/4);
+  StreamEngine sync_engine(sync_config, scenario.whois);
+  synth::feed(sync_engine, scenario);
+  sync_engine.finish();
+  const auto sync_snapshot = sync_engine.snapshot();
+  ASSERT_NE(sync_snapshot, nullptr);
+  expect_identical_snapshots(*snapshot, *sync_snapshot);
+}
 
 TEST(StreamDetectionLatency, CampaignFlaggedWithinOneEpochOfActivation) {
   auto scenario_cfg = scenario_config();

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -59,10 +60,10 @@ TEST(StreamIngestor, BucketsEventsIntoEpochs) {
   EXPECT_EQ(result.epochs_closed, 2u);
   EXPECT_EQ(ingestor.open_epoch(), 2u);
   ASSERT_EQ(ingestor.window().size(), 2u);
-  EXPECT_EQ(ingestor.window()[0].id(), 0u);
-  EXPECT_EQ(ingestor.window()[0].num_requests(), 1u);
-  EXPECT_EQ(ingestor.window()[1].id(), 1u);
-  EXPECT_TRUE(ingestor.window()[1].empty());
+  EXPECT_EQ(ingestor.window()[0]->id(), 0u);
+  EXPECT_EQ(ingestor.window()[0]->num_requests(), 1u);
+  EXPECT_EQ(ingestor.window()[1]->id(), 1u);
+  EXPECT_TRUE(ingestor.window()[1]->empty());
   EXPECT_EQ(ingestor.stats().requests, 2u);
 }
 
@@ -92,7 +93,7 @@ TEST(StreamIngestor, WindowRingEvictsAndAggregatesIncrementally) {
   ingestor.close_epoch();  // seal epoch 2; window now epochs [1, 2]
 
   ASSERT_EQ(ingestor.window().size(), 2u);
-  EXPECT_EQ(ingestor.window().front().id(), 1u);
+  EXPECT_EQ(ingestor.window().front()->id(), 1u);
 
   const auto* a = ingestor.aggregates().find("a.com");
   ASSERT_NE(a, nullptr);
@@ -118,9 +119,9 @@ TEST(StreamIngestor, FarFutureGapIsBoundedAndEquivalent) {
   drive(ingestor, 900);  // epoch 9; gap of 9 > window 3
   EXPECT_EQ(ingestor.open_epoch(), 9u);
   ASSERT_EQ(ingestor.window().size(), 3u);
-  EXPECT_EQ(ingestor.window().front().id(), 6u);
-  EXPECT_EQ(ingestor.window().back().id(), 8u);
-  for (const auto& shard : ingestor.window()) EXPECT_TRUE(shard.empty());
+  EXPECT_EQ(ingestor.window().front()->id(), 6u);
+  EXPECT_EQ(ingestor.window().back()->id(), 8u);
+  for (const auto& shard : ingestor.window()) EXPECT_TRUE(shard->empty());
   EXPECT_EQ(ingestor.aggregates().num_servers(), 0u);
 
   // The pathological case completes instantly and ingest keeps working.
@@ -190,7 +191,10 @@ TEST(StreamEngine, PublishesSnapshotsAndServesVerdicts) {
   const auto snapshot = engine.snapshot();
   ASSERT_NE(snapshot, nullptr);
   EXPECT_GT(engine.snapshots_published(), 0u);
-  EXPECT_EQ(snapshot->sequence(), engine.snapshots_published());
+  // Sequences count epoch closes: the final snapshot accounts for every
+  // close, and publications can only lag when windows were skipped.
+  EXPECT_EQ(snapshot->sequence(), engine.epochs_closed_total());
+  EXPECT_GE(snapshot->sequence(), engine.snapshots_published());
   EXPECT_FALSE(snapshot->campaigns().empty());
 
   // Every campaign server is flagged, by 2LD, by subdomain, and by IP, and
@@ -222,13 +226,20 @@ TEST(StreamEngine, PublishesSnapshotsAndServesVerdicts) {
   EXPECT_TRUE(stats.snapshot_available);
   EXPECT_GE(stats.snapshot_age_s, 0.0);
 
-  // Close records carry the latency breakdown for every publication.
-  ASSERT_EQ(engine.close_records().size(), engine.snapshots_published());
-  for (const auto& record : engine.close_records()) {
+  // Close records carry the latency breakdown for every publication, and
+  // their epochs_closed counts account for every close with none skipped
+  // silently.
+  const auto records = engine.close_records();
+  ASSERT_EQ(records.size(), engine.snapshots_published());
+  std::uint64_t accounted = 0;
+  for (const auto& record : records) {
     EXPECT_GE(record.total_ms,
               record.mine_ms);  // total includes assemble + mine + snapshot
     EXPECT_LE(record.window_epochs, engine.config().window_epochs);
+    EXPECT_GE(record.epochs_closed, 1u);
+    accounted += record.epochs_closed;
   }
+  EXPECT_EQ(accounted, engine.epochs_closed_total());
 }
 
 TEST(StreamEngine, SnapshotSwapIsSafeUnderConcurrentReaders) {
@@ -286,6 +297,122 @@ TEST(StreamSnapshot, SurfacesPostingsBudgetOverflow) {
   healthy.finish();
   ASSERT_NE(healthy.snapshot(), nullptr);
   EXPECT_FALSE(healthy.snapshot()->postings_budget_exceeded());
+}
+
+TEST(StreamEngine, MultiEpochGapsAreAccountedInSequences) {
+  // One ingest step closes epochs 0..2 at once; the single publication must
+  // account for all three closes (sequence jump + record.epochs_closed), so
+  // skipped intermediate windows are visible, never silent.
+  const whois::Registry registry;
+  StreamEngine engine(small_config(/*epoch_s=*/100, /*window=*/10), registry);
+  engine.ingest(req(10, "c1", "a.com"));
+  engine.ingest(req(310, "c1", "a.com"));  // closes epochs 0, 1, 2
+  EXPECT_EQ(engine.epochs_closed_total(), 3u);
+  EXPECT_EQ(engine.snapshots_published(), 1u);
+  auto snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->sequence(), 3u);
+  auto records = engine.close_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].epochs_closed, 3u);
+
+  engine.finish();  // closes epoch 3: second publication, sequence 4
+  snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->sequence(), 4u);
+  records = engine.close_records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].epochs_closed, 1u);
+}
+
+TEST(AsyncStreamMining, MiningFailureSurfacesOnWriterThreadAndEngineRecovers) {
+  // An exception escaping the mining thread must not wedge the engine
+  // (stuck mine_in_flight_ would deadlock finish()/~StreamEngine) or vanish
+  // silently: wait_for_mining() rethrows it on the writer thread and later
+  // closes mine again, with every close still accounted.
+  const whois::Registry registry;
+  StreamConfig config = small_config(/*epoch_s=*/100, /*window=*/4);
+  config.async_mining = true;
+  std::atomic<int> mines{0};
+  config.mine_test_hook = [&mines] {
+    if (mines.fetch_add(1) == 0) throw std::runtime_error("injected fault");
+  };
+  StreamEngine engine(config, registry);
+  engine.ingest(req(10, "c1", "a.com"));
+  engine.ingest(req(110, "c1", "a.com"));  // closes epoch 0: the failing mine
+  EXPECT_THROW(engine.wait_for_mining(), std::runtime_error);
+  EXPECT_EQ(engine.snapshots_published(), 0u);
+
+  engine.ingest(req(210, "c1", "a.com"));  // closes epoch 1: mines again
+  engine.finish();                         // closes epoch 2, drains cleanly
+  const auto snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(engine.epochs_closed_total(), 3u);
+  EXPECT_EQ(snapshot->sequence(), 3u);
+  // The close whose mine failed is accounted by the next publication.
+  std::uint64_t accounted = 0;
+  for (const auto& record : engine.close_records()) {
+    accounted += record.epochs_closed;
+  }
+  EXPECT_EQ(accounted, engine.epochs_closed_total());
+}
+
+TEST(StreamSnapshot, SurfacesLateEventLoss) {
+  // Late events are invisible in the verdict maps; the snapshot must carry
+  // the ingest counters so the data loss is observable by readers.
+  const whois::Registry registry;
+  StreamEngine dropping(small_config(/*epoch_s=*/100, /*window=*/4), registry);
+  dropping.ingest(req(250, "c1", "a.com"));    // opens epoch 2
+  dropping.ingest(req(10, "c2", "late.com"));  // late: dropped
+  dropping.ingest(req(20, "c3", "late.com"));  // late: dropped
+  dropping.finish();
+  auto snapshot = dropping.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->late_dropped(), 2u);
+  EXPECT_EQ(snapshot->late_folded(), 0u);
+  EXPECT_EQ(snapshot->ingest_stats().requests, 1u);
+
+  StreamConfig folding = small_config(/*epoch_s=*/100, /*window=*/4);
+  folding.drop_late_events = false;
+  StreamEngine folder(folding, registry);
+  folder.ingest(req(250, "c1", "a.com"));
+  folder.ingest(req(10, "c2", "late.com"));  // late: folded into epoch 2
+  folder.finish();
+  snapshot = folder.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->late_dropped(), 0u);
+  EXPECT_EQ(snapshot->late_folded(), 1u);
+  EXPECT_EQ(snapshot->ingest_stats().requests, 2u);
+}
+
+// Builds a sealed one-epoch shard with `n` requests to x.com.
+std::shared_ptr<const EpochShard> shard_with_requests(int n) {
+  StreamIngestor ingestor(small_config(/*epoch_s=*/100, /*window=*/4));
+  for (int i = 0; i < n; ++i) {
+    ingestor.ingest(req(10 + i, "c" + std::to_string(i), "x.com"));
+  }
+  ingestor.close_epoch();
+  return ingestor.window().back();
+}
+
+TEST(WindowAggregatesDeathTest, RemoveEpochUnderflowAborts) {
+  const auto small = shard_with_requests(1);
+  const auto big = shard_with_requests(3);
+
+  WindowAggregates aggregates;
+  aggregates.add_epoch(*small);
+  // Evicting a delta larger than the accumulated value would underflow the
+  // per-2LD counters; the guard must abort instead of serving garbage.
+  EXPECT_DEATH(aggregates.remove_epoch(*big), "underflow");
+  // Evicting a shard whose 2LD was never added is the same corruption.
+  WindowAggregates empty;
+  EXPECT_DEATH(empty.remove_epoch(*small), "underflow");
+
+  // The in-bounds path drains the entry and erases it entirely.
+  aggregates.remove_epoch(*small);
+  EXPECT_EQ(aggregates.find("x.com"), nullptr);
+  EXPECT_EQ(aggregates.num_servers(), 0u);
+  EXPECT_EQ(aggregates.window_requests(), 0u);
 }
 
 TEST(StreamSnapshot, JoinStatsFlowIntoSmashResult) {
