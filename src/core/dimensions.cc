@@ -39,6 +39,27 @@ DimensionAshes extract_ashes(Dimension dimension, graph::GraphBuilder builder,
   return out;
 }
 
+// One dimension's candidate-pair join, dispatched on the memory budget:
+// unbounded runs the single-pass (optionally probe-parallel) join; a
+// budget > 0 runs the key-range-sharded bounded-memory join. All three
+// paths produce byte-identical pairs and core JoinStats.
+std::vector<graph::CooccurrencePair> dimension_join(
+    std::span<const util::IdSet> key_sets, std::uint32_t min_shared,
+    const graph::JoinOptions& join_options, const SmashConfig& config,
+    unsigned join_threads, graph::JoinStats& stats) {
+  if (config.join_memory_budget_bytes > 0) {
+    return graph::cooccurrence_join_sharded(key_sets, min_shared, join_options,
+                                            config.join_memory_budget_bytes,
+                                            join_threads, &stats);
+  }
+  if (join_threads > 1) {
+    return graph::cooccurrence_join_parallel(key_sets, min_shared,
+                                             join_options, join_threads,
+                                             &stats);
+  }
+  return graph::cooccurrence_join(key_sets, min_shared, join_options, &stats);
+}
+
 // Main / IP / file dimensions all reduce to the bidirectional-importance
 // similarity over per-server key sets.
 DimensionAshes mine_keyset_dimension(Dimension dimension,
@@ -51,10 +72,7 @@ DimensionAshes mine_keyset_dimension(Dimension dimension,
   join_options.max_postings_length = postings_cap;
   graph::JoinStats stats;
   const auto pairs =
-      join_threads > 1
-          ? graph::cooccurrence_join_parallel(key_sets, 1, join_options,
-                                              join_threads, &stats)
-          : graph::cooccurrence_join(key_sets, 1, join_options, &stats);
+      dimension_join(key_sets, 1, join_options, config, join_threads, stats);
 
   graph::GraphBuilder builder(static_cast<std::uint32_t>(key_sets.size()));
   for (const auto& pair : pairs) {
@@ -153,9 +171,9 @@ DimensionAshes mine_whois_dimension(const PreprocessResult& pre,
   graph::JoinOptions join_options;
   join_options.max_postings_length = config.join_postings_cap;
   graph::JoinStats stats;
-  const auto pairs = graph::cooccurrence_join_parallel(
+  const auto pairs = dimension_join(
       field_sets, static_cast<std::uint32_t>(config.whois_min_shared_fields),
-      join_options, config.num_threads, &stats);
+      join_options, config, config.num_threads, stats);
 
   graph::GraphBuilder builder(static_cast<std::uint32_t>(pre.kept.size()));
   for (const auto& pair : pairs) {
@@ -230,6 +248,21 @@ std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,
   client_inner.num_threads = config.num_threads > other_dimensions
                                  ? config.num_threads - other_dimensions
                                  : 1;
+  // Budget-aware fan-out: dimensions mined concurrently hold postings
+  // indexes at the same time, so each gets an even slice of the join
+  // memory budget — the sum of simultaneously resident postings stays
+  // within config.join_memory_budget_bytes. (Each dimension's planner
+  // then picks its own pass count from that slice and its observed key
+  // cardinalities; the serial path above runs dimensions one at a time,
+  // so each gets the full budget there.) The split never changes mined
+  // output, only pass counts.
+  if (config.join_memory_budget_bytes > 0) {
+    const auto per_dimension = std::max<std::size_t>(
+        config.join_memory_budget_bytes / static_cast<std::size_t>(dimensions),
+        1);
+    inner.join_memory_budget_bytes = per_dimension;
+    client_inner.join_memory_budget_bytes = per_dimension;
+  }
   // parallel_for drains on the calling thread as well as the pool workers,
   // so size the pool one short of the budget.
   util::ThreadPool pool(std::min(config.num_threads - 1, other_dimensions));

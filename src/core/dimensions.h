@@ -50,6 +50,10 @@ struct DimensionAshes {
   // means the postings cap fired and shared-key counts undercount for the
   // affected pairs — streaming snapshots surface this so a window that
   // exceeded the in-RAM postings budget is observable, not silent.
+  // shard_passes / peak_resident_postings_bytes record how hard
+  // SmashConfig::join_memory_budget_bytes squeezed this join (1 pass =
+  // the whole index fit; more passes = bounded-memory key-range sharding
+  // engaged, output unchanged).
   graph::JoinStats join_stats;
 
   std::size_t num_herded_servers() const;
@@ -60,13 +64,20 @@ struct DimensionAshes {
 };
 
 // Builds the similarity graph for `dimension` over pre.kept and extracts
-// ASHs. `registry` is only used by the Whois dimension.
+// ASHs. `registry` is only used by the Whois dimension. Honors
+// config.num_threads (probe-range-sharded join) and
+// config.join_memory_budget_bytes (key-range-sharded bounded-memory join);
+// mined output is identical for every thread count and budget.
 DimensionAshes mine_dimension(Dimension dimension, const PreprocessResult& pre,
                               const whois::Registry& registry,
                               const SmashConfig& config);
 
 // All dimensions, indexed by Dimension: the paper's four, plus kParam when
-// config.enable_param_dimension is set.
+// config.enable_param_dimension is set. With config.num_threads > 1 the
+// dimensions are mined concurrently (the client join gets the leftover
+// threads) and a non-zero join_memory_budget_bytes is divided evenly
+// across the concurrently-mined dimensions, so total resident postings
+// memory stays within the budget either way.
 std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,
                                                 const whois::Registry& registry,
                                                 const SmashConfig& config);

@@ -98,6 +98,20 @@ bool SmashResult::postings_budget_exceeded() const noexcept {
   return false;
 }
 
+std::size_t SmashResult::join_shard_passes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& dim : dims) total += dim.join_stats.shard_passes;
+  return total;
+}
+
+std::size_t SmashResult::peak_resident_postings_bytes() const noexcept {
+  std::size_t peak = 0;
+  for (const auto& dim : dims) {
+    peak = std::max(peak, dim.join_stats.peak_resident_postings_bytes);
+  }
+  return peak;
+}
+
 SmashResult SmashPipeline::run(const net::Trace& trace,
                                const whois::Registry& registry) const {
   return run_preprocessed(preprocess(trace, config_), registry);

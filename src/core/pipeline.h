@@ -52,6 +52,20 @@ struct SmashResult {
   // undercount (see JoinOptions::max_postings_length). Streaming snapshots
   // carry this flag so oversized windows are reported, never silent.
   bool postings_budget_exceeded() const noexcept;
+
+  // Memory-pressure observables of the run's joins, aggregated across
+  // dimensions (per-dimension detail stays on DimensionAshes::join_stats).
+  // Total key-range passes: equals the number of joins run when every
+  // postings index fit SmashConfig::join_memory_budget_bytes in one pass;
+  // anything above that counts bounded-memory sharding at work.
+  std::size_t join_shard_passes() const noexcept;
+  // Largest single-join resident postings footprint (bytes). Under the
+  // concurrent dimension fan-out the per-dimension budget split keeps even
+  // the SUM of concurrent footprints within the configured budget —
+  // except the degenerate case where one key's postings alone exceed a
+  // dimension's slice (that pass overshoots, and this accessor shows it;
+  // see JoinStats::peak_resident_postings_bytes).
+  std::size_t peak_resident_postings_bytes() const noexcept;
 };
 
 class SmashPipeline {

@@ -1,10 +1,12 @@
 #include "core/preshard.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "dns/domain.h"
 #include "net/http.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace smash::core {
 
@@ -143,38 +145,75 @@ WindowPre merge_shard_pres(const std::vector<ShardPreRef>& shards,
 
   // Phase 4: merge the per-shard deltas into window profiles. Referrer-only
   // 2LDs keep default-empty profiles, as after the batch resize.
+  //
+  // Parallel by interner range: each worker owns a contiguous range of
+  // window 2LD (agg) ids and applies, in shard order, exactly the deltas
+  // landing in its range — per-profile delta application order is
+  // identical to the serial walk (only which thread performs it changes),
+  // ranges are disjoint so there is no sharing, and the result is
+  // byte-identical for every config.num_threads.
   std::vector<ServerProfile> profiles(agg_servers.size());
   std::uint64_t total_requests = 0;
+  std::vector<std::vector<std::uint32_t>> delta_agg(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardPre& pre = *shards[i].pre;
-    const Remap& remap = remaps[i];
     total_requests += shards[i].trace->num_requests();
-    for (std::size_t d = 0; d < pre.deltas.size(); ++d) {
-      const ShardServerDelta& delta = pre.deltas[d];
-      const auto agg_id = agg_servers.find(pre.delta_2lds[d]);
+    delta_agg[i].reserve(pre.delta_2lds.size());
+    for (const auto& two_ld : pre.delta_2lds) {
+      const auto agg_id = agg_servers.find(two_ld);
       SMASH_CHECK(agg_id.has_value(),
                   "merge_shard_pres: shard 2LD missing from window interner");
-      ServerProfile& profile = profiles[*agg_id];
-      for (const auto c : delta.clients) profile.clients.insert(remap.client[c]);
-      for (const auto p : delta.ips) profile.ips.insert(remap.ip[p]);
-      for (const auto day : delta.days) profile.days.insert(day);
-      for (const auto f : delta.files) profile.files.insert(remap.file[f]);
-      profile.user_agents.insert(delta.user_agents.begin(),
-                                 delta.user_agents.end());
-      profile.param_patterns.insert(delta.param_patterns.begin(),
-                                    delta.param_patterns.end());
-      for (const auto& [ref_local, count] : delta.referrer_counts) {
-        profile.referrer_counts[remap.referrer[ref_local]] += count;
-      }
-      profile.requests += delta.requests;
-      profile.error_requests += delta.error_requests;
+      delta_agg[i].push_back(*agg_id);
     }
   }
-  for (auto& profile : profiles) {
-    profile.clients.normalize();
-    profile.ips.normalize();
-    profile.days.normalize();
-    profile.files.normalize();
+
+  const auto merge_agg_range = [&](std::uint32_t agg_lo, std::uint32_t agg_hi) {
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      const ShardPre& pre = *shards[i].pre;
+      const Remap& remap = remaps[i];
+      for (std::size_t d = 0; d < pre.deltas.size(); ++d) {
+        const auto agg_id = delta_agg[i][d];
+        if (agg_id < agg_lo || agg_id >= agg_hi) continue;
+        const ShardServerDelta& delta = pre.deltas[d];
+        ServerProfile& profile = profiles[agg_id];
+        for (const auto c : delta.clients) profile.clients.insert(remap.client[c]);
+        for (const auto p : delta.ips) profile.ips.insert(remap.ip[p]);
+        for (const auto day : delta.days) profile.days.insert(day);
+        for (const auto f : delta.files) profile.files.insert(remap.file[f]);
+        profile.user_agents.insert(delta.user_agents.begin(),
+                                   delta.user_agents.end());
+        profile.param_patterns.insert(delta.param_patterns.begin(),
+                                      delta.param_patterns.end());
+        for (const auto& [ref_local, count] : delta.referrer_counts) {
+          profile.referrer_counts[remap.referrer[ref_local]] += count;
+        }
+        profile.requests += delta.requests;
+        profile.error_requests += delta.error_requests;
+      }
+    }
+    for (std::uint32_t a = agg_lo; a < agg_hi; ++a) {
+      profiles[a].clients.normalize();
+      profiles[a].ips.normalize();
+      profiles[a].days.normalize();
+      profiles[a].files.normalize();
+    }
+  };
+
+  const auto num_profiles = static_cast<std::uint32_t>(profiles.size());
+  const unsigned merge_threads =
+      std::min<unsigned>(config.num_threads, num_profiles == 0 ? 1 : num_profiles);
+  if (merge_threads <= 1) {
+    merge_agg_range(0, num_profiles);
+  } else {
+    // parallel_for drains on the calling thread too, so size the pool one
+    // short of the thread budget (mirrors core/dimensions.cc).
+    util::ThreadPool pool(merge_threads - 1);
+    util::parallel_for(pool, merge_threads, [&](std::size_t s) {
+      merge_agg_range(
+          static_cast<std::uint32_t>(std::uint64_t{num_profiles} * s / merge_threads),
+          static_cast<std::uint32_t>(std::uint64_t{num_profiles} * (s + 1) /
+                                     merge_threads));
+    });
   }
 
   // Phase 5: redirects. The window's raw redirect map is last-write-wins

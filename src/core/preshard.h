@@ -87,7 +87,10 @@ struct WindowPre {
 // Merges cached shards (window order: oldest epoch first) into the window's
 // PreprocessResult, byte-identical to `preprocess(assembled_window,
 // config)`. Cost is proportional to distinct entities per shard, not
-// requests.
+// requests. The delta-merge phase is parallelized by window-2LD interner
+// range across config.num_threads workers (interning itself is inherently
+// sequential and stays serial); output is byte-identical for every thread
+// count, per-profile delta order included.
 WindowPre merge_shard_pres(const std::vector<ShardPreRef>& shards,
                            const SmashConfig& config);
 

@@ -5,6 +5,7 @@
 // unspecified) and are documented in README.md.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "graph/louvain.h"
@@ -32,10 +33,17 @@ struct SmashConfig {
   std::uint32_t filename_len_threshold = 25;  // Appendix B
   double filename_cosine_threshold = 0.8;
 
-  // Safety caps for the inverted-index joins. A URI file served by more
-  // servers than `file_postings_cap` is treated as a stop-file (index.html
-  // and friends); eq. (7)'s normalization makes such files uninformative
-  // anyway.
+  // Safety caps for the inverted-index joins (unit: items per postings
+  // list). A URI file served by more servers than `file_postings_cap`
+  // (default 1500) is treated as a stop-file (index.html and friends);
+  // eq. (7)'s normalization makes such files uninformative anyway.
+  // `join_postings_cap` (default 20000) bounds every other join's pair
+  // explosion. Both caps fire on a key's FULL postings length, so their
+  // semantics are independent of num_threads and of
+  // join_memory_budget_bytes; a fired cap undercounts and is reported via
+  // JoinStats / SmashResult::postings_budget_exceeded(). Do NOT lower
+  // these to save memory — set join_memory_budget_bytes instead, which
+  // bounds memory without undercounting.
   std::uint32_t file_postings_cap = 1500;
   std::uint32_t join_postings_cap = 20000;
 
@@ -58,11 +66,33 @@ struct SmashConfig {
   std::uint32_t param_postings_cap = 1500;
 
   // --- execution ---------------------------------------------------------------
-  // Worker threads for ASH mining: dimensions are mined concurrently and
-  // the client-dimension join is probe-range sharded. Results are
-  // identical for any thread count (each dimension is independent and the
-  // sharded join reproduces the serial output exactly); 1 = fully serial.
+  // Worker threads for ASH mining (unit: threads; default 1 = fully
+  // serial): dimensions are mined concurrently and the client/file/whois
+  // joins are probe-range sharded across the leftover threads. Results
+  // are identical for any thread count (each dimension is independent and
+  // the sharded join reproduces the serial output exactly).
   unsigned num_threads = 1;
+
+  // Upper bound on the resident postings-index memory of any one
+  // similarity join (unit: bytes; default 0 = unbounded, single in-RAM
+  // pass). When set, each join is key-range sharded
+  // (graph::cooccurrence_join_sharded): the key universe is partitioned
+  // into passes sized from the observed key cardinalities, passes run
+  // sequentially (re-probing the items once per pass), and the per-pass
+  // outputs merge into a result byte-identical to the unbounded join —
+  // week-scale batch windows complete exactly instead of relying on
+  // lowered postings caps that undercount. Interactions: with
+  // num_threads > 1 the concurrent dimension fan-out divides this budget
+  // evenly across the dimensions mined in parallel, so the SUM of
+  // simultaneously resident postings indexes stays within budget; within
+  // a pass, probe sharding adds 4 bytes × kept-servers of counter scratch
+  // per thread, which is NOT counted against the budget (it is
+  // output-side, not postings-side). The only case a pass exceeds the
+  // budget is a single key whose postings alone do — reported in
+  // JoinStats::peak_resident_postings_bytes, never silent. The trade is
+  // memory for passes: S passes re-scan the probe sets S times (see
+  // docs/MEMORY.md for the worked week-scale numbers).
+  std::size_t join_memory_budget_bytes = 0;
 
   // --- pruning (paper §III-D) -------------------------------------------------
   // A server is "referred by" a host if at least this fraction of its

@@ -1,6 +1,7 @@
 #include "graph/similarity_join.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -10,28 +11,41 @@ namespace smash::graph {
 
 namespace {
 
-// Flat CSR inverted index: postings of key k are
-// entries[offsets[k] .. offsets[k+1]), in ascending item order (guaranteed
-// by the counting-sort build iterating items in order).
+// Flat CSR inverted index over the key range [key_base, key_base +
+// num_keys): postings of key k are entries[offsets[k - key_base] ..
+// offsets[k - key_base + 1]), in ascending item order (guaranteed by the
+// counting-sort build iterating items in order). key_base is 0 for the
+// whole-universe index; the bounded-memory sharded join builds one rebased
+// index per key range.
 struct PostingsIndex {
   std::vector<std::size_t> offsets;     // size num_keys + 1
   std::vector<std::uint32_t> entries;   // item ids
-  std::uint32_t num_keys = 0;           // max key + 1 (0 when no keys)
+  std::uint32_t key_base = 0;           // first key this index covers
+  std::uint32_t num_keys = 0;           // keys covered (0 when no keys)
 
+  std::size_t offset(std::uint32_t key) const {
+    return offsets[key - key_base];
+  }
   std::size_t length(std::uint32_t key) const {
-    return offsets[key + 1] - offsets[key];
+    return offsets[key - key_base + 1] - offsets[key - key_base];
   }
 };
 
+void validate_normalized(std::span<const util::IdSet> items) {
+  for (const auto& item : items) {
+    if (!item.is_normalized()) {
+      throw std::invalid_argument("cooccurrence_join: IdSet not normalized");
+    }
+  }
+}
+
 PostingsIndex build_postings(std::span<const util::IdSet> items) {
+  validate_normalized(items);
   PostingsIndex index;
   std::uint32_t max_key = 0;
   bool any_key = false;
   std::size_t total_entries = 0;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (!items[i].is_normalized()) {
-      throw std::invalid_argument("cooccurrence_join: IdSet not normalized");
-    }
     if (!items[i].empty()) {
       any_key = true;
       max_key = std::max(max_key, items[i].values().back());
@@ -57,6 +71,43 @@ PostingsIndex build_postings(std::span<const util::IdSet> items) {
   return index;
 }
 
+// Rebased postings index covering only keys in [key_begin, key_end).
+// Inputs must already be validated as normalized. The resident footprint
+// of the returned index (offsets + build cursor + entries) is exactly
+// postings_bytes(key_end - key_begin, entries in range) — the quantity
+// plan_key_shards budgets for.
+PostingsIndex build_postings_range(std::span<const util::IdSet> items,
+                                   std::uint32_t key_begin,
+                                   std::uint32_t key_end) {
+  PostingsIndex index;
+  index.key_base = key_begin;
+  index.num_keys = key_end - key_begin;
+
+  index.offsets.assign(index.num_keys + std::size_t{1}, 0);
+  for (const auto& item : items) {
+    const auto& keys = item.values();
+    auto it = std::lower_bound(keys.begin(), keys.end(), key_begin);
+    for (; it != keys.end() && *it < key_end; ++it) {
+      ++index.offsets[*it - key_begin + 1];
+    }
+  }
+  for (std::uint32_t k = 0; k < index.num_keys; ++k) {
+    index.offsets[k + 1] += index.offsets[k];
+  }
+
+  index.entries.resize(index.offsets[index.num_keys]);
+  std::vector<std::size_t> cursor(index.offsets.begin(),
+                                  index.offsets.end() - 1);
+  for (std::uint32_t i = 0; i < items.size(); ++i) {
+    const auto& keys = items[i].values();
+    auto it = std::lower_bound(keys.begin(), keys.end(), key_begin);
+    for (; it != keys.end() && *it < key_end; ++it) {
+      index.entries[cursor[*it - key_begin]++] = i;
+    }
+  }
+  return index;
+}
+
 // Counts co-occurrences for probe items in [a_begin, a_end) against the
 // shared postings index, appending (a, b, count) triples grouped by `a` in
 // ascending (a, b) order. `counts` must be all-zero on entry and of size
@@ -69,13 +120,20 @@ void count_probe_range(std::span<const util::IdSet> items,
                        std::vector<std::uint32_t>& touched,
                        std::vector<CooccurrencePair>& out,
                        std::size_t& candidate_pairs) {
+  const std::uint32_t key_lo = index.key_base;
+  const std::uint32_t key_hi = index.key_base + index.num_keys;
   for (std::uint32_t a = a_begin; a < a_end; ++a) {
     touched.clear();
-    for (auto key : items[a]) {
+    const auto& keys = items[a].values();
+    auto kit = key_lo == 0
+                   ? keys.begin()
+                   : std::lower_bound(keys.begin(), keys.end(), key_lo);
+    for (; kit != keys.end() && *kit < key_hi; ++kit) {
+      const std::uint32_t key = *kit;
       const std::size_t len = index.length(key);
       if (len < 2 || len > max_postings_length) continue;
-      const auto* begin = index.entries.data() + index.offsets[key];
-      const auto* end = index.entries.data() + index.offsets[key + 1];
+      const auto* begin = index.entries.data() + index.offset(key);
+      const auto* end = begin + len;
       // Postings are ascending, so everything after `a` pairs with it.
       const auto* it = std::upper_bound(begin, end, a);
       candidate_pairs += static_cast<std::size_t>(end - it);
@@ -94,11 +152,14 @@ void count_probe_range(std::span<const util::IdSet> items,
   }
 }
 
+// Accumulates (does not reset) key counters so the sharded join can sum
+// across passes; every key lives in exactly one pass, so the totals match
+// the single-pass join's.
 void fill_key_stats(const PostingsIndex& index,
                     std::uint32_t max_postings_length, JoinStats& stats) {
-  stats.postings_entries = index.entries.size();
+  stats.postings_entries += index.entries.size();
   for (std::uint32_t k = 0; k < index.num_keys; ++k) {
-    const std::size_t len = index.length(k);
+    const std::size_t len = index.offsets[k + 1] - index.offsets[k];
     if (len == 0) continue;
     ++stats.num_keys;
     stats.peak_postings_length = std::max(stats.peak_postings_length, len);
@@ -120,6 +181,9 @@ std::vector<CooccurrencePair> cooccurrence_join(
   const PostingsIndex index = build_postings(items);
 
   JoinStats local;
+  local.shard_passes = 1;
+  local.peak_resident_postings_bytes =
+      postings_bytes(index.num_keys, index.entries.size());
   fill_key_stats(index, options.max_postings_length, local);
 
   std::vector<CooccurrencePair> out;
@@ -149,6 +213,9 @@ std::vector<CooccurrencePair> cooccurrence_join_parallel(
   const PostingsIndex index = build_postings(items);
 
   JoinStats local;
+  local.shard_passes = 1;
+  local.peak_resident_postings_bytes =
+      postings_bytes(index.num_keys, index.entries.size());
   fill_key_stats(index, options.max_postings_length, local);
 
   std::vector<std::vector<CooccurrencePair>> shard_out(shards);
@@ -174,6 +241,196 @@ std::vector<CooccurrencePair> cooccurrence_join_parallel(
     out.insert(out.end(), part.begin(), part.end());
   }
   for (const auto c : shard_candidates) local.candidate_pairs += c;
+  local.emitted_pairs = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+KeyShardPlan plan_key_shards(std::span<const util::IdSet> items,
+                             std::size_t memory_budget_bytes) {
+  std::uint32_t max_key = 0;
+  bool any_key = false;
+  std::size_t total_entries = 0;
+  for (const auto& item : items) {
+    if (!item.empty()) {
+      any_key = true;
+      max_key = std::max(max_key, item.values().back());
+      total_entries += item.size();
+    }
+  }
+  const std::uint32_t num_keys = any_key ? max_key + 1 : 0;
+
+  KeyShardPlan plan;
+  plan.total_bytes = postings_bytes(num_keys, total_entries);
+  if (num_keys == 0) return plan;
+  if (memory_budget_bytes == 0 || plan.total_bytes <= memory_budget_bytes) {
+    plan.ranges.push_back({0, num_keys, plan.total_bytes, total_entries});
+    plan.peak_bytes = plan.total_bytes;
+    return plan;
+  }
+
+  // Observed per-key cardinalities drive the plan: each key costs two
+  // size_t slots (offset + build cursor) plus 4 bytes per posting entry.
+  std::vector<std::uint32_t> key_len(num_keys, 0);
+  for (const auto& item : items) {
+    for (auto key : item) ++key_len[key];
+  }
+
+  constexpr std::size_t kRangeBaseBytes = postings_bytes(0, 0);
+  constexpr std::size_t kPerKeyBytes = 2 * sizeof(std::size_t);
+  std::uint32_t begin = 0;
+  std::size_t bytes = kRangeBaseBytes;
+  std::size_t entries = 0;
+  for (std::uint32_t k = 0; k < num_keys; ++k) {
+    const std::size_t add =
+        kPerKeyBytes + key_len[k] * std::size_t{sizeof(std::uint32_t)};
+    // Cut before a key that would overflow the budget — unless the range
+    // is still empty, in which case the key is over budget all by itself
+    // and gets a (reported) oversized range of its own.
+    if (k > begin && bytes + add > memory_budget_bytes) {
+      plan.ranges.push_back({begin, k, bytes, entries});
+      begin = k;
+      bytes = kRangeBaseBytes;
+      entries = 0;
+    }
+    bytes += add;
+    entries += key_len[k];
+  }
+  plan.ranges.push_back({begin, num_keys, bytes, entries});
+  for (const auto& range : plan.ranges) {
+    plan.peak_bytes = std::max(plan.peak_bytes, range.bytes);
+  }
+  return plan;
+}
+
+namespace {
+
+constexpr std::uint64_t pack_pair(const CooccurrencePair& pair) noexcept {
+  return (static_cast<std::uint64_t>(pair.a) << 32) | pair.b;
+}
+
+// Merges two (a, b)-sorted partial-count runs, summing the counts of pairs
+// present in both.
+std::vector<CooccurrencePair> merge_partials(std::vector<CooccurrencePair> x,
+                                             std::vector<CooccurrencePair> y) {
+  std::vector<CooccurrencePair> out;
+  out.reserve(x.size() + y.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < x.size() && j < y.size()) {
+    const auto kx = pack_pair(x[i]);
+    const auto ky = pack_pair(y[j]);
+    if (kx < ky) {
+      out.push_back(x[i++]);
+    } else if (ky < kx) {
+      out.push_back(y[j++]);
+    } else {
+      out.push_back({x[i].a, x[i].b, x[i].shared_keys + y[j].shared_keys});
+      ++i;
+      ++j;
+    }
+  }
+  out.insert(out.end(), x.begin() + static_cast<std::ptrdiff_t>(i), x.end());
+  out.insert(out.end(), y.begin() + static_cast<std::ptrdiff_t>(j), y.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<CooccurrencePair> cooccurrence_join_sharded(
+    std::span<const util::IdSet> items, std::uint32_t min_shared,
+    const JoinOptions& options, std::size_t memory_budget_bytes,
+    unsigned num_threads, JoinStats* stats) {
+  if (min_shared == 0) {
+    throw std::invalid_argument("cooccurrence_join: min_shared must be >= 1");
+  }
+  const KeyShardPlan plan = plan_key_shards(items, memory_budget_bytes);
+  if (plan.ranges.size() <= 1) {
+    // The whole index fits the budget (or there are no keys at all): the
+    // single-pass join is the bounded-memory join. It validates the
+    // items itself, so an unnormalized input still throws even though
+    // the plan above was computed on garbage.
+    return cooccurrence_join_parallel(items, min_shared, options, num_threads,
+                                      stats);
+  }
+  validate_normalized(items);
+
+  JoinStats local;
+  local.shard_passes = plan.ranges.size();
+  local.peak_resident_postings_bytes = plan.peak_bytes;
+
+  const std::size_t n = items.size();
+  // Within a pass the probe is range-sharded exactly like
+  // cooccurrence_join_parallel; passes themselves run sequentially so at
+  // most one range's postings index is ever resident.
+  constexpr std::size_t kMinItemsPerShard = 256;
+  unsigned probe_shards = num_threads == 0 ? 1 : num_threads;
+  probe_shards = static_cast<unsigned>(std::min<std::size_t>(
+      probe_shards, std::max<std::size_t>(n / kMinItemsPerShard, 1)));
+
+  std::optional<util::ThreadPool> pool;
+  if (probe_shards > 1) pool.emplace(probe_shards);
+
+  // Probe scratch is allocated once and reused across passes
+  // (count_probe_range restores counts to all-zero on exit).
+  std::vector<std::vector<std::uint32_t>> counts(
+      probe_shards, std::vector<std::uint32_t>(n, 0));
+  std::vector<std::vector<std::uint32_t>> touched(probe_shards);
+
+  std::vector<std::vector<CooccurrencePair>> pass_out;
+  pass_out.reserve(plan.ranges.size());
+  for (const auto& range : plan.ranges) {
+    const PostingsIndex index =
+        build_postings_range(items, range.begin, range.end);
+    fill_key_stats(index, options.max_postings_length, local);
+
+    std::vector<std::vector<CooccurrencePair>> shard_out(probe_shards);
+    std::vector<std::size_t> shard_candidates(probe_shards, 0);
+    const auto probe = [&](std::size_t s) {
+      const auto lo = static_cast<std::uint32_t>(n * s / probe_shards);
+      const auto hi = static_cast<std::uint32_t>(n * (s + 1) / probe_shards);
+      // Per-pass counts are partial, so every touched pair is emitted
+      // (min_shared 1 here); the real filter runs after the merge.
+      count_probe_range(items, index, lo, hi, 1, options.max_postings_length,
+                        counts[s], touched[s], shard_out[s],
+                        shard_candidates[s]);
+    };
+    if (probe_shards > 1) {
+      util::parallel_for(*pool, probe_shards, probe);
+    } else {
+      probe(0);
+    }
+
+    std::vector<CooccurrencePair> merged_pass;
+    std::size_t total = 0;
+    for (const auto& part : shard_out) total += part.size();
+    merged_pass.reserve(total);
+    for (auto& part : shard_out) {
+      merged_pass.insert(merged_pass.end(), part.begin(), part.end());
+    }
+    for (const auto c : shard_candidates) local.candidate_pairs += c;
+    pass_out.push_back(std::move(merged_pass));
+  }
+
+  // Balanced merge tree over the per-pass sorted runs: O(pairs * log S)
+  // instead of the O(pairs * S) of a naive S-way scan.
+  while (pass_out.size() > 1) {
+    std::vector<std::vector<CooccurrencePair>> next;
+    next.reserve((pass_out.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < pass_out.size(); i += 2) {
+      next.push_back(
+          merge_partials(std::move(pass_out[i]), std::move(pass_out[i + 1])));
+    }
+    if (pass_out.size() % 2 == 1) next.push_back(std::move(pass_out.back()));
+    pass_out = std::move(next);
+  }
+
+  std::vector<CooccurrencePair> out = std::move(pass_out.front());
+  if (min_shared > 1) {
+    std::erase_if(out, [min_shared](const CooccurrencePair& pair) {
+      return pair.shared_keys < min_shared;
+    });
+  }
   local.emitted_pairs = out.size();
   if (stats != nullptr) *stats = local;
   return out;

@@ -32,19 +32,28 @@ struct CooccurrencePair {
 };
 
 struct JoinOptions {
-  // Postings lists longer than this are skipped when enumerating pairs: a
-  // key shared by k items contributes k(k-1)/2 pairs, so one pathological
-  // key (e.g. a crawler client contacting everything) can blow up the join.
+  // Postings lists longer than this (unit: items per key; default 20000)
+  // are skipped when enumerating pairs: a key shared by k items contributes
+  // k(k-1)/2 pairs, so one pathological key (e.g. a crawler client
+  // contacting everything) can blow up the join.
   //
   // NOTE: skipping a key UNDERCOUNTS shared_keys for the affected pairs;
   // SMASH's preprocessing (IDF filter) is responsible for removing such
   // hubs beforehand, and the default cap is high enough to be inert on
-  // realistic inputs. It exists as a safety valve only. JoinStats reports
-  // how often it fired so the undercount is observable instead of silent.
+  // realistic inputs. It exists as a safety valve only — it is a *pair
+  // explosion* guard, not a memory guard; for memory, use the key-range
+  // sharded join below. JoinStats reports how often it fired so the
+  // undercount is observable instead of silent. A key's length is always
+  // its full postings length, so the cap fires identically in the in-RAM,
+  // probe-parallel, and key-range-sharded joins (independent of
+  // num_threads and of any memory budget).
   std::uint32_t max_postings_length = 20000;
 };
 
-// Observability counters for one join invocation.
+// Observability counters for one join invocation. All counters except
+// `shard_passes` and `peak_resident_postings_bytes` are invariant across
+// the serial, probe-parallel, and key-range-sharded execution strategies
+// (every key is indexed and probed exactly once in each of them).
 struct JoinStats {
   std::size_t num_keys = 0;              // distinct keys indexed
   std::size_t postings_entries = 0;      // total (key, item) entries
@@ -53,6 +62,17 @@ struct JoinStats {
   std::size_t skipped_entries = 0;       // postings entries under skipped keys
   std::size_t candidate_pairs = 0;       // counter increments performed
   std::size_t emitted_pairs = 0;         // pairs meeting min_shared
+  // Key-range passes this join ran: 1 = a single in-RAM postings index
+  // (cooccurrence_join / _parallel, or a budget large enough for one
+  // pass); > 1 = the bounded-memory sharded join rebuilt the index that
+  // many times. 0 only in a default-constructed JoinStats (no join ran).
+  std::size_t shard_passes = 0;
+  // Largest postings-index footprint (bytes: offsets + build cursor +
+  // entries) resident at any moment. For the sharded join this is the
+  // biggest single pass and is <= the memory budget unless one key alone
+  // exceeds it (degenerate case — the key still gets a pass of its own,
+  // and the overshoot is visible here).
+  std::size_t peak_resident_postings_bytes = 0;
 
   friend bool operator==(const JoinStats&, const JoinStats&) = default;
 };
@@ -68,11 +88,70 @@ std::vector<CooccurrencePair> cooccurrence_join(
 // Probe-range-sharded parallel join: identical output to the serial form
 // (shards are contiguous ranges of `a`, concatenated in order), using up to
 // `num_threads` worker threads. Falls back to the serial join when
-// num_threads <= 1 or the input is small.
+// num_threads <= 1 or the input is small. The full postings index is
+// resident (JoinStats::shard_passes == 1) plus one dense counter array of
+// 4 * items.size() bytes per worker; for a bounded postings footprint use
+// cooccurrence_join_sharded.
 std::vector<CooccurrencePair> cooccurrence_join_parallel(
     std::span<const util::IdSet> items, std::uint32_t min_shared,
     const JoinOptions& options, unsigned num_threads,
     JoinStats* stats = nullptr);
+
+// One contiguous key range of a bounded-memory join plan: keys in
+// [begin, end) build one postings index of `bytes` resident bytes.
+struct KeyShardRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;       // exclusive
+  std::size_t bytes = 0;       // postings-index footprint of this range
+  std::size_t entries = 0;     // (key, item) entries in this range
+
+  friend bool operator==(const KeyShardRange&, const KeyShardRange&) = default;
+};
+
+// Plan for a bounded-memory join: contiguous key ranges covering
+// [0, max_key], each sized to fit `memory_budget_bytes` of postings-index
+// memory. Greedy first-fit over observed per-key cardinalities; a single
+// key whose postings alone exceed the budget gets a range of its own (the
+// join still completes exactly — the overshoot is reported, never hidden).
+struct KeyShardPlan {
+  std::vector<KeyShardRange> ranges;  // ascending, disjoint, covering
+  std::size_t peak_bytes = 0;         // max range bytes (resident high-water)
+  std::size_t total_bytes = 0;        // single in-RAM pass footprint
+};
+
+// Postings-index footprint of `num_keys` keys holding `num_entries`
+// (key, item) entries: offsets + build cursor (one size_t each per key)
+// plus the entry array. This is the formula both the planner and
+// JoinStats::peak_resident_postings_bytes use.
+constexpr std::size_t postings_bytes(std::size_t num_keys,
+                                     std::size_t num_entries) noexcept {
+  return (num_keys + 1) * sizeof(std::size_t) +
+         num_keys * sizeof(std::size_t) +
+         num_entries * sizeof(std::uint32_t);
+}
+
+// Computes the key-range plan for `items` under `memory_budget_bytes`
+// (unit: bytes; 0 = unbounded, single range). Deterministic; exposed so
+// callers and tests can inspect shard counts before running the join.
+KeyShardPlan plan_key_shards(std::span<const util::IdSet> items,
+                             std::size_t memory_budget_bytes);
+
+// Bounded-memory key-range-sharded join: runs the CSR build + dense-counter
+// probe once per planned key range (passes run sequentially, so at most one
+// range's postings index is resident), then merges the per-pass grouped
+// outputs in (a, b) order, summing partial shared-key counts. Output is
+// byte-identical to cooccurrence_join for every budget and thread count;
+// min_shared is applied after the merge, so pairs whose shared keys span
+// ranges are never lost. Within each pass the probe is range-sharded
+// across up to `num_threads` workers (the same probe sharding
+// cooccurrence_join_parallel uses). memory_budget_bytes == 0, or a budget
+// the whole index fits in, degrades to the single-pass join. Peak resident
+// postings memory is reported in JoinStats::peak_resident_postings_bytes;
+// it exceeds the budget only when one key alone does (degenerate case).
+std::vector<CooccurrencePair> cooccurrence_join_sharded(
+    std::span<const util::IdSet> items, std::uint32_t min_shared,
+    const JoinOptions& options, std::size_t memory_budget_bytes,
+    unsigned num_threads, JoinStats* stats = nullptr);
 
 // The original hash-map-based join (packed-pair unordered_map), retained as
 // a reference implementation for equivalence tests and the speedup

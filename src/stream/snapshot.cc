@@ -16,6 +16,8 @@ std::shared_ptr<const DetectionSnapshot> DetectionSnapshot::build(
   snap->window_requests_ = window_requests;
   snap->kept_servers_ = result.pre.kept.size();
   snap->postings_budget_exceeded_ = result.postings_budget_exceeded();
+  snap->join_shard_passes_ = result.join_shard_passes();
+  snap->peak_resident_postings_bytes_ = result.peak_resident_postings_bytes();
   snap->ingest_stats_ = ingest;
 
   for (const auto& campaign : result.campaigns) {

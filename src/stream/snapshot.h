@@ -85,6 +85,17 @@ class DetectionSnapshot {
     return postings_budget_exceeded_;
   }
 
+  // Join memory pressure while mining this window (SmashResult
+  // aggregates): total key-range passes across the dimension joins (more
+  // passes than joins = SmashConfig::join_memory_budget_bytes forced
+  // bounded-memory sharding) and the largest single-join resident
+  // postings footprint in bytes. Operators can watch these instead of
+  // waiting for the undercount flag above.
+  std::size_t join_shard_passes() const noexcept { return join_shard_passes_; }
+  std::size_t peak_resident_postings_bytes() const noexcept {
+    return peak_resident_postings_bytes_;
+  }
+
   // Ingest counters at the close that produced this snapshot — data loss
   // (late-dropped events) is observable next to the verdicts it may have
   // affected, never silent.
@@ -108,6 +119,8 @@ class DetectionSnapshot {
   std::size_t window_requests_ = 0;
   std::size_t kept_servers_ = 0;
   bool postings_budget_exceeded_ = false;
+  std::size_t join_shard_passes_ = 0;
+  std::size_t peak_resident_postings_bytes_ = 0;
   IngestStats ingest_stats_{};
   std::chrono::steady_clock::time_point built_at_{};
 };

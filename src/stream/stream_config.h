@@ -17,14 +17,15 @@ namespace smash::stream {
 using EpochId = std::uint64_t;
 
 struct StreamConfig {
-  // Epoch length. One hour by default: long enough for a campaign's bots to
-  // accumulate the co-visits the client dimension needs, short enough that
-  // detection latency stays within the paper's daily cadence.
+  // Epoch length (unit: seconds; default 3600 = one hour): long enough for
+  // a campaign's bots to accumulate the co-visits the client dimension
+  // needs, short enough that detection latency stays within the paper's
+  // daily cadence.
   std::uint32_t epoch_seconds = 3600;
 
-  // Sliding window: the engine mines the last `window_epochs` closed epochs
-  // (a full day at the default epoch length), matching the batch pipeline's
-  // one-day collection window.
+  // Sliding window (unit: epochs; default 24 = a full day at the default
+  // epoch length): the engine mines the last `window_epochs` closed
+  // epochs, matching the batch pipeline's one-day collection window.
   std::uint32_t window_epochs = 24;
 
   // Events older than the open epoch. When true (default) they are dropped
@@ -49,9 +50,10 @@ struct StreamConfig {
   // disable only to cross-check against the assemble-and-preprocess path.
   bool reuse_shard_preprocess = true;
 
-  // Test/bench hook: artificial delay (per mine, before snapshot build)
-  // used to force epoch closes to pile up behind an in-flight mine so
-  // coalescing is deterministic in tests. Leave 0 in production.
+  // Test/bench hook: artificial delay (unit: milliseconds; default 0 =
+  // none) per mine, before snapshot build, used to force epoch closes to
+  // pile up behind an in-flight mine so coalescing is deterministic in
+  // tests. Leave 0 in production.
   std::uint32_t mine_throttle_ms = 0;
 
   // Test hook: invoked once per mine at the throttle point (after mining,
@@ -60,7 +62,14 @@ struct StreamConfig {
   // the error on the writer thread. Leave null in production.
   std::function<void()> mine_test_hook;
 
-  // Pipeline tunables for each window re-mine.
+  // Pipeline tunables for each window re-mine. smash.num_threads sizes
+  // the mining fan-out AND the parallel shard-preprocess merge
+  // (core::merge_shard_pres); with async_mining those threads run inside
+  // the dedicated mining thread, on top of the ingest thread.
+  // smash.join_memory_budget_bytes bounds each re-mine's resident
+  // postings memory the same way it does a batch run (docs/MEMORY.md) —
+  // the sliding window already bounds input size, so streaming rarely
+  // needs it, but long windows over heavy traffic can set both.
   core::SmashConfig smash;
 
   EpochId epoch_of(std::uint64_t time_s) const noexcept {

@@ -155,6 +155,50 @@ TEST(ParallelMining, WhoisAndFileJoinShardsMatchSerial) {
   }
 }
 
+// SmashConfig::join_memory_budget_bytes must change memory shape only:
+// campaigns and ashes are byte-identical to the unbounded run, the
+// bounded-memory sharding provably engaged (more passes than joins), and
+// residency observables flow up into SmashResult.
+TEST(ParallelMining, BudgetedJoinsMatchUnbounded) {
+  const net::Trace trace = structured_trace();
+  const whois::Registry registry;
+
+  SmashConfig config;
+  config.idf_threshold = 100;
+  config.num_threads = 1;
+  const auto unbounded = SmashPipeline(config).run(trace, registry);
+  const std::size_t joins = unbounded.dims.size();
+  EXPECT_EQ(unbounded.join_shard_passes(), joins);  // one pass per join
+  EXPECT_GT(unbounded.peak_resident_postings_bytes(), 0u);
+
+  constexpr std::size_t kBudget = 1024;
+  for (const unsigned threads : {1u, 4u}) {
+    SmashConfig budgeted = config;
+    budgeted.num_threads = threads;
+    budgeted.join_memory_budget_bytes = kBudget;
+    const auto result = SmashPipeline(budgeted).run(trace, registry);
+
+    ASSERT_EQ(result.dims.size(), unbounded.dims.size());
+    for (std::size_t d = 0; d < result.dims.size(); ++d) {
+      expect_same_ashes(unbounded.dims[d], result.dims[d]);
+    }
+    ASSERT_EQ(result.campaigns.size(), unbounded.campaigns.size());
+    for (std::size_t c = 0; c < result.campaigns.size(); ++c) {
+      EXPECT_EQ(result.campaigns[c].servers, unbounded.campaigns[c].servers);
+      EXPECT_EQ(result.campaigns[c].involved_clients,
+                unbounded.campaigns[c].involved_clients);
+    }
+
+    EXPECT_GT(result.join_shard_passes(), joins) << "threads=" << threads;
+    // No key in this trace outruns the budget on its own, so residency
+    // honors it (the threaded fan-out splits it per dimension, which only
+    // tightens the bound).
+    EXPECT_LE(result.peak_resident_postings_bytes(), kBudget)
+        << "threads=" << threads;
+    EXPECT_FALSE(result.postings_budget_exceeded());
+  }
+}
+
 TEST(ParallelMining, FullPipelineMatchesSerial) {
   const net::Trace trace = structured_trace();
   const whois::Registry registry;

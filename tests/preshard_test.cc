@@ -190,5 +190,51 @@ TEST(PreshardMerge, ScenarioWindowsMatchBatchFullAndSlid) {
   }
 }
 
+// The interner-range-parallel delta merge must be byte-identical to the
+// serial one for any thread count — each comparison runs against the batch
+// preprocess, which is thread-free, so any divergence in the parallel
+// range walk (ordering, partitioning, normalization) fails the deep
+// equality.
+TEST(PreshardMerge, ParallelMergeMatchesSerialAcrossThreadCounts) {
+  synth::StreamScenarioConfig scenario_cfg;
+  scenario_cfg.seed = 31;
+  scenario_cfg.duration_s = 6 * 600;
+  scenario_cfg.benign_servers = 60;
+  scenario_cfg.benign_clients = 40;
+  scenario_cfg.benign_visits = 500;
+  scenario_cfg.campaigns = 2;
+  scenario_cfg.campaign_servers = 4;
+  scenario_cfg.campaign_bots = 3;
+  scenario_cfg.poll_interval_s = 120;
+  const auto scenario = synth::generate_stream(scenario_cfg);
+
+  stream::StreamIngestor ingestor(small_config(600, 6));
+  feed_ingestor(ingestor, scenario.events);
+  ingestor.close_epoch();
+
+  SmashConfig serial_cfg = small_config(600, 6).smash;
+  serial_cfg.num_threads = 1;
+  const WindowPre serial = merge_shard_pres(window_refs(ingestor), serial_cfg);
+
+  for (const unsigned threads : {2u, 3u, 4u, 8u}) {
+    SmashConfig threaded_cfg = serial_cfg;
+    threaded_cfg.num_threads = threads;
+    // Full deep equality against the thread-free batch path...
+    expect_merge_matches_batch(ingestor, threaded_cfg);
+    // ...and profile-for-profile equality against the serial merge.
+    const WindowPre threaded =
+        merge_shard_pres(window_refs(ingestor), threaded_cfg);
+    EXPECT_EQ(threaded.ips.names(), serial.ips.names());
+    ASSERT_EQ(threaded.pre.agg.profiles().size(),
+              serial.pre.agg.profiles().size());
+    for (std::size_t s = 0; s < serial.pre.agg.profiles().size(); ++s) {
+      expect_identical_profiles(
+          threaded.pre.agg.profiles()[s], serial.pre.agg.profiles()[s],
+          serial.pre.agg.server_name(static_cast<std::uint32_t>(s)));
+    }
+    EXPECT_EQ(threaded.pre.kept, serial.pre.kept);
+  }
+}
+
 }  // namespace
 }  // namespace smash::core

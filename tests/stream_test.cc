@@ -299,6 +299,38 @@ TEST(StreamSnapshot, SurfacesPostingsBudgetOverflow) {
   EXPECT_FALSE(healthy.snapshot()->postings_budget_exceeded());
 }
 
+TEST(StreamSnapshot, SurfacesJoinMemoryPressure) {
+  const auto scenario = synth::generate_stream(tiny_scenario_config());
+
+  StreamEngine unbounded(tiny_stream_config(), scenario.whois);
+  synth::feed(unbounded, scenario);
+  unbounded.finish();
+  const auto baseline = unbounded.snapshot();
+  ASSERT_NE(baseline, nullptr);
+  // One pass per dimension join when the budget is unbounded.
+  EXPECT_EQ(baseline->join_shard_passes(),
+            static_cast<std::size_t>(core::kNumDimensions));
+  EXPECT_GT(baseline->peak_resident_postings_bytes(), 0u);
+
+  // A budget below the window's postings footprint forces multi-pass
+  // joins; verdicts must be unchanged and the pressure observable.
+  StreamConfig squeezed = tiny_stream_config();
+  squeezed.smash.join_memory_budget_bytes = 512;
+  StreamEngine engine(squeezed, scenario.whois);
+  synth::feed(engine, scenario);
+  engine.finish();
+  const auto snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_GT(snapshot->join_shard_passes(), baseline->join_shard_passes());
+  EXPECT_LE(snapshot->peak_resident_postings_bytes(), 512u);
+  EXPECT_FALSE(snapshot->postings_budget_exceeded());
+  ASSERT_EQ(snapshot->campaigns().size(), baseline->campaigns().size());
+  for (std::size_t c = 0; c < snapshot->campaigns().size(); ++c) {
+    EXPECT_EQ(snapshot->campaigns()[c].servers,
+              baseline->campaigns()[c].servers);
+  }
+}
+
 TEST(StreamEngine, MultiEpochGapsAreAccountedInSequences) {
   // One ingest step closes epochs 0..2 at once; the single publication must
   // account for all three closes (sequence jump + record.epochs_closed), so

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's Markdown files.
+
+Scans every *.md under the repo root (skipping build trees and .git),
+extracts inline links/images ``[text](target)``, and checks that every
+relative target resolves to an existing file or directory. External links
+(http/https/mailto), pure anchors (#...), and absolute paths are ignored —
+this guards the docs/ cross-link web (README.md, docs/MEMORY.md,
+docs/ARCHITECTURE.md, ...), not the internet.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+Exit code 0 when all links resolve, 1 otherwise (each break is printed).
+"""
+import pathlib
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", "node_modules"}
+# Inline link or image: [text](target) / ![alt](target). Title suffixes
+# ('... "title"') and angle-bracketed targets are handled below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def md_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path):
+    broken = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1).strip().strip("<>")
+        if not target or target.startswith(("#", "http://", "https://", "mailto:")):
+            continue
+        if target.startswith("/"):
+            continue  # absolute paths are not repo-relative docs links
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            broken.append((target, "escapes the repository"))
+            continue
+        if not resolved.exists():
+            broken.append((target, "does not exist"))
+    return broken
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
+    failures = 0
+    checked = 0
+    for path in md_files(root):
+        checked += 1
+        for target, reason in check_file(path, root):
+            failures += 1
+            print(f"{path}: broken link '{target}' ({reason})")
+    print(f"checked {checked} markdown files: "
+          f"{'all links OK' if failures == 0 else f'{failures} broken link(s)'}")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
