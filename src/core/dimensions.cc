@@ -23,8 +23,20 @@ DimensionAshes extract_ashes(Dimension dimension, graph::GraphBuilder builder,
   graph::Graph g = std::move(builder).build();
   out.graph_edges = g.num_edges();
 
-  const auto louvain_result = graph::louvain_refined(g, config.louvain);
+  // Louvain inherits this dimension's thread budget unless the caller
+  // pinned one explicitly (LouvainOptions::num_threads == 0 = inherit).
+  // Inside the concurrent dimension fan-out that budget is 1 for every
+  // dimension but the client one, which gets the leftover threads — the
+  // same discipline the sharded joins follow. The partition is identical
+  // for every thread count and chunk size (chunked-sweep determinism), so
+  // this changes wall-clock only.
+  graph::LouvainOptions louvain_options = config.louvain;
+  if (louvain_options.num_threads == 0) {
+    louvain_options.num_threads = std::max(1u, config.num_threads);
+  }
+  const auto louvain_result = graph::louvain_refined(g, louvain_options);
   out.modularity = louvain_result.modularity;
+  out.louvain_stats = louvain_result.stats;
 
   out.ash_of.assign(n, -1);
   for (auto& group : louvain_result.groups()) {
@@ -189,6 +201,74 @@ DimensionAshes mine_whois_dimension(const PreprocessResult& pre,
   return out;
 }
 
+// Estimated postings entries of each dimension's join, from the aggregate
+// profiles alone (no key sets are built): the client/IP joins index exactly
+// the profile id sets, the file/param joins index classed/interned forms of
+// them (an upper bound), and the whois join indexes at most one entry per
+// non-empty record field. Cheap — one pass over the kept profiles — and
+// deterministic; used only to weight the budget split below, so being an
+// estimate can never change mined output.
+std::vector<std::size_t> estimate_postings_entries(const PreprocessResult& pre,
+                                                   const whois::Registry& registry,
+                                                   int dimensions) {
+  std::vector<std::size_t> entries(dimensions, 0);
+  for (auto server : pre.kept) {
+    const auto& profile = pre.agg.profile(server);
+    entries[static_cast<int>(Dimension::kClient)] += profile.clients.size();
+    entries[static_cast<int>(Dimension::kFile)] += profile.files.size();
+    entries[static_cast<int>(Dimension::kIp)] += profile.ips.size();
+    if (dimensions > kNumDimensions) {
+      entries[static_cast<int>(Dimension::kParam)] +=
+          profile.param_patterns.size();
+    }
+    if (const whois::Record* rec = registry.find(pre.agg.server_name(server))) {
+      for (int f = 0; f < whois::kNumFields; ++f) {
+        if (!rec->value(static_cast<whois::Field>(f)).empty()) {
+          ++entries[static_cast<int>(Dimension::kWhois)];
+        }
+      }
+    }
+  }
+  return entries;
+}
+
+// Splits join_memory_budget_bytes across the concurrently-mined dimensions.
+// Weighted mode (SmashConfig::weighted_budget_split, default): every
+// dimension is guaranteed a floor of a quarter of its even share (so a
+// small index is never starved into shard passes by a dominant sibling),
+// and the remaining ~3/4 of the budget is distributed in proportion to
+// each dimension's estimated postings entries — in practice the client
+// join dwarfs the others and stops paying re-probe passes for budget
+// parked on tiny dimensions. Even mode is the original split, kept for
+// comparison. Either way the slices sum to at most the budget (plus one
+// byte per dimension from the floor-to-1), and the split affects pass
+// counts only, never mined output.
+std::vector<std::size_t> split_join_budget(const PreprocessResult& pre,
+                                           const whois::Registry& registry,
+                                           int dimensions,
+                                           const SmashConfig& config) {
+  const auto budget = config.join_memory_budget_bytes;
+  const auto even_share =
+      std::max<std::size_t>(budget / static_cast<std::size_t>(dimensions), 1);
+  std::vector<std::size_t> slices(dimensions, even_share);
+  if (!config.weighted_budget_split) return slices;
+
+  const auto entries = estimate_postings_entries(pre, registry, dimensions);
+  unsigned __int128 total_weight = 0;
+  // +1 per dimension: a zero-entry dimension still gets a sliver, and the
+  // division below can never divide by zero.
+  for (auto e : entries) total_weight += e + 1;
+  const std::size_t floor = std::max<std::size_t>(even_share / 4, 1);
+  const std::size_t reserved = floor * static_cast<std::size_t>(dimensions);
+  const std::size_t distributable = budget > reserved ? budget - reserved : 0;
+  for (int d = 0; d < dimensions; ++d) {
+    const auto weighted = static_cast<unsigned __int128>(distributable) *
+                          (entries[d] + 1) / total_weight;
+    slices[d] = floor + static_cast<std::size_t>(weighted);
+  }
+  return slices;
+}
+
 }  // namespace
 
 std::string_view dimension_name(Dimension d) noexcept {
@@ -249,27 +329,29 @@ std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,
                                  ? config.num_threads - other_dimensions
                                  : 1;
   // Budget-aware fan-out: dimensions mined concurrently hold postings
-  // indexes at the same time, so each gets an even slice of the join
-  // memory budget — the sum of simultaneously resident postings stays
-  // within config.join_memory_budget_bytes. (Each dimension's planner
-  // then picks its own pass count from that slice and its observed key
-  // cardinalities; the serial path above runs dimensions one at a time,
-  // so each gets the full budget there.) The split never changes mined
-  // output, only pass counts.
+  // indexes at the same time, so each gets a slice of the join memory
+  // budget — cardinality-weighted by default, even otherwise (see
+  // split_join_budget) — and the sum of simultaneously resident postings
+  // stays within config.join_memory_budget_bytes. (Each dimension's
+  // planner then picks its own pass count from that slice and its observed
+  // key cardinalities; the serial path above runs dimensions one at a
+  // time, so each gets the full budget there.) The split never changes
+  // mined output, only pass counts.
+  std::vector<std::size_t> budget_slices;
   if (config.join_memory_budget_bytes > 0) {
-    const auto per_dimension = std::max<std::size_t>(
-        config.join_memory_budget_bytes / static_cast<std::size_t>(dimensions),
-        1);
-    inner.join_memory_budget_bytes = per_dimension;
-    client_inner.join_memory_budget_bytes = per_dimension;
+    budget_slices = split_join_budget(pre, registry, dimensions, config);
   }
   // parallel_for drains on the calling thread as well as the pool workers,
   // so size the pool one short of the budget.
   util::ThreadPool pool(std::min(config.num_threads - 1, other_dimensions));
   util::parallel_for(pool, static_cast<std::size_t>(dimensions), [&](std::size_t d) {
     const auto dimension = static_cast<Dimension>(d);
-    out[d] = mine_dimension(dimension, pre, registry,
-                            dimension == Dimension::kClient ? client_inner : inner);
+    SmashConfig dim_config =
+        dimension == Dimension::kClient ? client_inner : inner;
+    if (!budget_slices.empty()) {
+      dim_config.join_memory_budget_bytes = budget_slices[d];
+    }
+    out[d] = mine_dimension(dimension, pre, registry, dim_config);
   });
   return out;
 }

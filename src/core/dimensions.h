@@ -55,6 +55,13 @@ struct DimensionAshes {
   // the whole index fit; more passes = bounded-memory key-range sharding
   // engaged, output unchanged).
   graph::JoinStats join_stats;
+  // Execution-shape counters of this dimension's Louvain run (refined;
+  // base pass + every refinement pass summed). Like JoinStats, these are
+  // observability only: the partition — and therefore the ashes — is
+  // byte-identical for every thread count and chunk size. sweeps/moves are
+  // invariant across both; chunks/stale_reevals depend on the chunk size
+  // (0 on the serial path) but not on the thread count.
+  graph::LouvainStats louvain_stats;
 
   std::size_t num_herded_servers() const;
 
@@ -75,9 +82,12 @@ DimensionAshes mine_dimension(Dimension dimension, const PreprocessResult& pre,
 // All dimensions, indexed by Dimension: the paper's four, plus kParam when
 // config.enable_param_dimension is set. With config.num_threads > 1 the
 // dimensions are mined concurrently (the client join gets the leftover
-// threads) and a non-zero join_memory_budget_bytes is divided evenly
-// across the concurrently-mined dimensions, so total resident postings
-// memory stays within the budget either way.
+// threads) and a non-zero join_memory_budget_bytes is divided across the
+// concurrently-mined dimensions — in proportion to each dimension's
+// estimated postings cardinality by default
+// (SmashConfig::weighted_budget_split), or evenly when that is off — so
+// total resident postings memory stays within the budget either way. The
+// split changes pass counts only, never mined output.
 std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,
                                                 const whois::Registry& registry,
                                                 const SmashConfig& config);

@@ -112,6 +112,12 @@ std::size_t SmashResult::peak_resident_postings_bytes() const noexcept {
   return peak;
 }
 
+graph::LouvainStats SmashResult::louvain_stats() const noexcept {
+  graph::LouvainStats total;
+  for (const auto& dim : dims) total += dim.louvain_stats;
+  return total;
+}
+
 SmashResult SmashPipeline::run(const net::Trace& trace,
                                const whois::Registry& registry) const {
   return run_preprocessed(preprocess(trace, config_), registry);

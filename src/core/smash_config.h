@@ -94,12 +94,32 @@ struct SmashConfig {
   // docs/MEMORY.md for the worked week-scale numbers).
   std::size_t join_memory_budget_bytes = 0;
 
+  // How the concurrent dimension fan-out splits join_memory_budget_bytes
+  // across the dimensions mined in parallel. true (default): each
+  // dimension keeps a floor of a quarter of its even share and the rest
+  // of the budget is split in proportion to estimated postings entries
+  // (the client join — by far the largest index — gets most of the
+  // budget, so a skewed workload runs far fewer total shard passes).
+  // false: the even split of earlier releases. Either way the sum of
+  // simultaneously resident postings indexes stays within the budget, and
+  // the split only changes pass counts — mined output is byte-identical.
+  // Irrelevant when join_memory_budget_bytes == 0 or num_threads <= 1
+  // (dimensions mined one at a time each get the full budget).
+  bool weighted_budget_split = true;
+
   // --- pruning (paper §III-D) -------------------------------------------------
   // A server is "referred by" a host if at least this fraction of its
   // requests carry that Referer; a group is a referrer group if every
   // member shares the same dominant referrer.
   double referrer_dominance = 0.8;
 
+  // Community-detection tunables, including the chunked-parallel local
+  // moving knobs: louvain.num_threads == 0 (default) inherits this
+  // config's per-dimension thread budget (num_threads overall; the
+  // leftover-thread share for the client dimension inside the concurrent
+  // fan-out), and louvain.chunk_size sizes the deterministic chunked
+  // sweeps. Partitions are byte-identical for every thread count and
+  // chunk size, so these trade wall-clock only.
   graph::LouvainOptions louvain;
 
   // Convenience: same threshold for both campaign classes (used by the

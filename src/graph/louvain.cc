@@ -2,13 +2,21 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+
+#include "util/thread_pool.h"
 
 namespace smash::graph {
 
 namespace {
 
 constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+
+// Auto chunk size of the chunked local-moving path: large enough that the
+// per-chunk apply pass and the stamp bookkeeping amortize, small enough
+// that frozen gains rarely go stale within a chunk.
+constexpr std::uint32_t kDefaultChunkSize = 4096;
 
 // Renumber arbitrary community labels to [0, k) preserving first-seen
 // order. Labels are always < labels.size() (they start as node ids or
@@ -23,6 +31,66 @@ std::uint32_t renumber(std::vector<std::uint32_t>& labels) {
   return next;
 }
 
+// Dense weight-to-adjacent-community accumulator with a touched list; all
+// zero between nodes. One per evaluation worker (the chunked path probes
+// several nodes concurrently) plus one for the apply/serial pass.
+struct MoveScratch {
+  std::vector<double> weight_to_comm;
+  std::vector<std::uint32_t> touched;
+
+  void reset(std::uint32_t n) {
+    weight_to_comm.assign(n, 0.0);
+    touched.clear();
+    touched.reserve(64);
+  }
+};
+
+// Picks the best community for `v` under the given community/tot state,
+// with exactly the arithmetic and tie-break of the seed serial sweep: tot
+// is read as if v had been removed from its own community (tot[old] - k_v,
+// the same subtraction the seed performed in place), and candidates are
+// scanned in ascending community id so the tie-break is independent of
+// adjacency order. Pure apart from `scratch`, which is left zeroed.
+std::uint32_t best_move(const Graph& g, std::uint32_t v,
+                        const std::vector<std::uint32_t>& community_of,
+                        const std::vector<double>& tot, double inv_m,
+                        const LouvainOptions& options, MoveScratch& scratch) {
+  const std::uint32_t old_comm = community_of[v];
+  const double k_v = g.weighted_degree(v);
+  auto& weight_to_comm = scratch.weight_to_comm;
+  auto& touched = scratch.touched;
+
+  touched.clear();
+  touched.push_back(old_comm);  // moving back is always an option
+  for (const auto& nb : g.neighbors(v)) {
+    if (nb.node == v) continue;  // self-loop does not affect the gain delta
+    const std::uint32_t c = community_of[nb.node];
+    if (weight_to_comm[c] == 0.0 && c != old_comm) touched.push_back(c);
+    weight_to_comm[c] += nb.weight;
+  }
+
+  // v removed from its community for the gain computation.
+  const double tot_old = tot[old_comm] - k_v;
+
+  // Gain of joining community c (relative, constant terms dropped):
+  //   dQ(c) = w(v->c)/m - tot[c]*k_v/(2m^2)
+  // We compare 2m*dQ = 2*w(v->c) - tot[c]*k_v/m to avoid divisions.
+  std::sort(touched.begin(), touched.end());
+  std::uint32_t best_comm = old_comm;
+  double best_gain = 2.0 * weight_to_comm[old_comm] - tot_old * k_v * inv_m;
+  for (const std::uint32_t comm : touched) {
+    const double tot_c = comm == old_comm ? tot_old : tot[comm];
+    const double gain = 2.0 * weight_to_comm[comm] - tot_c * k_v * inv_m;
+    if (gain > best_gain + options.min_modularity_gain ||
+        (gain > best_gain && comm < best_comm)) {
+      best_gain = gain;
+      best_comm = comm;
+    }
+  }
+  for (const std::uint32_t comm : touched) weight_to_comm[comm] = 0.0;
+  return best_comm;
+}
+
 // One level of local moving. Returns the (renumbered) node -> community map
 // and whether anything moved.
 struct LevelResult {
@@ -31,7 +99,164 @@ struct LevelResult {
   bool improved = false;
 };
 
-LevelResult local_moving(const Graph& g, const LouvainOptions& options) {
+// The seed's serial sweep: visit nodes in id order, each seeing every
+// earlier move of the same sweep.
+void serial_sweeps(const Graph& g, const LouvainOptions& options,
+                   std::vector<std::uint32_t>& community_of,
+                   std::vector<double>& tot, double inv_m, bool& improved,
+                   LouvainStats& stats) {
+  const std::uint32_t n = g.num_nodes();
+  MoveScratch scratch;
+  scratch.reset(n);
+
+  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    ++stats.sweeps;
+    bool moved_this_sweep = false;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t old_comm = community_of[v];
+      const double k_v = g.weighted_degree(v);
+      const std::uint32_t best =
+          best_move(g, v, community_of, tot, inv_m, options, scratch);
+      ++stats.evaluated_nodes;
+      // Exactly the seed's tot updates: remove v, re-add to the winner
+      // (same slot when best == old_comm — the -k_v/+k_v round trip is NOT
+      // always a floating-point no-op, and the chunked path replicates it).
+      tot[old_comm] -= k_v;
+      tot[best] += k_v;
+      if (best != old_comm) {
+        community_of[v] = best;
+        moved_this_sweep = true;
+        improved = true;
+        ++stats.moves;
+      }
+    }
+    if (!moved_this_sweep) break;
+  }
+}
+
+// Chunked sweeps: evaluate a chunk of nodes in parallel against the state
+// frozen at chunk start, then apply in node order with a staleness check.
+//
+// The apply pass trusts a frozen proposal only when nothing the node's
+// serial evaluation would read has changed since chunk start:
+//  - no neighbor of v changed community this chunk (weight-to-community
+//    contributions, and thus the candidate set, are unchanged), and
+//  - tot[] is unchanged for v's own community and for every candidate
+//    community (the communities of v's neighbors) — including the
+//    floating-point perturbation a no-move node's -k_v/+k_v round trip can
+//    leave behind, which the apply pass detects by comparing tot before
+//    and after.
+// When the check passes, the frozen evaluation is bit-for-bit the serial
+// evaluation; when it fails, the node is re-evaluated serially against the
+// live state. Either way the applied move is exactly the serial move, so
+// the whole trajectory — and the final partition — matches the serial
+// sweep for every thread count and chunk size.
+void chunked_sweeps(const Graph& g, const LouvainOptions& options,
+                    util::ThreadPool* pool, unsigned threads,
+                    std::vector<std::uint32_t>& community_of,
+                    std::vector<double>& tot, double inv_m, bool& improved,
+                    LouvainStats& stats) {
+  const std::uint32_t n = g.num_nodes();
+  const std::uint32_t chunk =
+      options.chunk_size > 0 ? options.chunk_size : kDefaultChunkSize;
+
+  // Per-worker dense scratch; slot 0 doubles as the apply-pass scratch
+  // (evaluation has completed by the time apply runs).
+  const unsigned workers = pool != nullptr ? std::max(1u, threads) : 1u;
+  std::vector<MoveScratch> scratch(workers);
+  for (auto& s : scratch) s.reset(n);
+
+  std::vector<std::uint32_t> proposal(std::min<std::uint64_t>(chunk, n));
+  // Epoch stamps instead of per-chunk clearing: a node/community is
+  // "dirty" when its stamp equals the current chunk's epoch.
+  std::vector<std::uint64_t> node_moved_epoch(n, 0);
+  std::vector<std::uint64_t> comm_dirty_epoch(n, 0);
+  std::uint64_t epoch = 0;
+
+  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    ++stats.sweeps;
+    bool moved_this_sweep = false;
+
+    for (std::uint64_t chunk_begin = 0; chunk_begin < n; chunk_begin += chunk) {
+      const auto begin = static_cast<std::uint32_t>(chunk_begin);
+      const auto end = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(chunk_begin + chunk, n));
+      const std::uint32_t count = end - begin;
+      ++epoch;
+      ++stats.chunks;
+      stats.evaluated_nodes += count;
+
+      // Evaluate: pure reads of community_of/tot (frozen — the apply pass
+      // of this chunk has not run), disjoint writes into `proposal`.
+      if (pool != nullptr && workers > 1 && count > 1) {
+        const unsigned slices = std::min<std::uint32_t>(workers, count);
+        util::parallel_for(*pool, slices, [&](std::size_t slice) {
+          MoveScratch& mine = scratch[slice];
+          const auto lo = begin + static_cast<std::uint32_t>(
+                                      std::uint64_t{count} * slice / slices);
+          const auto hi = begin + static_cast<std::uint32_t>(
+                                      std::uint64_t{count} * (slice + 1) / slices);
+          for (std::uint32_t v = lo; v < hi; ++v) {
+            proposal[v - begin] =
+                best_move(g, v, community_of, tot, inv_m, options, mine);
+          }
+        });
+      } else {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          proposal[v - begin] =
+              best_move(g, v, community_of, tot, inv_m, options, scratch[0]);
+        }
+      }
+
+      // Apply in node order, re-evaluating serially on stale gains.
+      for (std::uint32_t v = begin; v < end; ++v) {
+        const std::uint32_t old_comm = community_of[v];
+        const double k_v = g.weighted_degree(v);
+
+        bool stale = comm_dirty_epoch[old_comm] == epoch;
+        if (!stale) {
+          for (const auto& nb : g.neighbors(v)) {
+            if (nb.node == v) continue;
+            if (node_moved_epoch[nb.node] == epoch ||
+                comm_dirty_epoch[community_of[nb.node]] == epoch) {
+              stale = true;
+              break;
+            }
+          }
+        }
+
+        std::uint32_t best;
+        if (stale) {
+          best = best_move(g, v, community_of, tot, inv_m, options, scratch[0]);
+          ++stats.stale_reevals;
+        } else {
+          best = proposal[v - begin];
+        }
+
+        const double tot_old_before = tot[old_comm];
+        tot[old_comm] -= k_v;
+        tot[best] += k_v;
+        if (best != old_comm) {
+          community_of[v] = best;
+          node_moved_epoch[v] = epoch;
+          comm_dirty_epoch[old_comm] = epoch;
+          comm_dirty_epoch[best] = epoch;
+          moved_this_sweep = true;
+          improved = true;
+          ++stats.moves;
+        } else if (tot[old_comm] != tot_old_before) {
+          // The -k_v/+k_v round trip rounded: later frozen proposals that
+          // read this community's tot are no longer the serial evaluation.
+          comm_dirty_epoch[old_comm] = epoch;
+        }
+      }
+    }
+    if (!moved_this_sweep) break;
+  }
+}
+
+LevelResult local_moving(const Graph& g, const LouvainOptions& options,
+                         util::ThreadPool* pool, LouvainStats& stats) {
   const std::uint32_t n = g.num_nodes();
   const double two_m = 2.0 * g.total_weight();
 
@@ -48,59 +273,13 @@ LevelResult local_moving(const Graph& g, const LouvainOptions& options) {
   std::vector<double> tot(n, 0.0);
   for (std::uint32_t v = 0; v < n; ++v) tot[v] = g.weighted_degree(v);
 
-  // Scratch: weight from the current node to each adjacent community.
-  // Dense array + touched list; all-zero between nodes. Edge weights are
-  // strictly positive (GraphBuilder enforces it), so a touched community
-  // other than old_comm always has weight > 0.
-  std::vector<double> weight_to_comm(n, 0.0);
-  std::vector<std::uint32_t> touched;
-  touched.reserve(64);
-
-  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
-    bool moved_this_sweep = false;
-    for (std::uint32_t v = 0; v < n; ++v) {
-      const std::uint32_t old_comm = result.community_of[v];
-      const double k_v = g.weighted_degree(v);
-
-      touched.clear();
-      touched.push_back(old_comm);  // moving back is always an option
-      for (const auto& nb : g.neighbors(v)) {
-        if (nb.node == v) continue;  // self-loop does not affect the gain delta
-        const std::uint32_t c = result.community_of[nb.node];
-        if (weight_to_comm[c] == 0.0 && c != old_comm) touched.push_back(c);
-        weight_to_comm[c] += nb.weight;
-      }
-
-      // Remove v from its community for the gain computation.
-      tot[old_comm] -= k_v;
-
-      // Gain of joining community c (relative, constant terms dropped):
-      //   dQ(c) = w(v->c)/m - tot[c]*k_v/(2m^2)
-      // We compare 2m*dQ = 2*w(v->c) - tot[c]*k_v/m to avoid divisions.
-      // Candidates are scanned in ascending community id so the tie-break
-      // below is independent of adjacency order.
-      std::sort(touched.begin(), touched.end());
-      std::uint32_t best_comm = old_comm;
-      double best_gain =
-          2.0 * weight_to_comm[old_comm] - tot[old_comm] * k_v * inv_m;
-      for (const std::uint32_t comm : touched) {
-        const double gain = 2.0 * weight_to_comm[comm] - tot[comm] * k_v * inv_m;
-        if (gain > best_gain + options.min_modularity_gain ||
-            (gain > best_gain && comm < best_comm)) {
-          best_gain = gain;
-          best_comm = comm;
-        }
-      }
-      for (const std::uint32_t comm : touched) weight_to_comm[comm] = 0.0;
-
-      tot[best_comm] += k_v;
-      if (best_comm != old_comm) {
-        result.community_of[v] = best_comm;
-        moved_this_sweep = true;
-        result.improved = true;
-      }
-    }
-    if (!moved_this_sweep) break;
+  const bool chunked = options.num_threads > 1 || options.chunk_size > 0;
+  if (chunked) {
+    chunked_sweeps(g, options, pool, std::max(1u, options.num_threads),
+                   result.community_of, tot, inv_m, result.improved, stats);
+  } else {
+    serial_sweeps(g, options, result.community_of, tot, inv_m,
+                  result.improved, stats);
   }
 
   result.num_communities = renumber(result.community_of);
@@ -152,17 +331,17 @@ Graph aggregate(const Graph& g, const std::vector<std::uint32_t>& community_of,
   return std::move(builder).build();
 }
 
-}  // namespace
-
-std::vector<std::vector<std::uint32_t>> LouvainResult::groups() const {
-  std::vector<std::vector<std::uint32_t>> out(num_communities);
-  for (std::uint32_t v = 0; v < community_of.size(); ++v) {
-    out[community_of[v]].push_back(v);
-  }
-  return out;
+// Shared worker pool for one louvain()/louvain_refined() call: created once
+// when the options ask for parallel local moving, reused across levels and
+// refinement passes. parallel_for also drains on the calling thread, so the
+// pool is sized one short of the thread budget.
+std::unique_ptr<util::ThreadPool> make_pool(const LouvainOptions& options) {
+  if (options.num_threads <= 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(options.num_threads - 1);
 }
 
-LouvainResult louvain(const Graph& g, const LouvainOptions& options) {
+LouvainResult louvain_impl(const Graph& g, const LouvainOptions& options,
+                           util::ThreadPool* pool) {
   const std::uint32_t n = g.num_nodes();
   LouvainResult result;
   result.community_of.resize(n);
@@ -173,7 +352,7 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& options) {
   const Graph* current = &g;  // avoids copying the input for level 0
 
   for (int level = 0; level < options.max_levels; ++level) {
-    LevelResult lvl = local_moving(*current, options);
+    LevelResult lvl = local_moving(*current, options, pool, result.stats);
     if (!lvl.improved && level > 0) break;
 
     // Compose: original node -> level community.
@@ -195,8 +374,25 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& options) {
   return result;
 }
 
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> LouvainResult::groups() const {
+  std::vector<std::vector<std::uint32_t>> out(num_communities);
+  for (std::uint32_t v = 0; v < community_of.size(); ++v) {
+    out[community_of[v]].push_back(v);
+  }
+  return out;
+}
+
+LouvainResult louvain(const Graph& g, const LouvainOptions& options) {
+  const auto pool = make_pool(options);
+  return louvain_impl(g, options, pool.get());
+}
+
 LouvainResult louvain_refined(const Graph& g, const LouvainOptions& options) {
-  LouvainResult base = louvain(g, options);
+  const auto pool = make_pool(options);
+  LouvainResult base = louvain_impl(g, options, pool.get());
+  LouvainStats stats = base.stats;
 
   // Work queue of communities to try splitting (member lists over g).
   std::vector<std::vector<std::uint32_t>> queue = base.groups();
@@ -226,7 +422,8 @@ LouvainResult louvain_refined(const Graph& g, const LouvainOptions& options) {
     }
     for (auto u : members) local_id[u] = kUnset;
     const Graph sub = std::move(builder).build();
-    const LouvainResult split = louvain(sub, options);
+    const LouvainResult split = louvain_impl(sub, options, pool.get());
+    stats += split.stats;
 
     if (split.num_communities <= 1) {
       final_groups.push_back(std::move(members));
@@ -245,6 +442,7 @@ LouvainResult louvain_refined(const Graph& g, const LouvainOptions& options) {
   out.community_of.assign(g.num_nodes(), 0);
   out.num_communities = static_cast<std::uint32_t>(final_groups.size());
   out.levels = base.levels;
+  out.stats = stats;
   for (std::uint32_t c = 0; c < final_groups.size(); ++c) {
     for (auto node : final_groups[c]) out.community_of[node] = c;
   }

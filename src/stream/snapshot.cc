@@ -18,6 +18,7 @@ std::shared_ptr<const DetectionSnapshot> DetectionSnapshot::build(
   snap->postings_budget_exceeded_ = result.postings_budget_exceeded();
   snap->join_shard_passes_ = result.join_shard_passes();
   snap->peak_resident_postings_bytes_ = result.peak_resident_postings_bytes();
+  snap->louvain_stats_ = result.louvain_stats();
   snap->ingest_stats_ = ingest;
 
   for (const auto& campaign : result.campaigns) {

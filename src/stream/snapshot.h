@@ -96,6 +96,16 @@ class DetectionSnapshot {
     return peak_resident_postings_bytes_;
   }
 
+  // Louvain execution shape while mining this window, summed across the
+  // dimensions (SmashResult::louvain_stats()): sweeps/moves describe how
+  // hard community detection converged, chunks/stale_reevals how much of
+  // it ran on the chunked-parallel path (both 0 when local moving was
+  // serial). Like the join counters above, pure observability — verdicts
+  // are byte-identical for every thread count and chunk size.
+  const graph::LouvainStats& louvain_stats() const noexcept {
+    return louvain_stats_;
+  }
+
   // Ingest counters at the close that produced this snapshot — data loss
   // (late-dropped events) is observable next to the verdicts it may have
   // affected, never silent.
@@ -121,6 +131,7 @@ class DetectionSnapshot {
   bool postings_budget_exceeded_ = false;
   std::size_t join_shard_passes_ = 0;
   std::size_t peak_resident_postings_bytes_ = 0;
+  graph::LouvainStats louvain_stats_{};
   IngestStats ingest_stats_{};
   std::chrono::steady_clock::time_point built_at_{};
 };

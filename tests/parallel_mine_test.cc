@@ -199,6 +199,115 @@ TEST(ParallelMining, BudgetedJoinsMatchUnbounded) {
   }
 }
 
+// A workload whose client join dwarfs every other dimension's: the
+// cardinality-weighted budget split should park almost the whole budget on
+// the client dimension and spend far fewer total shard passes than the
+// even split — with byte-identical mined output either way.
+net::Trace skewed_trace() {
+  net::Trace trace;
+  // 30 servers, each visited by an overlapping window of 80 distinct
+  // clients out of a pool of 200: client postings ~2400 entries, while the
+  // file/ip dimensions hold ~30 entries each.
+  for (int server = 0; server < 30; ++server) {
+    const std::string host = "h" + std::to_string(server) + ".com";
+    for (int k = 0; k < 80; ++k) {
+      const int client = (server * 2 + k) % 200;
+      add_request(trace, "c" + std::to_string(client), host, "/x.html");
+    }
+    resolve(trace, host, "10.1." + std::to_string(server / 4) + ".9");
+  }
+  trace.finalize();
+  return trace;
+}
+
+TEST(ParallelMining, WeightedBudgetSplitReducesShardPasses) {
+  const net::Trace trace = skewed_trace();
+  const whois::Registry registry;
+
+  SmashConfig config;
+  config.num_threads = 4;  // concurrent fan-out: the split engages
+  const auto pre = preprocess(trace, config);
+  const auto unbounded = mine_all_dimensions(pre, registry, config);
+
+  // A budget that fits the client index whole but not a quarter of it.
+  config.join_memory_budget_bytes = 16384;
+
+  config.weighted_budget_split = false;
+  const auto even = mine_all_dimensions(pre, registry, config);
+  config.weighted_budget_split = true;
+  const auto weighted = mine_all_dimensions(pre, registry, config);
+
+  ASSERT_EQ(even.size(), weighted.size());
+  std::size_t even_passes = 0, weighted_passes = 0;
+  for (std::size_t d = 0; d < even.size(); ++d) {
+    expect_same_ashes(unbounded[d], even[d]);
+    expect_same_ashes(unbounded[d], weighted[d]);
+    even_passes += even[d].join_stats.shard_passes;
+    weighted_passes += weighted[d].join_stats.shard_passes;
+  }
+  // The even split starves the dominant client join into extra passes;
+  // the weighted split provably avoids them without changing output.
+  EXPECT_GT(even_passes, even.size());
+  EXPECT_LT(weighted_passes, even_passes);
+}
+
+TEST(ParallelMining, WeightedSplitIdenticalAcrossThreadCounts) {
+  const net::Trace trace = skewed_trace();
+  const whois::Registry registry;
+
+  SmashConfig serial_config;
+  serial_config.num_threads = 1;
+  const auto serial = SmashPipeline(serial_config).run(trace, registry);
+
+  for (const unsigned threads : {2u, 4u}) {
+    SmashConfig config;
+    config.num_threads = threads;
+    config.join_memory_budget_bytes = 16384;  // weighted split by default
+    const auto result = SmashPipeline(config).run(trace, registry);
+    ASSERT_EQ(result.dims.size(), serial.dims.size());
+    for (std::size_t d = 0; d < result.dims.size(); ++d) {
+      expect_same_ashes(serial.dims[d], result.dims[d]);
+    }
+    ASSERT_EQ(result.campaigns.size(), serial.campaigns.size());
+    for (std::size_t c = 0; c < result.campaigns.size(); ++c) {
+      EXPECT_EQ(result.campaigns[c].servers, serial.campaigns[c].servers);
+    }
+  }
+}
+
+// LouvainStats ride SmashResult like JoinStats: per-dimension counters are
+// populated, the aggregate accessor sums them, and the chunked-parallel
+// path (engaged by the threaded client dimension) reports its chunks while
+// leaving the mined output untouched.
+TEST(ParallelMining, LouvainStatsSurfacedThroughResult) {
+  const net::Trace trace = structured_trace();
+  const whois::Registry registry;
+
+  SmashConfig config;
+  config.idf_threshold = 100;
+  config.num_threads = 1;
+  const auto serial = SmashPipeline(config).run(trace, registry);
+  const auto serial_stats = serial.louvain_stats();
+  EXPECT_GT(serial_stats.sweeps, 0u);
+  EXPECT_GT(serial_stats.evaluated_nodes, 0u);
+  EXPECT_EQ(serial_stats.chunks, 0u);  // every dimension ran serial sweeps
+
+  // 8 threads across 4 dimensions: the client dimension keeps the 5
+  // leftover threads, so its Louvain runs the chunked-parallel path.
+  config.num_threads = 8;
+  const auto threaded = SmashPipeline(config).run(trace, registry);
+  const auto threaded_stats = threaded.louvain_stats();
+  // The trajectory is shared; only the execution shape may differ.
+  EXPECT_EQ(serial_stats.sweeps, threaded_stats.sweeps);
+  EXPECT_EQ(serial_stats.moves, threaded_stats.moves);
+  EXPECT_EQ(serial_stats.evaluated_nodes, threaded_stats.evaluated_nodes);
+  EXPECT_GT(threaded_stats.chunks, 0u);  // the client dimension ran chunked
+
+  std::size_t summed = 0;
+  for (const auto& dim : threaded.dims) summed += dim.louvain_stats.sweeps;
+  EXPECT_EQ(summed, threaded_stats.sweeps);
+}
+
 TEST(ParallelMining, FullPipelineMatchesSerial) {
   const net::Trace trace = structured_trace();
   const whois::Registry registry;

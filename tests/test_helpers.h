@@ -1,10 +1,19 @@
-// Shared helpers for building tiny hand-crafted traces in unit tests.
+// Shared helpers for building tiny hand-crafted traces and seeded random
+// inputs in unit tests. The random generators back the differential test
+// harnesses (tests/louvain_parallel_test.cc, tests/fuzz_equivalence_test.cc
+// — conventions in docs/TESTING.md): deterministic from the seed via
+// util::Rng, so a failing seed printed by a test reproduces exactly.
 #pragma once
 
+#include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "graph/graph.h"
 #include "net/trace.h"
+#include "util/rng.h"
 
 namespace smash::test {
 
@@ -26,6 +35,90 @@ inline void add_request(net::Trace& trace, std::string_view client,
 
 inline void resolve(net::Trace& trace, std::string_view host, std::string_view ip) {
   trace.add_resolution(trace.intern_server(host), trace.intern_ip(ip));
+}
+
+// --- seeded random inputs for the differential harnesses --------------------
+
+// Uniform random weighted graph: `edges` edge samples over `n` nodes
+// (duplicates sum their weights, GraphBuilder semantics), weights in
+// (0, 1]. Self-loops are kept when sampled unless disabled — Louvain's
+// aggregation produces them, so the detector must handle them.
+inline graph::Graph random_weighted_graph(std::uint32_t n, std::uint32_t edges,
+                                          std::uint64_t seed,
+                                          bool allow_self_loops = true) {
+  util::Rng rng(seed);
+  graph::GraphBuilder builder(n);
+  if (n == 0) return std::move(builder).build();
+  for (std::uint32_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform(n));
+    const auto v = static_cast<std::uint32_t>(rng.uniform(n));
+    if (u == v && !allow_self_loops) continue;
+    const double weight =
+        (1.0 + static_cast<double>(rng.uniform(1000))) / 1000.0;
+    builder.add_edge(u, v, weight);
+  }
+  return std::move(builder).build();
+}
+
+// Planted communities with random bridges — the shape SMASH's similarity
+// graphs take (campaign cliques, weak benign bridges), and the shape that
+// makes Louvain run several sweeps and levels. `intra_p` is the in-cluster
+// edge probability; each cluster sprouts a small number of weak bridges to
+// random other clusters.
+inline graph::Graph random_clustered_graph(std::uint32_t clusters,
+                                           std::uint32_t cluster_size,
+                                           double intra_p, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::uint32_t n = clusters * cluster_size;
+  graph::GraphBuilder builder(n);
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    const std::uint32_t base = c * cluster_size;
+    for (std::uint32_t i = 0; i < cluster_size; ++i) {
+      for (std::uint32_t j = i + 1; j < cluster_size; ++j) {
+        if (!rng.bernoulli(intra_p)) continue;
+        const double weight =
+            0.5 + static_cast<double>(rng.uniform(500)) / 1000.0;
+        builder.add_edge(base + i, base + j, weight);
+      }
+    }
+    const std::uint32_t bridges = static_cast<std::uint32_t>(rng.uniform(3));
+    for (std::uint32_t b = 0; b < bridges && clusters > 1; ++b) {
+      std::uint32_t other = static_cast<std::uint32_t>(rng.uniform(clusters));
+      if (other == c) other = (other + 1) % clusters;
+      const auto from = base + static_cast<std::uint32_t>(rng.uniform(cluster_size));
+      const auto to = other * cluster_size +
+                      static_cast<std::uint32_t>(rng.uniform(cluster_size));
+      builder.add_edge(from, to,
+                       0.05 + static_cast<double>(rng.uniform(100)) / 1000.0);
+    }
+  }
+  return std::move(builder).build();
+}
+
+// --- fuzz-harness environment knobs (docs/TESTING.md) -----------------------
+
+// Seeds a randomized differential test should run. Default `count` seeds
+// {1 .. count}; SMASH_FUZZ_ITERS=N rescales to N seeds (the nightly
+// long-fuzz job runs 500); SMASH_FUZZ_SEED=S pins the run to the single
+// seed S, which is how a failure printed by a previous run is reproduced.
+// True when SMASH_FUZZ_SEED pins the run to one seed. Coverage/vacuity
+// guards ("the sweep found at least one campaign") only hold over a full
+// seed sweep, so tests skip them for pinned reproduction runs.
+inline bool fuzz_seed_pinned() {
+  return std::getenv("SMASH_FUZZ_SEED") != nullptr;
+}
+
+inline std::vector<std::uint64_t> fuzz_seeds(std::uint64_t count) {
+  if (const char* pinned = std::getenv("SMASH_FUZZ_SEED")) {
+    return {std::strtoull(pinned, nullptr, 10)};
+  }
+  if (const char* iters = std::getenv("SMASH_FUZZ_ITERS")) {
+    const std::uint64_t n = std::strtoull(iters, nullptr, 10);
+    if (n > 0) count = n;
+  }
+  std::vector<std::uint64_t> seeds(count);
+  for (std::uint64_t i = 0; i < count; ++i) seeds[i] = i + 1;
+  return seeds;
 }
 
 }  // namespace smash::test
