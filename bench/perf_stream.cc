@@ -6,8 +6,10 @@
 // epoch-close-to-snapshot-publish latency (merge / mine / snapshot
 // breakdown), the max per-event ingest stall in each mode (the async
 // acceptance bar: ingest must never block on mining), detection latency
-// against campaign ground truth, and VerdictService lookup throughput.
-// Written to BENCH_stream.json.
+// against campaign ground truth, VerdictService lookup throughput, and the
+// durability tax: ingest overhead of write-ahead logging under each fsync
+// policy plus the wall-time to recover the finished log. Written to
+// BENCH_stream.json.
 //
 // Usage: perf_stream [output.json] [--smoke]
 //   --smoke: minutes-long scenario for CI bitrot checks (same code paths,
@@ -16,7 +18,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -247,6 +252,63 @@ int main(int argc, char** argv) {
               {"hits", static_cast<double>(hits)}});
   std::printf("stream  %zu lookups in %0.1f ms  (%0.0f lookups/s)\n", lookups,
               lookup_ms, qps);
+
+  // --- durability: WAL ingest tax per fsync policy, recovery wall-time ------
+  const std::pair<const char*, smash::stream::WalFsync> policies[] = {
+      {"off", smash::stream::WalFsync::kOff},
+      {"on_seal", smash::stream::WalFsync::kOnSeal},
+      {"every_record", smash::stream::WalFsync::kEveryRecord},
+  };
+  for (const auto& [policy_name, policy] : policies) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         (std::string("smash_perf_durability_") + policy_name))
+            .string();
+    std::filesystem::remove_all(dir);
+    auto durable_config = stream_config(smoke, /*async=*/false);
+    durable_config.durability_dir = dir;
+    durable_config.fsync_policy = policy;
+    durable_config.checkpoint_every_epochs = 6;
+
+    FeedResult durable_feed;
+    std::uintmax_t dir_bytes = 0;
+    {
+      smash::stream::StreamEngine durable(durable_config, scenario.whois);
+      durable_feed = feed_timed(durable, scenario, [] {});
+      for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        dir_bytes += entry.file_size();
+      }
+    }
+
+    std::unique_ptr<smash::stream::StreamEngine> recovered;
+    const double recover_ms = smash::bench::time_once_ms([&] {
+      recovered = smash::stream::StreamEngine::recover(durable_config,
+                                                       scenario.whois);
+    });
+    const auto& rstats = recovered->recovery_stats();
+    const double overhead =
+        sync_feed.feed_ms > 0.0 ? durable_feed.feed_ms / sync_feed.feed_ms
+                                : 0.0;
+    report.add(std::string("stream_durable_") + policy_name + "/feed",
+               durable_feed.feed_ms,
+               {{"overhead_vs_no_wal", overhead},
+                {"stall_max_ms", durable_feed.stall_max_ms},
+                {"stall_mean_ms", durable_feed.stall_mean_ms},
+                {"dir_mib", static_cast<double>(dir_bytes) / (1024.0 * 1024.0)},
+                {"recover_ms", recover_ms},
+                {"events_replayed",
+                 static_cast<double>(rstats.events_replayed)},
+                {"used_checkpoint", rstats.used_checkpoint ? 1.0 : 0.0}});
+    std::printf(
+        "durable/%-12s feed %8.1f ms (%0.2fx no-WAL)  stall %0.3f ms max  "
+        "%0.1f MiB on disk  recover %0.1f ms (%llu events replayed, ckpt=%d)\n",
+        policy_name, durable_feed.feed_ms, overhead, durable_feed.stall_max_ms,
+        static_cast<double>(dir_bytes) / (1024.0 * 1024.0), recover_ms,
+        static_cast<unsigned long long>(rstats.events_replayed),
+        rstats.used_checkpoint ? 1 : 0);
+    recovered.reset();
+    std::filesystem::remove_all(dir);
+  }
 
   if (!report.write(out_path)) return 1;
   std::printf("wrote %s\n", out_path.c_str());

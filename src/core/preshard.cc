@@ -6,6 +6,7 @@
 #include "dns/domain.h"
 #include "net/http.h"
 #include "util/check.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace smash::core {
@@ -242,6 +243,53 @@ WindowPre merge_shard_pres(const std::vector<ShardPreRef>& shards,
   out.pre.total_requests = total_requests;
   apply_idf_filter(out.pre, config);
   return out;
+}
+
+std::uint64_t shard_pre_fingerprint(const ShardPre& pre) {
+  // FNV-1a over the ordered parts; unordered sets/maps fold in as sums of
+  // per-element hashes so iteration order cannot affect the result.
+  std::uint64_t h = util::fnv1a("shard-pre-v1");
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  const auto mix_str = [&mix](const std::string& s) { mix(util::fnv1a(s)); };
+  const auto mix_ids = [&mix](const util::IdSet& set) {
+    mix(set.size());
+    for (const auto id : set) mix(id);
+  };
+
+  mix(pre.server_2lds.size());
+  for (const auto& s : pre.server_2lds) mix_str(s);
+  mix(pre.delta_of_server.size());
+  for (const auto d : pre.delta_of_server) mix(d);
+  mix(pre.delta_2lds.size());
+  for (const auto& s : pre.delta_2lds) mix_str(s);
+  mix(pre.file_names.size());
+  for (const auto& s : pre.file_names) mix_str(s);
+  mix(pre.referrer_2lds.size());
+  for (const auto& s : pre.referrer_2lds) mix_str(s);
+
+  mix(pre.deltas.size());
+  for (const auto& delta : pre.deltas) {
+    mix_ids(delta.clients);
+    mix_ids(delta.ips);
+    mix_ids(delta.days);
+    mix_ids(delta.files);
+    mix(delta.requests);
+    mix(delta.error_requests);
+    std::uint64_t unordered = 0;
+    for (const auto& ua : delta.user_agents) unordered += util::fnv1a(ua);
+    mix(unordered);
+    unordered = 0;
+    for (const auto& p : delta.param_patterns) unordered += util::fnv1a(p);
+    mix(unordered);
+    unordered = 0;
+    for (const auto& [ref, count] : delta.referrer_counts) {
+      unordered += util::fnv1a("ref") ^ (static_cast<std::uint64_t>(ref) << 32 | count);
+    }
+    mix(unordered);
+  }
+  return h;
 }
 
 }  // namespace smash::core

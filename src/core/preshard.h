@@ -68,6 +68,14 @@ struct ShardPre {
 // O(shard requests); this is the only place per-request parsing happens.
 ShardPre build_shard_pre(const net::Trace& shard);
 
+// Order-independent content hash of a ShardPre. Recovery rebuilds each
+// checkpointed shard's ShardPre from its deserialized trace and
+// cross-checks this fingerprint against the one recorded at checkpoint
+// time; a mismatch means the rebuild diverged from the pre-crash cache.
+// Unordered containers contribute commutatively (summed element hashes),
+// so the value is stable across hash-table iteration orders.
+std::uint64_t shard_pre_fingerprint(const ShardPre& pre);
+
 // One shard's inputs to the merge: its trace (for interner name lists and
 // resolution/redirect state) plus its cached ShardPre.
 struct ShardPreRef {

@@ -1,0 +1,35 @@
+#include "durability/crc32c.h"
+
+#include <array>
+
+namespace smash::durability {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = kTable[(crc ^ static_cast<std::uint8_t>(c)) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace smash::durability

@@ -1,0 +1,18 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78): the checksum
+// guarding every WAL record and checkpoint blob. Software table
+// implementation — the WAL's costs are dominated by fsync, not by the
+// checksum — chosen over CRC32 for its better burst-error detection and
+// because it is what comparable logs (LevelDB, Kafka) use, so test vectors
+// are easy to cross-check.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace smash::durability {
+
+// CRC of `data` continuing from `seed` (pass the previous crc to chain
+// buffers; 0 starts a fresh checksum).
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace smash::durability

@@ -1,0 +1,198 @@
+#include "durability/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace smash::durability {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
+  throw IoError(op + " failed for " + path + ": " + std::strerror(errno));
+}
+
+void write_fd_all(int fd, const char* data, std::size_t len,
+                  const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", path);
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+File::~File() {
+  if (fd_ >= 0 && ::close(fd_) != 0) {
+    std::fprintf(stderr, "durability::File: close(%s) failed at teardown: %s\n",
+                 path_.c_str(), std::strerror(errno));
+  }
+}
+
+File::File(File&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      offset_(std::exchange(other.offset_, 0)),
+      path_(std::move(other.path_)),
+      site_(std::move(other.site_)) {}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    offset_ = std::exchange(other.offset_, 0);
+    path_ = std::move(other.path_);
+    site_ = std::move(other.site_);
+  }
+  return *this;
+}
+
+File File::create(const std::string& path, std::string site) {
+  File file;
+  file.fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (file.fd_ < 0) throw_errno("open", path);
+  file.path_ = path;
+  file.site_ = std::move(site);
+  return file;
+}
+
+File File::append_to(const std::string& path, std::string site) {
+  File file;
+  file.fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (file.fd_ < 0) throw_errno("open", path);
+  struct stat st{};
+  if (::fstat(file.fd_, &st) != 0) {
+    ::close(file.fd_);
+    file.fd_ = -1;
+    throw_errno("fstat", path);
+  }
+  file.offset_ = static_cast<std::uint64_t>(st.st_size);
+  file.path_ = path;
+  file.site_ = std::move(site);
+  return file;
+}
+
+void File::write(std::string_view bytes) {
+  if (fd_ < 0) throw IoError("write on closed file " + path_);
+  const auto action = util::FailPoint::consume(site_ + ".write");
+  switch (action.kind) {
+    case util::FailAction::Kind::kNone:
+      break;
+    case util::FailAction::Kind::kError:
+      throw IoError("injected I/O error writing " + path_);
+    case util::FailAction::Kind::kCrash:
+      throw util::SimulatedCrash(site_ + ".write");
+    case util::FailAction::Kind::kShortWrite: {
+      const std::size_t n =
+          std::min<std::size_t>(bytes.size(), static_cast<std::size_t>(action.bytes));
+      write_fd_all(fd_, bytes.data(), n, path_);
+      offset_ += n;
+      throw util::SimulatedCrash(site_ + ".write(short)");
+    }
+  }
+  write_fd_all(fd_, bytes.data(), bytes.size(), path_);
+  offset_ += bytes.size();
+}
+
+void File::sync() {
+  if (fd_ < 0) throw IoError("sync on closed file " + path_);
+  const auto action = util::FailPoint::consume(site_ + ".fsync");
+  if (action.kind == util::FailAction::Kind::kError) {
+    throw IoError("injected fsync error on " + path_);
+  }
+  if (action.kind != util::FailAction::Kind::kNone) {
+    throw util::SimulatedCrash(site_ + ".fsync");
+  }
+  if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+}
+
+void File::close() {
+  if (fd_ < 0) return;
+  const int fd = std::exchange(fd_, -1);
+  if (::close(fd) != 0) throw_errno("close", path_);
+}
+
+bool File::exists(const std::string& path) {
+  return std::filesystem::exists(path);
+}
+
+std::uint64_t File::size_of(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw IoError("stat failed for " + path + ": " + ec.message());
+  return static_cast<std::uint64_t>(size);
+}
+
+std::string File::read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open " + path + " for reading");
+  std::string out;
+  out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  if (in.bad()) throw IoError("read failed for " + path);
+  return out;
+}
+
+void File::truncate_file(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    throw_errno("truncate", path);
+  }
+}
+
+void File::rename_file(const std::string& from, const std::string& to,
+                       const std::string& site) {
+  const auto action = util::FailPoint::consume(site + ".rename");
+  if (action.kind == util::FailAction::Kind::kError) {
+    throw IoError("injected rename error " + from + " -> " + to);
+  }
+  if (action.kind != util::FailAction::Kind::kNone) {
+    throw util::SimulatedCrash(site + ".rename");
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) throw_errno("rename", from);
+}
+
+void File::remove_file(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) throw IoError("remove failed for " + path + ": " + ec.message());
+}
+
+void File::make_dirs(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw IoError("mkdir failed for " + dir + ": " + ec.message());
+}
+
+void File::sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("open(dir)", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno("fsync(dir)", dir);
+}
+
+std::vector<std::string> File::list_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+  }
+  if (ec) throw IoError("listdir failed for " + dir + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace smash::durability

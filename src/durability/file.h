@@ -1,0 +1,83 @@
+// Thin POSIX I/O shim with fault-injection hooks — the only place the
+// durability layer touches the filesystem. Every mutating operation
+// consults a util::FailPoint site named "<site>.<op>" (e.g. "wal.write",
+// "ckpt.fsync", "ckpt.rename"), so tests and the CI crash matrix can
+// deterministically inject clean I/O errors (IoError), short/torn writes,
+// and simulated process deaths (util::SimulatedCrash) at exact byte
+// offsets without mocking the engine above.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smash::durability {
+
+// A real I/O failure (or an injected kError): the operation did not
+// complete and the durability layer must treat the log as unusable.
+struct IoError : std::runtime_error {
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Write-side RAII fd. Movable, not copyable; close() is idempotent and the
+// destructor never throws (a failed close at teardown is logged to stderr).
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  // Creates (O_CREAT | O_TRUNC) `path` for writing. `site` prefixes the
+  // failpoint names consulted by write()/sync().
+  static File create(const std::string& path, std::string site);
+
+  // Opens `path` for appending (creating it when absent); offset() starts
+  // at the existing size. Recovery uses this to resume the last WAL
+  // segment after truncating it to its valid prefix.
+  static File append_to(const std::string& path, std::string site);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  std::uint64_t offset() const noexcept { return offset_; }
+
+  // Appends all of `bytes` (looping over partial writes). Failpoints:
+  // "<site>.write" — kError throws IoError, kCrash throws SimulatedCrash
+  // before writing, kShortWrite writes action.bytes bytes then throws
+  // SimulatedCrash (a torn record on disk, exactly as a mid-write power
+  // cut would leave it).
+  void write(std::string_view bytes);
+
+  // fsync(2). Failpoint "<site>.fsync": kError -> IoError, kCrash ->
+  // SimulatedCrash (before syncing).
+  void sync();
+
+  void close();
+
+  // --- path-level helpers ----------------------------------------------------
+  static bool exists(const std::string& path);
+  static std::uint64_t size_of(const std::string& path);
+  static std::string read_all(const std::string& path);
+  static void truncate_file(const std::string& path, std::uint64_t size);
+  // rename(2); consults "<site>.rename" (kError/kCrash).
+  static void rename_file(const std::string& from, const std::string& to,
+                          const std::string& site);
+  static void remove_file(const std::string& path);
+  // mkdir -p equivalent.
+  static void make_dirs(const std::string& dir);
+  // fsync on the directory itself (durable rename/create on POSIX).
+  static void sync_dir(const std::string& dir);
+  // Plain file names (not paths) in `dir`, sorted.
+  static std::vector<std::string> list_dir(const std::string& dir);
+
+ private:
+  int fd_ = -1;
+  std::uint64_t offset_ = 0;
+  std::string path_;
+  std::string site_;
+};
+
+}  // namespace smash::durability

@@ -1,0 +1,128 @@
+#include "durability/journal.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace smash::durability {
+
+DurableJournal::DurableJournal(std::string dir, FsyncPolicy policy)
+    : dir_(std::move(dir)), policy_(policy) {
+  File::make_dirs(dir_);
+}
+
+DurableJournal::DurableJournal(std::string dir, FsyncPolicy policy,
+                               WalPosition position, std::uint64_t records_logged)
+    : dir_(std::move(dir)),
+      policy_(policy),
+      segment_(position.segment),
+      records_logged_(records_logged),
+      resume_offset_(position.offset),
+      resume_segment_(position.offset > 0 ||
+                      File::exists(dir_ + "/" + segment_file_name(position.segment))) {
+  // Recovery of an absent directory (cold start) resumes at {1, 0} with
+  // nothing on disk; appends still need somewhere to land.
+  File::make_dirs(dir_);
+}
+
+bool DurableJournal::dir_has_state(const std::string& dir) {
+  if (!File::exists(dir)) return false;
+  for (const auto& name : File::list_dir(dir)) {
+    if (parse_segment_file_name(name) || parse_checkpoint_file_name(name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DurableJournal::ensure_writer() {
+  if (writer_) return;
+  writer_ = std::make_unique<WalWriter>(
+      dir_, segment_,
+      resume_segment_ ? WalWriter::Mode::kResume : WalWriter::Mode::kCreate);
+  resume_segment_ = false;
+}
+
+void DurableJournal::append_payload(std::string_view payload, bool is_seal) {
+  if (dead_) return;
+  try {
+    ensure_writer();
+    writer_->append(payload);
+    if (policy_ == FsyncPolicy::kEveryRecord ||
+        (is_seal && policy_ == FsyncPolicy::kOnSeal)) {
+      writer_->sync();
+    }
+    ++records_logged_;
+    if (is_seal) {
+      writer_->close();
+      writer_.reset();
+      ++segment_;
+      resume_offset_ = 0;
+    }
+  } catch (...) {
+    dead_ = true;
+    throw;
+  }
+}
+
+void DurableJournal::append(const stream::RequestEvent& event) {
+  append_payload(encode_record(WalRecord{event}), /*is_seal=*/false);
+}
+
+void DurableJournal::append(const stream::ResolutionEvent& event) {
+  append_payload(encode_record(WalRecord{event}), /*is_seal=*/false);
+}
+
+void DurableJournal::append(const stream::RedirectEvent& event) {
+  append_payload(encode_record(WalRecord{event}), /*is_seal=*/false);
+}
+
+void DurableJournal::seal_epoch(stream::EpochId epoch) {
+  append_payload(encode_record(WalRecord{SealMarker{epoch}}), /*is_seal=*/true);
+}
+
+void DurableJournal::write_checkpoint(CheckpointState state) {
+  if (dead_) return;
+  try {
+    const WalPosition pos = position();
+    state.replay_segment = pos.segment;
+    state.replay_offset = pos.offset;
+    state.records_logged = records_logged_;
+    write_checkpoint_file(dir_, state, policy_);
+
+    // Prune: newest two checkpoints stay; every older checkpoint goes, and
+    // with them every segment below the oldest retained replay floor (no
+    // retained checkpoint will ever ask recovery to read those bytes).
+    std::vector<std::string> checkpoints;
+    for (const auto& name : File::list_dir(dir_)) {
+      if (parse_checkpoint_file_name(name)) checkpoints.push_back(name);
+    }
+    if (checkpoints.size() > 2) {
+      for (std::size_t i = 0; i + 2 < checkpoints.size(); ++i) {
+        File::remove_file(dir_ + "/" + checkpoints[i]);
+      }
+      checkpoints.erase(checkpoints.begin(),
+                        checkpoints.end() - static_cast<std::ptrdiff_t>(2));
+    }
+    if (!checkpoints.empty()) {
+      const auto oldest = parse_checkpoint_file_name(checkpoints.front());
+      for (const auto& name : File::list_dir(dir_)) {
+        const auto seq = parse_segment_file_name(name);
+        if (seq && *seq < oldest->replay_segment) {
+          File::remove_file(dir_ + "/" + name);
+        }
+      }
+    }
+  } catch (...) {
+    dead_ = true;
+    throw;
+  }
+}
+
+WalPosition DurableJournal::position() const noexcept {
+  WalPosition pos;
+  pos.segment = segment_;
+  pos.offset = writer_ ? writer_->offset() : resume_offset_;
+  return pos;
+}
+
+}  // namespace smash::durability

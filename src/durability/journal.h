@@ -1,0 +1,94 @@
+// DurableJournal: the StreamEngine's write-side durability state machine.
+// Owns the open WAL segment, appends event records *before* the engine
+// ingests them (write-ahead), writes the epoch-seal marker + rotates the
+// segment at every seal, and installs checkpoints atomically (tmp+rename),
+// pruning checkpoints and fully-covered segments afterwards.
+//
+// Failure model is fail-stop: IoError (real EIO or an injected one) and
+// util::SimulatedCrash both mark the journal dead before propagating, so
+// nothing is written after the "crash" — the on-disk bytes stay exactly as
+// the failure left them, which is what the recovery tests replay against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "durability/checkpoint.h"
+#include "durability/options.h"
+#include "durability/wal.h"
+
+namespace smash::durability {
+
+// Exact WAL position: `offset` bytes into segment `segment`.
+struct WalPosition {
+  std::uint64_t segment = 1;
+  std::uint64_t offset = 0;
+};
+
+class DurableJournal {
+ public:
+  // Fresh journal: creates `dir` if needed and starts at segment 1. The
+  // caller (StreamEngine) is responsible for rejecting a dir that already
+  // holds WAL/checkpoint state — see dir_has_state().
+  DurableJournal(std::string dir, FsyncPolicy policy);
+
+  // Resumed journal (recovery): continues appending to segment
+  // `position.segment`, already truncated to `position.offset` valid
+  // bytes; `records_logged` restores the lifetime record counter.
+  DurableJournal(std::string dir, FsyncPolicy policy, WalPosition position,
+                 std::uint64_t records_logged);
+
+  DurableJournal(const DurableJournal&) = delete;
+  DurableJournal& operator=(const DurableJournal&) = delete;
+
+  // True when `dir` exists and contains WAL segments or checkpoints —
+  // state that a plain constructor would silently clobber and only
+  // StreamEngine::recover() may consume.
+  static bool dir_has_state(const std::string& dir);
+
+  // Appends one event record (fsync per kEveryRecord). Write-ahead: the
+  // engine calls this before mutating any in-memory state.
+  void append(const stream::RequestEvent& event);
+  void append(const stream::ResolutionEvent& event);
+  void append(const stream::RedirectEvent& event);
+
+  // Appends the seal marker for `epoch` as the segment's last record,
+  // fsyncs under kOnSeal/kEveryRecord, and rotates: the next append lazily
+  // creates the next segment.
+  void seal_epoch(stream::EpochId epoch);
+
+  // Fills `state`'s WAL-position fields (replay_segment/replay_offset/
+  // records_logged) from the journal's own counters, installs the
+  // checkpoint atomically, then prunes: keeps the newest two checkpoints
+  // and drops segments older than every retained checkpoint's replay
+  // floor.
+  void write_checkpoint(CheckpointState state);
+
+  // Position the *next* append would write at.
+  WalPosition position() const noexcept;
+
+  std::uint64_t records_logged() const noexcept { return records_logged_; }
+
+  // True once any operation threw (IoError or SimulatedCrash). All
+  // further operations are silent no-ops so engine teardown after a
+  // simulated crash cannot touch the disk image under test.
+  bool dead() const noexcept { return dead_; }
+
+ private:
+  void append_payload(std::string_view payload, bool is_seal);
+  void ensure_writer();
+
+  std::string dir_;
+  FsyncPolicy policy_;
+  std::uint64_t segment_ = 1;
+  std::uint64_t records_logged_ = 0;
+  // Valid bytes already in the open segment when resuming (position()
+  // before the lazy reopen); 0 for a fresh or freshly rotated segment.
+  std::uint64_t resume_offset_ = 0;
+  std::unique_ptr<WalWriter> writer_;
+  bool resume_segment_ = false;
+  bool dead_ = false;
+};
+
+}  // namespace smash::durability

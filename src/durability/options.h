@@ -1,0 +1,30 @@
+// Shared durability knobs, split out so stream/stream_config.h can name
+// them without pulling the whole WAL machinery into every stream header.
+#pragma once
+
+#include <cstdint>
+
+namespace smash::durability {
+
+// When the write-ahead log forces data to stable storage.
+//
+//   kEveryRecord — fsync after every appended record: no accepted event is
+//                  ever lost, at per-event syscall cost (docs/DURABILITY.md
+//                  has measured overheads).
+//   kOnSeal      — fsync once per epoch seal and per checkpoint: a crash
+//                  loses at most the open (unsealed) epoch's tail.
+//   kOff         — never fsync: the OS page cache decides. A process crash
+//                  still loses nothing (the kernel has the writes); only a
+//                  machine crash can drop the unflushed tail.
+enum class FsyncPolicy : std::uint8_t { kOff = 0, kOnSeal = 1, kEveryRecord = 2 };
+
+inline const char* fsync_policy_name(FsyncPolicy policy) noexcept {
+  switch (policy) {
+    case FsyncPolicy::kOff: return "off";
+    case FsyncPolicy::kOnSeal: return "on_seal";
+    case FsyncPolicy::kEveryRecord: return "every_record";
+  }
+  return "?";
+}
+
+}  // namespace smash::durability

@@ -1,0 +1,110 @@
+#include "durability/recover.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "durability/file.h"
+
+namespace smash::durability {
+
+std::optional<CheckpointState> load_latest_checkpoint(
+    const std::string& dir, std::uint64_t* checkpoints_skipped) {
+  if (checkpoints_skipped) *checkpoints_skipped = 0;
+  if (!File::exists(dir)) return std::nullopt;
+  std::vector<std::string> names;
+  for (const auto& name : File::list_dir(dir)) {
+    if (parse_checkpoint_file_name(name)) names.push_back(name);
+  }
+  // Zero-padded fields make lexical order == (closes, segment) order.
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    const std::string bytes = File::read_all(dir + "/" + *it);
+    if (auto state = decode_checkpoint(bytes)) return state;
+    if (checkpoints_skipped) ++*checkpoints_skipped;
+  }
+  return std::nullopt;
+}
+
+ReplayStats replay_wal(const std::string& dir, std::uint64_t from_segment,
+                       std::uint64_t from_offset,
+                       const std::function<void(const WalRecord&)>& apply) {
+  ReplayStats stats;
+  stats.next_segment = from_segment;
+  stats.next_offset = from_offset;
+  std::vector<std::uint64_t> segments;
+  if (File::exists(dir)) {
+    for (const auto& name : File::list_dir(dir)) {
+      const auto seq = parse_segment_file_name(name);
+      if (seq && *seq >= from_segment) segments.push_back(*seq);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  if (segments.empty()) {
+    // Crash after a seal rotated the log but before the next segment's
+    // lazy creation — fine when the replay position is a segment start.
+    if (from_offset > 0) {
+      throw RecoveryError("checkpoint points into missing WAL segment " +
+                          segment_file_name(from_segment));
+    }
+    return stats;
+  }
+  if (segments.front() != from_segment) {
+    throw RecoveryError("WAL replay must start at " +
+                        segment_file_name(from_segment) + " but oldest kept is " +
+                        segment_file_name(segments.front()));
+  }
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1] != segments[i] + 1) {
+      throw RecoveryError("WAL segment gap: " + segment_file_name(segments[i]) +
+                          " is followed by " + segment_file_name(segments[i + 1]));
+    }
+  }
+
+  bool last_record_was_seal = false;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const bool last = i + 1 == segments.size();
+    const std::string path = dir + "/" + segment_file_name(segments[i]);
+    const std::string data = File::read_all(path);
+    const std::uint64_t start = i == 0 ? from_offset : 0;
+    if (start > data.size()) {
+      throw RecoveryError(path + " is shorter than the checkpoint position");
+    }
+    const ScanResult scan =
+        scan_records(data, start, [&](std::string_view payload) {
+          auto record = decode_record(payload);
+          if (!record) {
+            // CRC-valid bytes that do not decode were never a torn write.
+            throw RecoveryError("undecodable CRC-valid record in " + path);
+          }
+          apply(*record);
+          last_record_was_seal = std::holds_alternative<SealMarker>(*record);
+          if (!last_record_was_seal) ++stats.events_replayed;
+          return true;
+        });
+    ++stats.segments_scanned;
+    stats.records_replayed += scan.records;
+    stats.bytes_replayed += scan.valid_bytes - start;
+    if (!scan.clean) {
+      if (!last) {
+        throw RecoveryError("corrupt record (" + scan.error + ") in " + path +
+                            " with later segments present");
+      }
+      stats.bytes_truncated = data.size() - scan.valid_bytes;
+      File::truncate_file(path, scan.valid_bytes);
+    }
+    if (last) {
+      if (last_record_was_seal && scan.records > 0) {
+        // The log ends on a seal: the segment is complete and the next
+        // append belongs to the (lazily created) next segment.
+        stats.next_segment = segments[i] + 1;
+        stats.next_offset = 0;
+      } else {
+        stats.next_segment = segments[i];
+        stats.next_offset = scan.valid_bytes;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace smash::durability

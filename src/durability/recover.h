@@ -1,0 +1,66 @@
+// WAL-tail replay and checkpoint selection for StreamEngine::recover().
+//
+// Classification rules (docs/DURABILITY.md):
+//   - A torn or CRC-invalid record in the LAST segment is the expected
+//     signature of a crash mid-append: the segment is truncated to its
+//     valid prefix and replay continues from there (bytes_truncated
+//     reports how much was cut).
+//   - The same damage in any EARLIER segment is real corruption — valid
+//     records exist beyond it, so silently truncating would drop acked
+//     state. That raises RecoveryError; nothing is modified.
+//   - A CRC-valid record whose payload does not decode is a writer bug or
+//     deliberate tampering, never a torn write: RecoveryError.
+//   - Segments present on disk must form a contiguous run starting at the
+//     replay position's segment; gaps raise RecoveryError.
+//   - Checkpoint files that fail magic/CRC/decode are skipped (a crash
+//     during checkpointing leaves ckpt.tmp, never a bad installed file,
+//     but the corruption fuzzer flips bytes in installed ones too); the
+//     previous checkpoint plus its longer WAL tail wins. With no usable
+//     checkpoint, replay covers the whole WAL from segment 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
+
+namespace smash::durability {
+
+// Unrecoverable damage (or inconsistency) in the durability dir. Recovery
+// fails loudly; it never guesses.
+struct RecoveryError : std::runtime_error {
+  explicit RecoveryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ReplayStats {
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t records_replayed = 0;  // events + seal markers
+  std::uint64_t events_replayed = 0;
+  std::uint64_t bytes_replayed = 0;
+  std::uint64_t bytes_truncated = 0;  // torn tail cut from the last segment
+  // Where a resumed journal appends next. When the log's last valid record
+  // is a seal marker the segment is complete (seals always rotate), so the
+  // position moves to the next, not-yet-created segment.
+  std::uint64_t next_segment = 1;
+  std::uint64_t next_offset = 0;
+};
+
+// Newest checkpoint in `dir` that passes magic + CRC + decode, or nullopt
+// (cold start / all checkpoints corrupt). `checkpoints_skipped`, when
+// given, counts newer checkpoint files that had to be passed over.
+std::optional<CheckpointState> load_latest_checkpoint(
+    const std::string& dir, std::uint64_t* checkpoints_skipped = nullptr);
+
+// Replays WAL records from (from_segment, from_offset) through the end of
+// the log, invoking `apply` per decoded record in order. Truncates a torn
+// last segment to its valid prefix (on disk) per the rules above; throws
+// RecoveryError on anything unrecoverable.
+ReplayStats replay_wal(const std::string& dir, std::uint64_t from_segment,
+                       std::uint64_t from_offset,
+                       const std::function<void(const WalRecord&)>& apply);
+
+}  // namespace smash::durability

@@ -1,0 +1,195 @@
+#include "durability/wal.h"
+
+#include <cstdio>
+
+#include "durability/crc32c.h"
+#include "util/binary.h"
+
+namespace smash::durability {
+
+namespace {
+
+// Upper bound on one record's payload: far above any real event (paths and
+// user agents are request-header-sized), low enough that a corrupted
+// length field cannot make the scanner swallow the rest of the segment as
+// "one giant record".
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+void encode_request(std::string& out, const stream::RequestEvent& e) {
+  util::put_u8(out, kRecordRequest);
+  util::put_u64(out, e.time_s);
+  util::put_u8(out, static_cast<std::uint8_t>(e.method));
+  util::put_u16(out, e.status);
+  util::put_bytes(out, e.client);
+  util::put_bytes(out, e.host);
+  util::put_bytes(out, e.path);
+  util::put_bytes(out, e.user_agent);
+  util::put_bytes(out, e.referrer);
+}
+
+void encode_resolution(std::string& out, const stream::ResolutionEvent& e) {
+  util::put_u8(out, kRecordResolution);
+  util::put_u64(out, e.time_s);
+  util::put_bytes(out, e.host);
+  util::put_bytes(out, e.ip);
+}
+
+void encode_redirect(std::string& out, const stream::RedirectEvent& e) {
+  util::put_u8(out, kRecordRedirect);
+  util::put_u64(out, e.time_s);
+  util::put_bytes(out, e.from);
+  util::put_bytes(out, e.to);
+}
+
+void encode_seal(std::string& out, const SealMarker& e) {
+  util::put_u8(out, kRecordSeal);
+  util::put_u64(out, e.epoch);
+}
+
+std::optional<WalRecord> decode_request(util::BinaryReader& in) {
+  stream::RequestEvent e;
+  std::uint8_t method = 0;
+  if (!in.u64(e.time_s) || !in.u8(method) || !in.u16(e.status) ||
+      !in.str(e.client) || !in.str(e.host) || !in.str(e.path) ||
+      !in.str(e.user_agent) || !in.str(e.referrer) || !in.done()) {
+    return std::nullopt;
+  }
+  if (method > static_cast<std::uint8_t>(net::Method::kHead)) return std::nullopt;
+  e.method = static_cast<net::Method>(method);
+  return WalRecord{std::move(e)};
+}
+
+std::optional<WalRecord> decode_resolution(util::BinaryReader& in) {
+  stream::ResolutionEvent e;
+  if (!in.u64(e.time_s) || !in.str(e.host) || !in.str(e.ip) || !in.done()) {
+    return std::nullopt;
+  }
+  return WalRecord{std::move(e)};
+}
+
+std::optional<WalRecord> decode_redirect(util::BinaryReader& in) {
+  stream::RedirectEvent e;
+  if (!in.u64(e.time_s) || !in.str(e.from) || !in.str(e.to) || !in.done()) {
+    return std::nullopt;
+  }
+  return WalRecord{std::move(e)};
+}
+
+std::optional<WalRecord> decode_seal(util::BinaryReader& in) {
+  SealMarker e;
+  if (!in.u64(e.epoch) || !in.done()) return std::nullopt;
+  return WalRecord{e};
+}
+
+}  // namespace
+
+std::string encode_record(const WalRecord& record) {
+  std::string out;
+  std::visit(
+      [&out](const auto& e) {
+        using T = std::decay_t<decltype(e)>;
+        if constexpr (std::is_same_v<T, stream::RequestEvent>) {
+          encode_request(out, e);
+        } else if constexpr (std::is_same_v<T, stream::ResolutionEvent>) {
+          encode_resolution(out, e);
+        } else if constexpr (std::is_same_v<T, stream::RedirectEvent>) {
+          encode_redirect(out, e);
+        } else {
+          encode_seal(out, e);
+        }
+      },
+      record);
+  return out;
+}
+
+std::optional<WalRecord> decode_record(std::string_view payload) {
+  util::BinaryReader in(payload);
+  std::uint8_t type = 0;
+  if (!in.u8(type)) return std::nullopt;
+  switch (type) {
+    case kRecordRequest: return decode_request(in);
+    case kRecordResolution: return decode_resolution(in);
+    case kRecordRedirect: return decode_redirect(in);
+    case kRecordSeal: return decode_seal(in);
+    default: return std::nullopt;
+  }
+}
+
+std::string segment_file_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%012llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_segment_file_name(std::string_view name) {
+  constexpr std::string_view prefix = "wal-";
+  constexpr std::string_view suffix = ".log";
+  if (name.size() != prefix.size() + 12 + suffix.size()) return std::nullopt;
+  if (name.substr(0, prefix.size()) != prefix) return std::nullopt;
+  if (name.substr(name.size() - suffix.size()) != suffix) return std::nullopt;
+  std::uint64_t seq = 0;
+  for (const char c : name.substr(prefix.size(), 12)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+WalWriter::WalWriter(const std::string& dir, std::uint64_t seq, Mode mode)
+    : file_(mode == Mode::kCreate
+                ? File::create(dir + "/" + segment_file_name(seq), "wal")
+                : File::append_to(dir + "/" + segment_file_name(seq), "wal")) {}
+
+void WalWriter::append(std::string_view payload) {
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  util::put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  util::put_u32(frame, crc32c(payload));
+  frame.append(payload.data(), payload.size());
+  file_.write(frame);
+}
+
+ScanResult scan_records(std::string_view data, std::uint64_t from,
+                        const std::function<bool(std::string_view payload)>& fn) {
+  ScanResult result;
+  result.valid_bytes = from;
+  std::size_t pos = static_cast<std::size_t>(from);
+  while (pos < data.size()) {
+    util::BinaryReader header(data.substr(pos));
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    if (!header.u32(len) || !header.u32(crc)) {
+      result.clean = false;
+      result.error = "torn record header";
+      return result;
+    }
+    if (len == 0 || len > kMaxPayload) {
+      result.clean = false;
+      result.error = "impossible record length";
+      return result;
+    }
+    if (pos + 8 + len > data.size()) {
+      result.clean = false;
+      result.error = "torn record body";
+      return result;
+    }
+    const std::string_view payload = data.substr(pos + 8, len);
+    if (crc32c(payload) != crc) {
+      result.clean = false;
+      result.error = "CRC32C mismatch";
+      return result;
+    }
+    if (!fn(payload)) {
+      result.clean = false;
+      result.error = "record rejected by consumer";
+      return result;
+    }
+    pos += 8 + len;
+    result.valid_bytes = pos;
+    ++result.records;
+  }
+  return result;
+}
+
+}  // namespace smash::durability

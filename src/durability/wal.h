@@ -1,0 +1,111 @@
+// Per-epoch write-ahead log: length-prefixed, CRC32C-checksummed records
+// for every ingested event and epoch-seal marker.
+//
+// On-disk framing, per record:
+//
+//   [u32 payload_len][u32 crc32c(payload)][payload]
+//   payload = [u8 record_type][record body, little-endian]
+//
+// Segments: records append to wal-<seq>.log; the segment rotates at every
+// epoch-seal marker (the seal record is always a segment's last record),
+// so a segment holds one epoch's arrivals — including the first event of
+// the *next* epoch, which arrives before the seal is processed and is what
+// forces checkpoints to carry an exact (segment, byte-offset) position
+// rather than a segment boundary. Segment files are created lazily on the
+// first append after rotation, so a quiet tail never litters the dir.
+//
+// Scan semantics (recovery, docs/DURABILITY.md): records are valid up to
+// the first framing violation — short header, impossible length, CRC
+// mismatch, or unknown/undecodable type. A torn tail in the *last* segment
+// truncates to the valid prefix; the same damage in an earlier segment is
+// real corruption (later records exist beyond it) and must fail loudly.
+// That classification is the caller's job; scan_records only reports where
+// and why validity ended.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "durability/file.h"
+#include "durability/options.h"
+#include "stream/ingest.h"
+
+namespace smash::durability {
+
+// --- record codec ------------------------------------------------------------
+
+inline constexpr std::uint8_t kRecordRequest = 1;
+inline constexpr std::uint8_t kRecordResolution = 2;
+inline constexpr std::uint8_t kRecordRedirect = 3;
+inline constexpr std::uint8_t kRecordSeal = 4;
+
+// Epoch-seal marker: epoch `epoch` was sealed (implicitly by a later
+// event's arrival, or explicitly by StreamEngine::finish()).
+struct SealMarker {
+  stream::EpochId epoch = 0;
+};
+
+using WalRecord = std::variant<stream::RequestEvent, stream::ResolutionEvent,
+                               stream::RedirectEvent, SealMarker>;
+
+// Encodes the record payload (type byte + body, no framing).
+std::string encode_record(const WalRecord& record);
+
+// Decodes a payload; nullopt when the type is unknown or the body is
+// malformed (CRC-valid but undecodable payloads are writer bugs or
+// deliberate tampering — callers fail loudly, they do not truncate).
+std::optional<WalRecord> decode_record(std::string_view payload);
+
+// --- segment files -----------------------------------------------------------
+
+// wal-<seq>.log (seq rendered fixed-width so lexical sort = numeric sort).
+std::string segment_file_name(std::uint64_t seq);
+// Parses a segment file name; nullopt for anything else.
+std::optional<std::uint64_t> parse_segment_file_name(std::string_view name);
+
+// Appends framed records to one segment file.
+class WalWriter {
+ public:
+  enum class Mode : std::uint8_t { kCreate, kResume };
+
+  // Creates `dir`/wal-<seq>.log (kCreate) or reopens it for appending
+  // (kResume — recovery, after truncating the segment to its valid
+  // prefix). Failpoint site: "wal".
+  WalWriter(const std::string& dir, std::uint64_t seq, Mode mode = Mode::kCreate);
+
+  // Frames (length + CRC32C) and appends one encoded payload.
+  void append(std::string_view payload);
+  void sync() { file_.sync(); }
+  void close() { file_.close(); }
+
+  std::uint64_t offset() const noexcept { return file_.offset(); }
+
+ private:
+  File file_;
+};
+
+// --- scanning ----------------------------------------------------------------
+
+struct ScanResult {
+  // Byte offset of the end of the last valid record (== scan start when no
+  // record was valid).
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t records = 0;
+  // True when the buffer ended exactly at a record boundary with every
+  // record valid; false means a torn or corrupt record cut the scan short.
+  bool clean = true;
+  // Human-readable reason when !clean.
+  std::string error;
+};
+
+// Scans framed records in `data` from `from`, invoking `fn(payload)` for
+// each CRC-valid record. `fn` returns false to abort the scan (reported as
+// !clean with its own reason). Never throws on malformed input.
+ScanResult scan_records(std::string_view data, std::uint64_t from,
+                        const std::function<bool(std::string_view payload)>& fn);
+
+}  // namespace smash::durability

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/binary.h"
 #include "util/strings.h"
 
 namespace smash::net {
@@ -150,6 +151,94 @@ Trace Trace::read_tsv(const std::string& file_path) {
     }
   }
   trace.finalize();
+  return trace;
+}
+
+void Trace::serialize_events(std::string& out) const {
+  if (!journal_enabled_) {
+    throw std::logic_error("Trace::serialize_events requires a journal");
+  }
+  util::put_u32(out, static_cast<std::uint32_t>(journal_.size()));
+  for (const auto& entry : journal_) {
+    util::put_u8(out, static_cast<std::uint8_t>(entry.kind));
+    switch (entry.kind) {
+      case JournalEntry::Kind::kRequest: {
+        const HttpRequest& r = requests_[entry.index];
+        util::put_bytes(out, clients_.name(r.client));
+        util::put_bytes(out, servers_.name(r.server));
+        util::put_u32(out, r.day);
+        util::put_u8(out, static_cast<std::uint8_t>(r.method));
+        util::put_u16(out, r.status);
+        util::put_bytes(out, r.path);
+        util::put_bytes(out, r.user_agent);
+        util::put_bytes(out, r.referrer);
+        break;
+      }
+      case JournalEntry::Kind::kResolution: {
+        const auto& [server, ip] = resolution_log_[entry.index];
+        util::put_bytes(out, servers_.name(server));
+        util::put_bytes(out, ips_.name(ip));
+        break;
+      }
+      case JournalEntry::Kind::kRedirect: {
+        const auto& [from, to] = redirect_log_[entry.index];
+        util::put_bytes(out, servers_.name(from));
+        util::put_bytes(out, servers_.name(to));
+        break;
+      }
+    }
+  }
+}
+
+Trace Trace::deserialize_events(std::string_view bytes) {
+  const auto bad = [] {
+    throw std::runtime_error("Trace::deserialize_events: malformed input");
+  };
+  Trace trace;
+  trace.enable_journal();
+  util::BinaryReader in(bytes);
+  std::uint32_t count = 0;
+  if (!in.u32(count)) bad();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint8_t kind = 0;
+    if (!in.u8(kind)) bad();
+    switch (static_cast<JournalEntry::Kind>(kind)) {
+      case JournalEntry::Kind::kRequest: {
+        HttpRequest r;
+        std::string_view client;
+        std::string_view server;
+        std::uint8_t method = 0;
+        if (!in.bytes(client) || !in.bytes(server) || !in.u32(r.day) ||
+            !in.u8(method) || !in.u16(r.status) || !in.str(r.path) ||
+            !in.str(r.user_agent) || !in.str(r.referrer)) {
+          bad();
+        }
+        if (method > static_cast<std::uint8_t>(Method::kHead)) bad();
+        r.method = static_cast<Method>(method);
+        r.client = trace.intern_client(client);
+        r.server = trace.intern_server(server);
+        trace.add_request(std::move(r));
+        break;
+      }
+      case JournalEntry::Kind::kResolution: {
+        std::string_view server;
+        std::string_view ip;
+        if (!in.bytes(server) || !in.bytes(ip)) bad();
+        trace.add_resolution(trace.intern_server(server), trace.intern_ip(ip));
+        break;
+      }
+      case JournalEntry::Kind::kRedirect: {
+        std::string_view from;
+        std::string_view to;
+        if (!in.bytes(from) || !in.bytes(to)) bad();
+        trace.add_redirect(trace.intern_server(from), trace.intern_server(to));
+        break;
+      }
+      default:
+        bad();
+    }
+  }
+  if (!in.done()) bad();
   return trace;
 }
 

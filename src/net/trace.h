@@ -109,6 +109,16 @@ class Trace {
   void write_tsv(const std::string& file_path) const;
   static Trace read_tsv(const std::string& file_path);
 
+  // Binary journal-order event serialization (durability checkpoints).
+  // Unlike the TSV form, this replays the exact arrival order, so the
+  // deserialized trace interns ids identically to the original — the
+  // byte-identity guarantee of recovery rests on it. Requires an enabled
+  // journal; appends to `out`.
+  void serialize_events(std::string& out) const;
+  // Inverse: a journal-enabled, un-finalized trace (callers seal or
+  // finalize as appropriate). Throws std::runtime_error on malformed input.
+  static Trace deserialize_events(std::string_view bytes);
+
  private:
   struct JournalEntry {
     enum class Kind : std::uint8_t { kRequest, kResolution, kRedirect };

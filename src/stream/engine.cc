@@ -3,9 +3,14 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <type_traits>
 #include <utility>
+#include <variant>
 
 #include "core/preshard.h"
+#include "durability/journal.h"
+#include "durability/recover.h"
+#include "util/check.h"
 
 namespace smash::stream {
 
@@ -17,11 +22,36 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+durability::FsyncPolicy fsync_policy_of(const StreamConfig& config) {
+  // WalFsync mirrors durability::FsyncPolicy value-for-value so
+  // stream_config.h can stay a leaf header.
+  return static_cast<durability::FsyncPolicy>(config.fsync_policy);
+}
+
 }  // namespace
 
 StreamEngine::StreamEngine(StreamConfig config, const whois::Registry& registry)
-    : config_(config), registry_(registry), pipeline_(config.smash),
-      ingestor_(config) {
+    : config_(std::move(config)), registry_(registry), pipeline_(config_.smash),
+      ingestor_(config_) {
+  if (!config_.durability_dir.empty()) {
+    SMASH_CHECK(!durability::DurableJournal::dir_has_state(config_.durability_dir),
+                "StreamEngine: durability_dir already holds WAL/checkpoint "
+                "state; use StreamEngine::recover()");
+    journal_ = std::make_unique<durability::DurableJournal>(
+        config_.durability_dir, fsync_policy_of(config_));
+  }
+  if (config_.async_mining) {
+    miner_ = std::make_unique<util::ThreadPool>(1);
+  }
+}
+
+StreamEngine::StreamEngine(RecoveredTag, StreamConfig config,
+                           const whois::Registry& registry, StreamIngestor ingestor,
+                           std::unique_ptr<durability::DurableJournal> journal,
+                           std::uint64_t closes_total, RecoveryStats recovery_stats)
+    : config_(std::move(config)), registry_(registry), pipeline_(config_.smash),
+      ingestor_(std::move(ingestor)), journal_(std::move(journal)),
+      recovery_stats_(recovery_stats), closes_total_(closes_total) {
   if (config_.async_mining) {
     miner_ = std::make_unique<util::ThreadPool>(1);
   }
@@ -40,19 +70,36 @@ StreamEngine::~StreamEngine() {
 }
 
 void StreamEngine::ingest(const RequestEvent& event) {
+  durable_prepare(event.time_s);
+  if (journal_) journal_->append(event);
   on_epochs_closed(ingestor_.ingest(event).epochs_closed);
 }
 
 void StreamEngine::ingest(const ResolutionEvent& event) {
+  durable_prepare(event.time_s);
+  if (journal_) journal_->append(event);
   on_epochs_closed(ingestor_.ingest(event).epochs_closed);
 }
 
 void StreamEngine::ingest(const RedirectEvent& event) {
+  durable_prepare(event.time_s);
+  if (journal_) journal_->append(event);
   on_epochs_closed(ingestor_.ingest(event).epochs_closed);
+}
+
+void StreamEngine::durable_prepare(std::uint64_t time_s) {
+  if (!journal_ || !ingestor_.has_open_epoch()) return;
+  if (config_.epoch_of(time_s) > ingestor_.open_epoch()) {
+    // One marker per segment regardless of how many epochs the event will
+    // close: replay applies this seal, and the event's own ingest advances
+    // through the remaining gap deterministically.
+    journal_->seal_epoch(ingestor_.open_epoch());
+  }
 }
 
 void StreamEngine::finish() {
   if (ingestor_.has_open_epoch()) {
+    if (journal_) journal_->seal_epoch(ingestor_.open_epoch());
     ingestor_.close_epoch();
     on_epochs_closed(1);
   }
@@ -73,12 +120,50 @@ void StreamEngine::wait_for_mining() {
 void StreamEngine::on_epochs_closed(std::uint32_t closed) {
   if (closed == 0) return;
   closes_total_ += closed;
+  maybe_checkpoint(closed);
   if (ingestor_.window().empty()) return;
   if (config_.async_mining) {
     submit_or_coalesce();
   } else {
     republish_sync();
   }
+}
+
+void StreamEngine::maybe_checkpoint(std::uint32_t closed) {
+  if (!journal_) return;
+  closes_since_checkpoint_ += closed;
+  if (closes_since_checkpoint_ < config_.checkpoint_every_epochs) return;
+  journal_->write_checkpoint(build_checkpoint());
+  closes_since_checkpoint_ = 0;
+}
+
+durability::CheckpointState StreamEngine::build_checkpoint() const {
+  durability::CheckpointState state;
+  state.epoch_seconds = config_.epoch_seconds;
+  state.window_epochs = config_.window_epochs;
+  state.drop_late_events = config_.drop_late_events;
+  state.closes_total = closes_total_;
+  state.started = ingestor_.has_open_epoch();
+  state.open_epoch = ingestor_.open_epoch();
+  state.ingest_stats = ingestor_.stats();
+  state.window.reserve(ingestor_.window().size());
+  for (const auto& shard : ingestor_.window()) {
+    durability::CheckpointShard out;
+    out.epoch = shard->id();
+    out.pre_fingerprint = core::shard_pre_fingerprint(shard->pre());
+    shard->trace().serialize_events(out.trace_bytes);
+    state.window.push_back(std::move(out));
+  }
+  // The event that closed the newest epoch is already in the open shard
+  // (and past the replay position the journal will record), so the open
+  // shard's journaled trace is part of the checkpointed state.
+  ingestor_.open_shard().trace().serialize_events(state.open_trace_bytes);
+  state.window_requests = ingestor_.aggregates().window_requests();
+  for (auto& [host, stats] : ingestor_.aggregates().sorted_entries()) {
+    state.aggregates.push_back(
+        {host, stats.requests, stats.error_requests, stats.active_epochs});
+  }
+  return state;
 }
 
 void StreamEngine::republish_sync() {
@@ -198,7 +283,8 @@ void StreamEngine::mine_and_publish(
   const auto snapshot_start = std::chrono::steady_clock::now();
   auto snapshot = DetectionSnapshot::build(
       result, *ip_names, window_requests, *live_aggregates, ingest_stats,
-      shards.front()->id(), shards.back()->id(), closes_upto);
+      shards.front()->id(), shards.back()->id(), closes_upto, recovery_stats_,
+      config_.snapshot_test_hook);
   record.kept_servers = snapshot->kept_servers();
   record.campaigns = snapshot->campaigns().size();
   record.malicious_servers = snapshot->num_malicious_servers();
@@ -222,6 +308,133 @@ void StreamEngine::mine_and_publish(
 std::vector<EpochCloseRecord> StreamEngine::close_records() const {
   const std::lock_guard<std::mutex> lock(records_mutex_);
   return close_records_;
+}
+
+std::unique_ptr<StreamEngine> StreamEngine::recover(
+    StreamConfig config, const whois::Registry& registry) {
+  config.validate();
+  SMASH_CHECK(!config.durability_dir.empty(),
+              "StreamEngine::recover needs durability_dir");
+  const auto start = std::chrono::steady_clock::now();
+  const std::string& dir = config.durability_dir;
+
+  RecoveryStats rstats;
+  rstats.recovered = true;
+  auto ckpt = durability::load_latest_checkpoint(dir, &rstats.checkpoints_skipped);
+
+  std::uint64_t closes_total = 0;
+  std::uint64_t records_logged = 0;
+  durability::WalPosition replay_from;  // defaults to segment 1, offset 0
+  std::optional<StreamIngestor> ingestor;
+  if (ckpt) {
+    if (ckpt->epoch_seconds != config.epoch_seconds ||
+        ckpt->window_epochs != config.window_epochs ||
+        ckpt->drop_late_events != config.drop_late_events) {
+      throw durability::RecoveryError(
+          "checkpoint was taken under a different stream configuration "
+          "(epoch geometry or late-event policy)");
+    }
+    const auto deserialize = [](const std::string& bytes) {
+      try {
+        return net::Trace::deserialize_events(bytes);
+      } catch (const std::exception& e) {
+        // The blob passed its CRC, so this is a writer bug, not bit rot.
+        throw durability::RecoveryError(
+            std::string("checkpointed trace does not decode: ") + e.what());
+      }
+    };
+    std::deque<std::shared_ptr<const EpochShard>> window;
+    for (const auto& shard : ckpt->window) {
+      auto restored =
+          EpochShard::restore_sealed(shard.epoch, deserialize(shard.trace_bytes));
+      // The ShardPre cache is rebuilt, not deserialized; the fingerprint
+      // proves the rebuild matches what the pre-crash engine was mining.
+      if (core::shard_pre_fingerprint(restored.pre()) != shard.pre_fingerprint) {
+        throw durability::RecoveryError(
+            "rebuilt shard preprocess cache diverges from checkpoint "
+            "fingerprint");
+      }
+      window.push_back(
+          std::make_shared<const EpochShard>(std::move(restored)));
+    }
+    ingestor = StreamIngestor::restore(
+        config, ckpt->started, ckpt->open_epoch,
+        EpochShard::restore_open(ckpt->open_epoch,
+                                 deserialize(ckpt->open_trace_bytes)),
+        std::move(window), ckpt->ingest_stats);
+
+    // The aggregates were rebuilt from the restored shards; the checkpoint
+    // carries the original listing as a cross-check.
+    const auto rebuilt = ingestor->aggregates().sorted_entries();
+    bool aggregates_match =
+        rebuilt.size() == ckpt->aggregates.size() &&
+        ingestor->aggregates().window_requests() == ckpt->window_requests;
+    for (std::size_t i = 0; aggregates_match && i < rebuilt.size(); ++i) {
+      const auto& [host, stats] = rebuilt[i];
+      const auto& expected = ckpt->aggregates[i];
+      aggregates_match = host == expected.host_2ld &&
+                         stats.requests == expected.requests &&
+                         stats.error_requests == expected.error_requests &&
+                         stats.active_epochs == expected.active_epochs;
+    }
+    if (!aggregates_match) {
+      throw durability::RecoveryError(
+          "rebuilt window aggregates diverge from checkpoint");
+    }
+
+    rstats.used_checkpoint = true;
+    rstats.checkpoint_closes = ckpt->closes_total;
+    closes_total = ckpt->closes_total;
+    records_logged = ckpt->records_logged;
+    replay_from = {ckpt->replay_segment, ckpt->replay_offset};
+  } else {
+    ingestor.emplace(config);
+  }
+
+  const auto replay = durability::replay_wal(
+      dir, replay_from.segment, replay_from.offset,
+      [&](const durability::WalRecord& record) {
+        std::visit(
+            [&](const auto& r) {
+              using T = std::decay_t<decltype(r)>;
+              if constexpr (std::is_same_v<T, durability::SealMarker>) {
+                // Seal markers are idempotent against the event-driven
+                // closes the following event replays: apply only when the
+                // named epoch is still the open one.
+                if (ingestor->has_open_epoch() && ingestor->open_epoch() == r.epoch) {
+                  ingestor->close_epoch();
+                  ++closes_total;
+                }
+              } else {
+                closes_total += ingestor->ingest(r).epochs_closed;
+              }
+            },
+            record);
+      });
+  rstats.segments_scanned = replay.segments_scanned;
+  rstats.records_replayed = replay.records_replayed;
+  rstats.events_replayed = replay.events_replayed;
+  rstats.bytes_replayed = replay.bytes_replayed;
+  rstats.bytes_truncated = replay.bytes_truncated;
+
+  auto journal = std::make_unique<durability::DurableJournal>(
+      dir, fsync_policy_of(config),
+      durability::WalPosition{replay.next_segment, replay.next_offset},
+      records_logged + replay.records_replayed);
+
+  rstats.recovery_ms = ms_since(start);
+  auto engine = std::unique_ptr<StreamEngine>(
+      new StreamEngine(RecoveredTag{}, std::move(config), registry,
+                       std::move(*ingestor), std::move(journal), closes_total,
+                       rstats));
+  // Republish the recovered window so readers see verdicts immediately;
+  // subsequent closes then publish exactly as the uninterrupted engine
+  // would have. Runs synchronously here even in async mode — recovery is
+  // not on the ingest hot path.
+  if (!engine->ingestor_.window().empty()) {
+    engine->republish_sync();
+  }
+  return engine;
 }
 
 }  // namespace smash::stream

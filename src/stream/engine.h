@@ -52,6 +52,11 @@
 #include "util/thread_pool.h"
 #include "whois/whois.h"
 
+namespace smash::durability {
+class DurableJournal;
+struct CheckpointState;
+}  // namespace smash::durability
+
 namespace smash::stream {
 
 // RCU-style publication point: the writer stores a new immutable snapshot,
@@ -99,10 +104,24 @@ struct EpochCloseRecord {
 class StreamEngine {
  public:
   // `registry` must outlive the engine (whois data is registration-time
-  // state, not traffic, so it is not streamed).
+  // state, not traffic, so it is not streamed). When
+  // config.durability_dir is set, the constructor arms the WAL; it refuses
+  // (SMASH_CHECK) a directory that already holds WAL or checkpoint state —
+  // that state belongs to recover().
   StreamEngine(StreamConfig config, const whois::Registry& registry);
   // Drains any in-flight mine (the final snapshot still publishes).
   ~StreamEngine();
+
+  // Rebuilds an engine from config.durability_dir after a crash: loads the
+  // newest valid checkpoint (skipping corrupt ones), replays the WAL tail
+  // — truncating a torn last segment to its valid prefix — and republishes
+  // the current window. The recovered engine's subsequent snapshots are
+  // byte-identical to an uninterrupted engine's at the same closes
+  // (tests/recovery_equivalence_test.cc). An empty or absent directory is
+  // a cold start. Throws durability::RecoveryError on unrecoverable
+  // corruption or a config/checkpoint mismatch; never silently diverges.
+  static std::unique_ptr<StreamEngine> recover(StreamConfig config,
+                                               const whois::Registry& registry);
 
   StreamEngine(const StreamEngine&) = delete;
   StreamEngine& operator=(const StreamEngine&) = delete;
@@ -137,6 +156,10 @@ class StreamEngine {
   const StreamIngestor& ingestor() const noexcept { return ingestor_; }
   const StreamConfig& config() const noexcept { return config_; }
 
+  // How this engine's state was rebuilt when it came from recover();
+  // all-zero for a fresh engine. Also carried on every published snapshot.
+  const RecoveryStats& recovery_stats() const noexcept { return recovery_stats_; }
+
   // Snapshots actually published. Callable from any thread.
   std::uint64_t snapshots_published() const noexcept {
     return snapshots_published_.load(std::memory_order_acquire);
@@ -159,6 +182,14 @@ class StreamEngine {
   net::Trace assemble_window() const { return ingestor_.assemble_window(); }
 
  private:
+  // Recovery constructor: adopts a restored ingestor, a resumed journal
+  // and the replayed counters. Only recover() calls it.
+  struct RecoveredTag {};
+  StreamEngine(RecoveredTag, StreamConfig config, const whois::Registry& registry,
+               StreamIngestor ingestor,
+               std::unique_ptr<durability::DurableJournal> journal,
+               std::uint64_t closes_total, RecoveryStats recovery_stats);
+
   // An immutable capture of one closed window, handed to the miner.
   struct MiningJob {
     std::vector<std::shared_ptr<const EpochShard>> shards;
@@ -166,6 +197,15 @@ class StreamEngine {
     std::uint64_t closes_upto = 0;  // closes_total_ when the job was made
     std::chrono::steady_clock::time_point closed_at{};
   };
+
+  // Write-ahead step run before an event is journaled or ingested: when
+  // the event's epoch is past the open one, logs the seal marker for the
+  // open epoch (segment rotation point). No-op without durability.
+  void durable_prepare(std::uint64_t time_s);
+  // Writes a checkpoint every checkpoint_every_epochs closes (writer
+  // thread; no-op without durability).
+  void maybe_checkpoint(std::uint32_t closed);
+  durability::CheckpointState build_checkpoint() const;
 
   // Ingest-thread epilogue: accounts `closed` epoch closes and routes the
   // new window to the sync or async mining path.
@@ -190,6 +230,12 @@ class StreamEngine {
   core::SmashPipeline pipeline_;
   StreamIngestor ingestor_;
   SnapshotSlot slot_;
+
+  // Write-ahead log + checkpoints (null without durability_dir). All
+  // journal operations run on the writer thread.
+  std::unique_ptr<durability::DurableJournal> journal_;
+  std::uint64_t closes_since_checkpoint_ = 0;  // ingest thread only
+  RecoveryStats recovery_stats_{};
 
   std::uint64_t closes_total_ = 0;  // ingest thread only
   std::atomic<std::uint64_t> snapshots_published_{0};

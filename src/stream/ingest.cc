@@ -17,6 +17,23 @@ constexpr std::uint64_t kSecondsPerDay = 86400;
 
 EpochShard::EpochShard(EpochId id) : id_(id) { trace_.enable_journal(); }
 
+EpochShard EpochShard::restore_sealed(EpochId id, net::Trace trace) {
+  SMASH_CHECK(trace.journal_enabled(),
+              "EpochShard::restore_sealed needs a journaled trace");
+  EpochShard shard(id);
+  shard.trace_ = std::move(trace);
+  shard.seal();
+  return shard;
+}
+
+EpochShard EpochShard::restore_open(EpochId id, net::Trace trace) {
+  SMASH_CHECK(trace.journal_enabled(),
+              "EpochShard::restore_open needs a journaled trace");
+  EpochShard shard(id);
+  shard.trace_ = std::move(trace);
+  return shard;
+}
+
 void EpochShard::add(const RequestEvent& event) {
   net::HttpRequest req;
   req.client = trace_.intern_client(event.client);
@@ -97,9 +114,37 @@ const ServerWindowStats* WindowAggregates::find(std::string_view host_2ld) const
   return it == by_2ld_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::pair<std::string, ServerWindowStats>>
+WindowAggregates::sorted_entries() const {
+  std::vector<std::pair<std::string, ServerWindowStats>> entries(by_2ld_.begin(),
+                                                                 by_2ld_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
 // --- StreamIngestor ----------------------------------------------------------
 
-StreamIngestor::StreamIngestor(StreamConfig config) : config_(config) {}
+StreamIngestor::StreamIngestor(StreamConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+StreamIngestor StreamIngestor::restore(
+    StreamConfig config, bool started, EpochId open_epoch, EpochShard open_shard,
+    std::deque<std::shared_ptr<const EpochShard>> window, IngestStats stats) {
+  StreamIngestor ingestor(std::move(config));
+  SMASH_CHECK(window.size() <= ingestor.config_.window_epochs,
+              "StreamIngestor::restore: window wider than config");
+  ingestor.started_ = started;
+  ingestor.open_epoch_ = open_epoch;
+  ingestor.open_shard_ = std::move(open_shard);
+  ingestor.window_ = std::move(window);
+  ingestor.stats_ = stats;
+  for (const auto& shard : ingestor.window_) {
+    ingestor.aggregates_.add_epoch(*shard);
+  }
+  return ingestor;
+}
 
 IngestResult StreamIngestor::position(std::uint64_t time_s) {
   const EpochId epoch = config_.epoch_of(time_s);

@@ -17,6 +17,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/preshard.h"
 #include "net/http.h"
@@ -74,6 +76,14 @@ class EpochShard {
  public:
   explicit EpochShard(EpochId id = 0);
 
+  // Recovery: rebuilds a sealed shard from a deserialized journaled trace,
+  // sealing it exactly as the original seal did (finalize, ShardPre
+  // rebuild, per-2LD delta) — all deterministic functions of the trace.
+  static EpochShard restore_sealed(EpochId id, net::Trace trace);
+  // Recovery: rebuilds the open (unsealed) shard from its checkpointed
+  // trace; WAL-tail replay appends to it.
+  static EpochShard restore_open(EpochId id, net::Trace trace);
+
   EpochId id() const noexcept { return id_; }
   const net::Trace& trace() const noexcept { return trace_; }
   std::size_t num_requests() const noexcept { return trace_.num_requests(); }
@@ -122,6 +132,10 @@ class WindowAggregates {
   std::size_t num_servers() const noexcept { return by_2ld_.size(); }
   std::uint64_t window_requests() const noexcept { return window_requests_; }
 
+  // Every (2LD, stats) entry sorted by 2LD — the deterministic listing
+  // checkpoints serialize and recovery cross-checks against.
+  std::vector<std::pair<std::string, ServerWindowStats>> sorted_entries() const;
+
  private:
   std::unordered_map<std::string, ServerWindowStats> by_2ld_;
   std::uint64_t window_requests_ = 0;
@@ -151,6 +165,15 @@ class StreamIngestor {
  public:
   explicit StreamIngestor(StreamConfig config);
 
+  // Recovery: adopts a rebuilt position — `window` holds sealed shards
+  // oldest-first, `open_shard` the unsealed epoch in progress. Aggregates
+  // are rebuilt from the window shards (the caller cross-checks them
+  // against the checkpointed copy).
+  static StreamIngestor restore(StreamConfig config, bool started,
+                                EpochId open_epoch, EpochShard open_shard,
+                                std::deque<std::shared_ptr<const EpochShard>> window,
+                                IngestStats stats);
+
   IngestResult ingest(const RequestEvent& event);
   IngestResult ingest(const ResolutionEvent& event);
   IngestResult ingest(const RedirectEvent& event);
@@ -163,6 +186,8 @@ class StreamIngestor {
   bool has_open_epoch() const noexcept { return started_; }
   EpochId open_epoch() const noexcept { return open_epoch_; }
   bool open_epoch_empty() const noexcept { return open_shard_.empty(); }
+  // The unsealed epoch in progress (checkpoints serialize its trace).
+  const EpochShard& open_shard() const noexcept { return open_shard_; }
 
   // Closed shards currently in the window, oldest first (at most
   // config.window_epochs of them; empty epochs included). Shards are

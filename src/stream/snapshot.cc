@@ -1,5 +1,8 @@
 #include "stream/snapshot.h"
 
+#include <algorithm>
+#include <initializer_list>
+
 #include "dns/domain.h"
 
 namespace smash::stream {
@@ -8,7 +11,8 @@ std::shared_ptr<const DetectionSnapshot> DetectionSnapshot::build(
     const core::SmashResult& result, const util::Interner& window_ips,
     std::size_t window_requests, const WindowAggregates& aggregates,
     const IngestStats& ingest, EpochId first_epoch, EpochId last_epoch,
-    std::uint64_t sequence) {
+    std::uint64_t sequence, RecoveryStats recovery,
+    const std::function<void()>& build_hook) {
   auto snap = std::shared_ptr<DetectionSnapshot>(new DetectionSnapshot());
   snap->first_epoch_ = first_epoch;
   snap->last_epoch_ = last_epoch;
@@ -20,6 +24,11 @@ std::shared_ptr<const DetectionSnapshot> DetectionSnapshot::build(
   snap->peak_resident_postings_bytes_ = result.peak_resident_postings_bytes();
   snap->louvain_stats_ = result.louvain_stats();
   snap->ingest_stats_ = ingest;
+  snap->recovery_stats_ = recovery;
+
+  // An exception here (or anywhere below) unwinds before the caller ever
+  // publishes `snap`: the previously published snapshot stays readable.
+  if (build_hook) build_hook();
 
   for (const auto& campaign : result.campaigns) {
     const auto campaign_index =
@@ -57,6 +66,53 @@ std::shared_ptr<const DetectionSnapshot> DetectionSnapshot::build(
 
   snap->built_at_ = std::chrono::steady_clock::now();
   return snap;
+}
+
+std::string DetectionSnapshot::digest() const {
+  std::string out;
+  const auto line = [&out](std::initializer_list<std::string> fields) {
+    bool first = true;
+    for (const auto& f : fields) {
+      if (!first) out += '\t';
+      out += f;
+      first = false;
+    }
+    out += '\n';
+  };
+  const auto num = [](std::uint64_t v) { return std::to_string(v); };
+
+  line({"epochs", num(first_epoch_), num(last_epoch_), num(sequence_)});
+  line({"window", num(window_requests_), num(kept_servers_),
+        num(postings_budget_exceeded_ ? 1 : 0)});
+  line({"ingest", num(ingest_stats_.requests), num(ingest_stats_.resolutions),
+        num(ingest_stats_.redirects), num(ingest_stats_.late_dropped),
+        num(ingest_stats_.late_folded)});
+  for (std::size_t i = 0; i < campaigns_.size(); ++i) {
+    const auto& c = campaigns_[i];
+    std::string servers;
+    for (const auto& s : c.servers) {
+      if (!servers.empty()) servers += ',';
+      servers += s;
+    }
+    line({"campaign", num(i), num(c.involved_clients),
+          num(c.single_client ? 1 : 0), servers});
+  }
+  const auto verdicts = [&](const char* tag,
+                            const std::unordered_map<std::string, ServerVerdict>& by) {
+    std::vector<std::string> keys;
+    keys.reserve(by.size());
+    for (const auto& [key, verdict] : by) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const auto& key : keys) {
+      const auto& v = by.at(key);
+      line({tag, key, num(v.campaign), num(v.campaign_servers),
+            num(v.single_client ? 1 : 0), num(v.window_requests),
+            num(v.active_epochs)});
+    }
+  };
+  verdicts("2ld", by_2ld_);
+  verdicts("ip", by_ip_);
+  return out;
 }
 
 const ServerVerdict* DetectionSnapshot::find_host(std::string_view host) const {

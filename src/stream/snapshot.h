@@ -48,12 +48,17 @@ class DetectionSnapshot {
   // `ingest` the ingest counters at the close that produced it. `sequence`
   // counts epoch closes, not publications: a jump of more than one records
   // intermediate windows skipped by a multi-epoch gap or by async-mining
-  // coalescing.
+  // coalescing. `recovery` is carried verbatim (all-zero for engines that
+  // never recovered). `build_hook`, when set, runs after the header fields
+  // are staged but before campaign assembly (StreamConfig::
+  // snapshot_test_hook); an exception it throws aborts the build before
+  // anything is published.
   static std::shared_ptr<const DetectionSnapshot> build(
       const core::SmashResult& result, const util::Interner& window_ips,
       std::size_t window_requests, const WindowAggregates& aggregates,
       const IngestStats& ingest, EpochId first_epoch, EpochId last_epoch,
-      std::uint64_t sequence);
+      std::uint64_t sequence, RecoveryStats recovery = {},
+      const std::function<void()>& build_hook = {});
 
   // Verdict for any requested hostname (aggregated to its effective 2LD
   // first, mirroring preprocessing), or nullptr when not flagged.
@@ -117,6 +122,17 @@ class DetectionSnapshot {
     return ingest_stats_.late_folded;
   }
 
+  // How this engine's state was rebuilt, when it came from
+  // StreamEngine::recover(); all-zero otherwise.
+  const RecoveryStats& recovery_stats() const noexcept { return recovery_stats_; }
+
+  // Deterministic, humanly diffable rendering of every verdict-bearing
+  // field (campaigns, per-2LD and per-IP verdicts sorted by key, window
+  // facts, ingest counters). Two snapshots over identical windows digest
+  // identically even across processes — the crash-recovery matrix compares
+  // pre-kill and post-recovery runs through this.
+  std::string digest() const;
+
  private:
   DetectionSnapshot() = default;
 
@@ -133,6 +149,7 @@ class DetectionSnapshot {
   std::size_t peak_resident_postings_bytes_ = 0;
   graph::LouvainStats louvain_stats_{};
   IngestStats ingest_stats_{};
+  RecoveryStats recovery_stats_{};
   std::chrono::steady_clock::time_point built_at_{};
 };
 

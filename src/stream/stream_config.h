@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "core/smash_config.h"
 
@@ -15,6 +16,30 @@ namespace smash::stream {
 
 // Epoch index: event time in seconds divided by StreamConfig::epoch_seconds.
 using EpochId = std::uint64_t;
+
+// When to fsync the write-ahead log (mirrors durability::FsyncPolicy —
+// kept integer-compatible; stream_config.h stays a leaf header).
+enum class WalFsync : std::uint8_t {
+  kOff = 0,          // page cache only: fastest, loses the OS-buffered tail
+  kOnSeal = 1,       // fsync at each epoch seal: bounded loss of one epoch
+  kEveryRecord = 2,  // fsync per event: no acked event ever lost
+};
+
+// How a StreamEngine::recover() run rebuilt its state; carried on every
+// DetectionSnapshot the recovered engine publishes (zeroed for engines that
+// never recovered).
+struct RecoveryStats {
+  bool recovered = false;        // this engine came from recover()
+  bool used_checkpoint = false;  // state seeded from a checkpoint
+  std::uint64_t checkpoint_closes = 0;   // closes_total at that checkpoint
+  std::uint64_t checkpoints_skipped = 0; // newer checkpoints that failed CRC
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t records_replayed = 0;  // WAL records applied (events + seals)
+  std::uint64_t events_replayed = 0;   // events among them
+  std::uint64_t bytes_replayed = 0;
+  std::uint64_t bytes_truncated = 0;   // torn tail cut from the last segment
+  double recovery_ms = 0.0;            // wall time of recover()
+};
 
 struct StreamConfig {
   // Epoch length (unit: seconds; default 3600 = one hour): long enough for
@@ -62,6 +87,32 @@ struct StreamConfig {
   // the error on the writer thread. Leave null in production.
   std::function<void()> mine_test_hook;
 
+  // Test hook: invoked inside DetectionSnapshot::build, after the header
+  // fields are staged but before campaign assembly. An exception it throws
+  // must leave the previously published snapshot untouched (no torn
+  // publish) — tests/stream_test.cc holds the engine to that. Leave null
+  // in production.
+  std::function<void()> snapshot_test_hook;
+
+  // --- durability ------------------------------------------------------------
+
+  // When non-empty, the engine write-ahead-logs every ingested event and
+  // epoch seal into this directory and checkpoints sealed state every
+  // `checkpoint_every_epochs` closes; StreamEngine::recover() rebuilds an
+  // equivalent engine from the directory after a crash. Empty (default)
+  // disables durability entirely. A fresh engine refuses a directory that
+  // already holds WAL/checkpoint state — that state is recover()'s input,
+  // not scratch to clobber.
+  std::string durability_dir;
+
+  // WAL fsync cadence; ignored without durability_dir.
+  WalFsync fsync_policy = WalFsync::kOnSeal;
+
+  // Checkpoint cadence (unit: epoch closes; default 8). Smaller = shorter
+  // replay after a crash, more checkpoint I/O. Must be >= 1 when
+  // durability is on (validate()).
+  std::uint32_t checkpoint_every_epochs = 8;
+
   // Pipeline tunables for each window re-mine. smash.num_threads sizes
   // the mining fan-out AND the parallel shard-preprocess merge
   // (core::merge_shard_pres); with async_mining those threads run inside
@@ -75,6 +126,12 @@ struct StreamConfig {
   EpochId epoch_of(std::uint64_t time_s) const noexcept {
     return epoch_seconds == 0 ? 0 : time_s / epoch_seconds;
   }
+
+  // Rejects nonsensical configurations (SMASH_CHECK — fatal in release
+  // builds too): zero-length epochs, an empty window, durability with a
+  // zero checkpoint cadence. Engine and ingestor constructors call this,
+  // so a bad config can never reach the ingest path.
+  void validate() const;
 };
 
 }  // namespace smash::stream

@@ -1,0 +1,108 @@
+// Little-endian binary encode/decode helpers shared by the durability
+// layer (WAL records, checkpoint blobs) and net::Trace event serialization.
+// Encoding appends to a std::string; decoding goes through BinaryReader,
+// whose accessors return false instead of reading past the end, so corrupt
+// or truncated input is always a detected failure, never UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace smash::util {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+// u32 length prefix + raw bytes.
+inline void put_bytes(std::string& out, std::string_view bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes.data(), bytes.size());
+}
+
+// Bounds-checked sequential reader over an immutable byte buffer. Every
+// accessor returns false on exhausted input and leaves the output
+// untouched; callers treat any false as corruption.
+struct BinaryReader {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  explicit BinaryReader(std::string_view bytes) : data(bytes) {}
+
+  std::size_t remaining() const noexcept { return data.size() - pos; }
+  bool done() const noexcept { return pos == data.size(); }
+
+  bool u8(std::uint8_t& v) {
+    if (remaining() < 1) return false;
+    v = static_cast<std::uint8_t>(data[pos++]);
+    return true;
+  }
+
+  bool u16(std::uint16_t& v) {
+    if (remaining() < 2) return false;
+    v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(static_cast<std::uint8_t>(data[pos + i]))
+                  << (8 * i));
+    }
+    pos += 2;
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + i]))
+           << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+
+  // Counterpart of put_bytes: length-prefixed view into the buffer (no copy).
+  bool bytes(std::string_view& v) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (remaining() < len) return false;
+    v = data.substr(pos, len);
+    pos += len;
+    return true;
+  }
+
+  bool str(std::string& v) {
+    std::string_view view;
+    if (!bytes(view)) return false;
+    v.assign(view);
+    return true;
+  }
+};
+
+}  // namespace smash::util

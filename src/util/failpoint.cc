@@ -1,0 +1,134 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace smash::util {
+
+namespace {
+
+struct SiteState {
+  FailPoint::Spec spec;
+  bool armed = false;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, SiteState> sites;
+  bool env_parsed = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during teardown
+  return *r;
+}
+
+// Registry-mutating core of FailPoint::arm; callers hold r.mutex.
+void arm_locked(Registry& r, const std::string& name, FailPoint::Spec spec) {
+  SiteState& site = r.sites[name];
+  site.spec = spec;
+  site.armed = true;
+  site.hits = 0;
+}
+
+// Parses one "<site>=<kind>[:<bytes>][@<skip>]" clause; ignores malformed
+// clauses rather than aborting — a typo in the env var should surface as
+// "failpoint never fired", not as a crash in an unrelated binary.
+void arm_clause(Registry& r, std::string_view clause) {
+  const auto eq = clause.find('=');
+  if (eq == std::string_view::npos || eq == 0) return;
+  const std::string name(clause.substr(0, eq));
+  std::string_view rest = clause.substr(eq + 1);
+
+  FailPoint::Spec spec;
+  if (const auto at = rest.find('@'); at != std::string_view::npos) {
+    spec.skip = std::strtoull(std::string(rest.substr(at + 1)).c_str(), nullptr, 10);
+    rest = rest.substr(0, at);
+  }
+  std::string_view kind = rest;
+  if (const auto colon = rest.find(':'); colon != std::string_view::npos) {
+    kind = rest.substr(0, colon);
+    spec.action.bytes =
+        std::strtoull(std::string(rest.substr(colon + 1)).c_str(), nullptr, 10);
+  }
+  if (kind == "error") {
+    spec.action.kind = FailAction::Kind::kError;
+  } else if (kind == "crash") {
+    spec.action.kind = FailAction::Kind::kCrash;
+  } else if (kind == "short") {
+    spec.action.kind = FailAction::Kind::kShortWrite;
+  } else {
+    return;
+  }
+  arm_locked(r, name, spec);
+}
+
+void parse_env_locked(Registry& r, bool force) {
+  if (r.env_parsed && !force) return;
+  r.env_parsed = true;
+  const char* env = std::getenv("SMASH_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string_view list(env);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t end = list.find_first_of(",;", start);
+    if (end == std::string_view::npos) end = list.size();
+    if (end > start) arm_clause(r, list.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+void FailPoint::arm(const std::string& name, Spec spec) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  arm_locked(r, name, spec);
+}
+
+void FailPoint::disarm(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  if (auto it = r.sites.find(name); it != r.sites.end()) it->second.armed = false;
+}
+
+void FailPoint::disarm_all() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.sites.clear();
+}
+
+FailAction FailPoint::consume(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  parse_env_locked(r, /*force=*/false);
+  auto it = r.sites.find(std::string(name));
+  if (it == r.sites.end() || !it->second.armed) return {};
+  SiteState& site = it->second;
+  const std::uint64_t hit = site.hits++;
+  if (hit < site.spec.skip) return {};
+  if (site.spec.fire_count != 0 &&
+      hit >= site.spec.skip + site.spec.fire_count) {
+    return {};
+  }
+  return site.spec.action;
+}
+
+std::uint64_t FailPoint::hits(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(std::string(name));
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+void FailPoint::arm_from_env() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  // Explicit calls re-read the variable (a harness can re-arm after
+  // disarm_all); the implicit call from consume() parses only once.
+  parse_env_locked(r, /*force=*/true);
+}
+
+}  // namespace smash::util

@@ -1,0 +1,75 @@
+// Named fault-injection sites for deterministic crash/corruption testing.
+//
+// Production code consults a site by name at the moment a fault could
+// occur (durability::File does this around every write/fsync/rename); a
+// disarmed site costs one mutex-guarded map lookup and does nothing. Tests
+// arm a site programmatically (FailPoint::arm) and external harnesses arm
+// through the SMASH_FAILPOINTS environment variable, so the same injection
+// points drive in-process unit tests and the CI kill/restart crash matrix.
+//
+// Crash semantics: a site returning kCrash (or kShortWrite, after letting
+// `bytes` through) makes the caller throw util::SimulatedCrash. The
+// exception unwinds like a process death for in-process tests — everything
+// already written to disk stays exactly as the crash left it, and the
+// durability layer marks itself dead so teardown paths write nothing more.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace smash::util {
+
+// Thrown at an armed injection site to simulate the process dying there.
+struct SimulatedCrash : std::runtime_error {
+  explicit SimulatedCrash(const std::string& site)
+      : std::runtime_error("simulated crash at failpoint: " + site) {}
+};
+
+struct FailAction {
+  enum class Kind : std::uint8_t {
+    kNone,        // proceed normally
+    kError,       // fail the operation cleanly (site raises its I/O error)
+    kShortWrite,  // let `bytes` bytes through, then simulate a crash
+    kCrash,       // simulate a crash before the operation does anything
+  };
+  Kind kind = Kind::kNone;
+  std::uint64_t bytes = 0;  // kShortWrite only
+};
+
+class FailPoint {
+ public:
+  struct Spec {
+    FailAction action;
+    // Hits to pass through unharmed before firing. skip=2 fires on the
+    // third time the site is reached.
+    std::uint64_t skip = 0;
+    // Fire this many times once reached (0 = every hit from `skip` on).
+    std::uint64_t fire_count = 1;
+  };
+
+  // Arms (or re-arms, resetting the hit counter) the named site.
+  static void arm(const std::string& name, Spec spec);
+  static void disarm(const std::string& name);
+  // Disarms every site and forgets all hit counters (test teardown).
+  static void disarm_all();
+
+  // Consults the site: counts the hit and returns the armed action when
+  // the hit counter has passed `skip` (kNone otherwise or when disarmed).
+  static FailAction consume(std::string_view name);
+
+  // Hits observed at the site since it was last (re)armed; sites never
+  // armed report 0. For test assertions.
+  static std::uint64_t hits(std::string_view name);
+
+  // Arms sites from SMASH_FAILPOINTS, a comma/semicolon-separated list of
+  //   <site>=<kind>[:<bytes>][@<skip>]
+  // with kind one of error | crash | short (short takes :<bytes>).
+  // Example: SMASH_FAILPOINTS="wal.write=short:7@12,ckpt.write=crash@1".
+  // The first consume() calls this once implicitly; explicit calls always
+  // re-read the variable.
+  static void arm_from_env();
+};
+
+}  // namespace smash::util

@@ -1,0 +1,954 @@
+// Durability layer tests: failpoint semantics, WAL/checkpoint codecs and
+// their corruption classification, DurableJournal rotation/resume, and
+// StreamEngine crash/recovery edge cases (seal-boundary crashes, torn
+// checkpoint installs, late events, cold starts). The randomized
+// crash-point matrix lives in tests/recovery_equivalence_test.cc; the WAL
+// corruption fuzzer in tests/fuzz_equivalence_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "durability/checkpoint.h"
+#include "durability/file.h"
+#include "durability/journal.h"
+#include "durability/recover.h"
+#include "durability/wal.h"
+#include "stream/engine.h"
+#include "stream_fuzz_helpers.h"
+#include "synth/stream_gen.h"
+#include "util/failpoint.h"
+#include "whois/whois.h"
+
+namespace smash {
+namespace {
+
+using durability::CheckpointState;
+using durability::DurableJournal;
+using durability::File;
+using durability::FsyncPolicy;
+using durability::RecoveryError;
+using durability::SealMarker;
+using durability::WalRecord;
+using durability::WalWriter;
+using util::FailAction;
+using util::FailPoint;
+using util::SimulatedCrash;
+
+// Fresh, self-cleaning directory under the system temp dir.
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / ("smash_dur_" + name))
+                 .string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+// Failpoints are process-global; every test that arms one runs under this
+// fixture so a failing assertion can never leak an armed site into the
+// next test.
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoint::disarm_all(); }
+  void TearDown() override { FailPoint::disarm_all(); }
+};
+
+stream::RequestEvent req_at(std::uint64_t t, const std::string& client,
+                            const std::string& host,
+                            const std::string& path = "/a") {
+  stream::RequestEvent e;
+  e.time_s = t;
+  e.client = client;
+  e.host = host;
+  e.path = path;
+  e.user_agent = "UA";
+  return e;
+}
+
+stream::ResolutionEvent res_at(std::uint64_t t, const std::string& host,
+                               const std::string& ip) {
+  stream::ResolutionEvent e;
+  e.time_s = t;
+  e.host = host;
+  e.ip = ip;
+  return e;
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::string data = File::read_all(path);
+  ASSERT_LT(offset, data.size());
+  data[offset] ^= 0x5a;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+// --- failpoints --------------------------------------------------------------
+
+TEST_F(DurabilityTest, FailPointSkipAndFireCountWindow) {
+  FailPoint::Spec spec;
+  spec.action.kind = FailAction::Kind::kError;
+  spec.skip = 2;
+  spec.fire_count = 2;
+  FailPoint::arm("fp.window", spec);
+
+  EXPECT_EQ(FailPoint::consume("fp.window").kind, FailAction::Kind::kNone);
+  EXPECT_EQ(FailPoint::consume("fp.window").kind, FailAction::Kind::kNone);
+  EXPECT_EQ(FailPoint::consume("fp.window").kind, FailAction::Kind::kError);
+  EXPECT_EQ(FailPoint::consume("fp.window").kind, FailAction::Kind::kError);
+  EXPECT_EQ(FailPoint::consume("fp.window").kind, FailAction::Kind::kNone);
+  EXPECT_EQ(FailPoint::hits("fp.window"), 5u);
+
+  FailPoint::disarm("fp.window");
+  EXPECT_EQ(FailPoint::consume("fp.window").kind, FailAction::Kind::kNone);
+  EXPECT_EQ(FailPoint::consume("fp.unarmed").kind, FailAction::Kind::kNone);
+  EXPECT_EQ(FailPoint::hits("fp.unarmed"), 0u);
+}
+
+TEST_F(DurabilityTest, FailPointShortWriteCarriesBytes) {
+  FailPoint::Spec spec;
+  spec.action.kind = FailAction::Kind::kShortWrite;
+  spec.action.bytes = 7;
+  FailPoint::arm("fp.short", spec);
+  const auto action = FailPoint::consume("fp.short");
+  EXPECT_EQ(action.kind, FailAction::Kind::kShortWrite);
+  EXPECT_EQ(action.bytes, 7u);
+}
+
+TEST_F(DurabilityTest, FailPointArmFromEnvParsesClauses) {
+  ::setenv("SMASH_FAILPOINTS", "env.a=error@1,env.b=short:7;env.c=crash", 1);
+  FailPoint::arm_from_env();
+  ::unsetenv("SMASH_FAILPOINTS");
+
+  EXPECT_EQ(FailPoint::consume("env.a").kind, FailAction::Kind::kNone);
+  EXPECT_EQ(FailPoint::consume("env.a").kind, FailAction::Kind::kError);
+  const auto b = FailPoint::consume("env.b");
+  EXPECT_EQ(b.kind, FailAction::Kind::kShortWrite);
+  EXPECT_EQ(b.bytes, 7u);
+  EXPECT_EQ(FailPoint::consume("env.c").kind, FailAction::Kind::kCrash);
+}
+
+TEST_F(DurabilityTest, FileWriteInjection) {
+  TempDir dir("file_inject");
+  File::make_dirs(dir.path);
+  const std::string path = dir.path + "/f";
+
+  {
+    File f = File::create(path, "t");
+    FailPoint::Spec spec;
+    spec.action.kind = FailAction::Kind::kError;
+    FailPoint::arm("t.write", spec);
+    EXPECT_THROW(f.write("abcdef"), durability::IoError);
+    FailPoint::disarm_all();
+  }
+  {
+    File f = File::create(path, "t");
+    FailPoint::Spec spec;
+    spec.action.kind = FailAction::Kind::kShortWrite;
+    spec.action.bytes = 3;
+    FailPoint::arm("t.write", spec);
+    EXPECT_THROW(f.write("abcdef"), SimulatedCrash);
+    FailPoint::disarm_all();
+  }
+  // The short write left exactly the injected prefix on disk.
+  EXPECT_EQ(File::read_all(path), "abc");
+
+  FailPoint::Spec spec;
+  spec.action.kind = FailAction::Kind::kCrash;
+  FailPoint::arm("t.rename", spec);
+  EXPECT_THROW(File::rename_file(path, dir.path + "/g", "t"), SimulatedCrash);
+  EXPECT_FALSE(File::exists(dir.path + "/g"));
+}
+
+// --- WAL codec and scanning --------------------------------------------------
+
+TEST(WalCodec, RecordRoundtrip) {
+  auto req = req_at(42, "c1", "h1.test", "/p?x=1");
+  req.referrer = "ref.test";
+  req.method = net::Method::kPost;
+  req.status = 503;
+  const auto decoded_req =
+      durability::decode_record(durability::encode_record(WalRecord{req}));
+  ASSERT_TRUE(decoded_req.has_value());
+  const auto& r = std::get<stream::RequestEvent>(*decoded_req);
+  EXPECT_EQ(r.time_s, 42u);
+  EXPECT_EQ(r.client, "c1");
+  EXPECT_EQ(r.host, "h1.test");
+  EXPECT_EQ(r.path, "/p?x=1");
+  EXPECT_EQ(r.user_agent, "UA");
+  EXPECT_EQ(r.referrer, "ref.test");
+  EXPECT_EQ(r.method, net::Method::kPost);
+  EXPECT_EQ(r.status, 503);
+
+  const auto decoded_res = durability::decode_record(
+      durability::encode_record(WalRecord{res_at(7, "h.test", "10.0.0.1")}));
+  ASSERT_TRUE(decoded_res.has_value());
+  EXPECT_EQ(std::get<stream::ResolutionEvent>(*decoded_res).ip, "10.0.0.1");
+
+  stream::RedirectEvent redir;
+  redir.time_s = 9;
+  redir.from = "a.test";
+  redir.to = "b.test";
+  const auto decoded_redir =
+      durability::decode_record(durability::encode_record(WalRecord{redir}));
+  ASSERT_TRUE(decoded_redir.has_value());
+  EXPECT_EQ(std::get<stream::RedirectEvent>(*decoded_redir).to, "b.test");
+
+  const auto decoded_seal = durability::decode_record(
+      durability::encode_record(WalRecord{SealMarker{123}}));
+  ASSERT_TRUE(decoded_seal.has_value());
+  EXPECT_EQ(std::get<SealMarker>(*decoded_seal).epoch, 123u);
+}
+
+TEST(WalCodec, DecodeRejectsMalformedPayloads) {
+  EXPECT_FALSE(durability::decode_record("").has_value());
+  EXPECT_FALSE(durability::decode_record("\x63junk").has_value());  // type 0x63
+  // Truncated body of a valid type.
+  const auto seal = durability::encode_record(WalRecord{SealMarker{5}});
+  EXPECT_FALSE(durability::decode_record(seal.substr(0, seal.size() - 1)).has_value());
+  // Trailing garbage after a complete body (done() must hold).
+  EXPECT_FALSE(durability::decode_record(seal + "x").has_value());
+  // Out-of-range method byte: encoded request with method patched to 9.
+  auto req = durability::encode_record(WalRecord{req_at(1, "c", "h.test")});
+  req[1 + 8] = 9;  // type byte + u64 time_s, then the method byte
+  EXPECT_FALSE(durability::decode_record(req).has_value());
+}
+
+TEST(WalCodec, SegmentNameRoundtrip) {
+  const auto name = durability::segment_file_name(42);
+  EXPECT_EQ(name, "wal-000000000042.log");
+  const auto parsed = durability::parse_segment_file_name(name);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, 42u);
+  EXPECT_FALSE(durability::parse_segment_file_name("wal-xyz.log").has_value());
+  EXPECT_FALSE(durability::parse_segment_file_name("wal-42.log").has_value());
+  EXPECT_FALSE(
+      durability::parse_segment_file_name("ckpt-000000000042.log").has_value());
+}
+
+TEST(WalCodec, WriterThenScanRoundtrip) {
+  TempDir dir("wal_scan");
+  File::make_dirs(dir.path);
+  std::vector<std::string> payloads = {
+      durability::encode_record(WalRecord{req_at(1, "c", "h.test")}),
+      durability::encode_record(WalRecord{res_at(2, "h.test", "10.0.0.1")}),
+      durability::encode_record(WalRecord{SealMarker{0}}),
+  };
+  {
+    WalWriter writer(dir.path, 1);
+    for (const auto& p : payloads) writer.append(p);
+  }
+  const std::string data =
+      File::read_all(dir.path + "/" + durability::segment_file_name(1));
+  std::size_t i = 0;
+  const auto scan = durability::scan_records(data, 0, [&](std::string_view p) {
+    EXPECT_EQ(p, payloads[i++]);
+    return true;
+  });
+  EXPECT_TRUE(scan.clean);
+  EXPECT_EQ(scan.records, 3u);
+  EXPECT_EQ(scan.valid_bytes, data.size());
+}
+
+TEST(WalCodec, ScanStopsAtTornTailAndCrcFlips) {
+  TempDir dir("wal_torn");
+  File::make_dirs(dir.path);
+  std::uint64_t two_records = 0;
+  {
+    WalWriter writer(dir.path, 1);
+    writer.append(durability::encode_record(WalRecord{req_at(1, "c", "h.test")}));
+    writer.append(durability::encode_record(WalRecord{SealMarker{0}}));
+    two_records = writer.offset();
+    writer.append(durability::encode_record(WalRecord{req_at(700, "c", "h.test")}));
+  }
+  const std::string path = dir.path + "/" + durability::segment_file_name(1);
+  const std::string intact = File::read_all(path);
+
+  // Torn mid-record: valid prefix ends at the last record boundary.
+  const auto torn = durability::scan_records(
+      intact.substr(0, two_records + 5), 0, [](std::string_view) { return true; });
+  EXPECT_FALSE(torn.clean);
+  EXPECT_EQ(torn.records, 2u);
+  EXPECT_EQ(torn.valid_bytes, two_records);
+
+  // Flipped payload byte: CRC catches it at the same boundary.
+  std::string flipped = intact;
+  flipped[two_records + 10] ^= 0x5a;
+  const auto crc = durability::scan_records(flipped, 0,
+                                            [](std::string_view) { return true; });
+  EXPECT_FALSE(crc.clean);
+  EXPECT_EQ(crc.records, 2u);
+  EXPECT_EQ(crc.error, "CRC32C mismatch");
+
+  // A zeroed length field can never swallow the segment.
+  std::string zeroed = intact;
+  for (int b = 0; b < 4; ++b) zeroed[two_records + b] = '\0';
+  const auto impossible = durability::scan_records(
+      zeroed, 0, [](std::string_view) { return true; });
+  EXPECT_FALSE(impossible.clean);
+  EXPECT_EQ(impossible.error, "impossible record length");
+}
+
+// --- checkpoint codec --------------------------------------------------------
+
+CheckpointState sample_checkpoint() {
+  CheckpointState s;
+  s.epoch_seconds = 600;
+  s.window_epochs = 3;
+  s.drop_late_events = false;
+  s.closes_total = 5;
+  s.records_logged = 42;
+  s.started = true;
+  s.open_epoch = 6;
+  s.ingest_stats.requests = 100;
+  s.ingest_stats.late_folded = 2;
+  s.replay_segment = 4;
+  s.replay_offset = 99;
+  s.window.push_back({3, 0xdeadbeefu, std::string("shard-three-bytes")});
+  s.window.push_back({4, 0x1234u, std::string("shard-four")});
+  s.open_trace_bytes = "open-shard";
+  s.window_requests = 123;
+  s.aggregates.push_back({"evil.test", 50, 3, 2});
+  s.aggregates.push_back({"site.org", 73, 0, 3});
+  return s;
+}
+
+TEST(CheckpointCodec, Roundtrip) {
+  const CheckpointState s = sample_checkpoint();
+  const auto decoded = durability::decode_checkpoint(durability::encode_checkpoint(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epoch_seconds, s.epoch_seconds);
+  EXPECT_EQ(decoded->window_epochs, s.window_epochs);
+  EXPECT_EQ(decoded->drop_late_events, s.drop_late_events);
+  EXPECT_EQ(decoded->closes_total, s.closes_total);
+  EXPECT_EQ(decoded->records_logged, s.records_logged);
+  EXPECT_EQ(decoded->started, s.started);
+  EXPECT_EQ(decoded->open_epoch, s.open_epoch);
+  EXPECT_EQ(decoded->ingest_stats.requests, s.ingest_stats.requests);
+  EXPECT_EQ(decoded->ingest_stats.late_folded, s.ingest_stats.late_folded);
+  EXPECT_EQ(decoded->replay_segment, s.replay_segment);
+  EXPECT_EQ(decoded->replay_offset, s.replay_offset);
+  ASSERT_EQ(decoded->window.size(), 2u);
+  EXPECT_EQ(decoded->window[0].epoch, 3u);
+  EXPECT_EQ(decoded->window[0].pre_fingerprint, 0xdeadbeefu);
+  EXPECT_EQ(decoded->window[0].trace_bytes, "shard-three-bytes");
+  EXPECT_EQ(decoded->window[1].trace_bytes, "shard-four");
+  EXPECT_EQ(decoded->open_trace_bytes, "open-shard");
+  EXPECT_EQ(decoded->window_requests, 123u);
+  ASSERT_EQ(decoded->aggregates.size(), 2u);
+  EXPECT_EQ(decoded->aggregates[0].host_2ld, "evil.test");
+  EXPECT_EQ(decoded->aggregates[0].requests, 50u);
+  EXPECT_EQ(decoded->aggregates[1].active_epochs, 3u);
+}
+
+TEST(CheckpointCodec, EveryByteFlipIsRejected) {
+  const auto blob = durability::encode_checkpoint(sample_checkpoint());
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    std::string corrupt = blob;
+    corrupt[i] ^= 0x5a;
+    EXPECT_FALSE(durability::decode_checkpoint(corrupt).has_value())
+        << "flip at byte " << i;
+  }
+  EXPECT_FALSE(durability::decode_checkpoint(blob.substr(0, blob.size() - 1))
+                   .has_value());
+  EXPECT_FALSE(durability::decode_checkpoint("").has_value());
+}
+
+TEST(CheckpointCodec, FileNameRoundtrip) {
+  const auto name = durability::checkpoint_file_name(7, 3);
+  const auto parsed = durability::parse_checkpoint_file_name(name);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->closes, 7u);
+  EXPECT_EQ(parsed->replay_segment, 3u);
+  EXPECT_FALSE(durability::parse_checkpoint_file_name("ckpt.tmp").has_value());
+  EXPECT_FALSE(durability::parse_checkpoint_file_name(
+                   durability::segment_file_name(1))
+                   .has_value());
+  // Lexical order == (closes, segment) order, which pruning relies on.
+  EXPECT_LT(durability::checkpoint_file_name(9, 2),
+            durability::checkpoint_file_name(10, 1));
+}
+
+TEST_F(DurabilityTest, CheckpointInstallIsAtomic) {
+  TempDir dir("ckpt_atomic");
+  File::make_dirs(dir.path);
+  const CheckpointState s = sample_checkpoint();
+  durability::write_checkpoint_file(dir.path, s, FsyncPolicy::kOnSeal);
+  EXPECT_FALSE(File::exists(dir.path + "/ckpt.tmp"));
+  const auto loaded = durability::load_latest_checkpoint(dir.path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->closes_total, s.closes_total);
+}
+
+TEST_F(DurabilityTest, CrashDuringCheckpointInstallLeavesNoCheckpoint) {
+  for (const char* site : {"ckpt.write", "ckpt.fsync", "ckpt.rename"}) {
+    TempDir dir(std::string("ckpt_crash_") +
+                (site + 5));  // strip the "ckpt." prefix for the dir name
+    File::make_dirs(dir.path);
+    FailPoint::Spec spec;
+    spec.action.kind = FailAction::Kind::kCrash;
+    FailPoint::arm(site, spec);
+    EXPECT_THROW(durability::write_checkpoint_file(dir.path, sample_checkpoint(),
+                                                   FsyncPolicy::kOnSeal),
+                 SimulatedCrash)
+        << site;
+    FailPoint::disarm_all();
+    // Nothing installed; at worst ckpt.tmp lingers and recovery ignores it.
+    EXPECT_FALSE(durability::load_latest_checkpoint(dir.path).has_value()) << site;
+  }
+}
+
+TEST_F(DurabilityTest, LoadSkipsCorruptNewestCheckpoint) {
+  TempDir dir("ckpt_skip");
+  File::make_dirs(dir.path);
+  CheckpointState older = sample_checkpoint();
+  older.closes_total = 1;
+  CheckpointState newer = sample_checkpoint();
+  newer.closes_total = 2;
+  durability::write_checkpoint_file(dir.path, older, FsyncPolicy::kOff);
+  durability::write_checkpoint_file(dir.path, newer, FsyncPolicy::kOff);
+  flip_byte(dir.path + "/" +
+                durability::checkpoint_file_name(2, newer.replay_segment),
+            30);
+  std::uint64_t skipped = 0;
+  const auto loaded = durability::load_latest_checkpoint(dir.path, &skipped);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->closes_total, 1u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+// --- journal rotation, resume, fail-stop -------------------------------------
+
+TEST_F(DurabilityTest, JournalRotatesOnSealAndCreatesSegmentsLazily) {
+  TempDir dir("journal_rotate");
+  DurableJournal journal(dir.path, FsyncPolicy::kOff);
+  EXPECT_FALSE(DurableJournal::dir_has_state(dir.path));
+
+  journal.append(req_at(1, "c", "h.test"));
+  journal.append(res_at(2, "h.test", "10.0.0.1"));
+  EXPECT_TRUE(DurableJournal::dir_has_state(dir.path));
+  EXPECT_EQ(journal.position().segment, 1u);
+  EXPECT_GT(journal.position().offset, 0u);
+
+  journal.seal_epoch(0);
+  EXPECT_EQ(journal.records_logged(), 3u);
+  EXPECT_EQ(journal.position().segment, 2u);
+  EXPECT_EQ(journal.position().offset, 0u);
+  // Rotation is lazy: no segment-2 file until the next append.
+  EXPECT_TRUE(File::exists(dir.path + "/" + durability::segment_file_name(1)));
+  EXPECT_FALSE(File::exists(dir.path + "/" + durability::segment_file_name(2)));
+  journal.append(req_at(700, "c", "h.test"));
+  EXPECT_TRUE(File::exists(dir.path + "/" + durability::segment_file_name(2)));
+}
+
+TEST_F(DurabilityTest, JournalDirHasStateSeesCheckpointsToo) {
+  TempDir dir("journal_state");
+  EXPECT_FALSE(DurableJournal::dir_has_state(dir.path));  // missing dir
+  File::make_dirs(dir.path);
+  EXPECT_FALSE(DurableJournal::dir_has_state(dir.path));  // empty dir
+  durability::write_checkpoint_file(dir.path, sample_checkpoint(),
+                                    FsyncPolicy::kOff);
+  EXPECT_TRUE(DurableJournal::dir_has_state(dir.path));
+}
+
+TEST_F(DurabilityTest, JournalIsDeadAfterFirstFailure) {
+  TempDir dir("journal_dead");
+  DurableJournal journal(dir.path, FsyncPolicy::kOff);
+  journal.append(req_at(1, "c", "h.test"));
+
+  FailPoint::Spec spec;
+  spec.action.kind = FailAction::Kind::kError;
+  FailPoint::arm("wal.write", spec);
+  EXPECT_THROW(journal.append(req_at(2, "c", "h.test")), durability::IoError);
+  EXPECT_TRUE(journal.dead());
+  FailPoint::disarm_all();
+
+  // Dead journals no-op: the on-disk image stays exactly as the failure
+  // left it, and counters freeze.
+  const auto size_before =
+      File::size_of(dir.path + "/" + durability::segment_file_name(1));
+  journal.append(req_at(3, "c", "h.test"));
+  journal.seal_epoch(0);
+  EXPECT_EQ(File::size_of(dir.path + "/" + durability::segment_file_name(1)),
+            size_before);
+  EXPECT_EQ(journal.records_logged(), 1u);
+}
+
+TEST_F(DurabilityTest, JournalResumeContinuesSegment) {
+  TempDir dir("journal_resume");
+  std::uint64_t offset = 0;
+  {
+    DurableJournal journal(dir.path, FsyncPolicy::kOff);
+    journal.append(req_at(1, "c", "h.test"));
+    journal.append(req_at(2, "c", "h.test"));
+    offset = journal.position().offset;
+  }
+  DurableJournal resumed(dir.path, FsyncPolicy::kOff, {1, offset}, 2);
+  EXPECT_EQ(resumed.position().segment, 1u);
+  EXPECT_EQ(resumed.position().offset, offset);
+  EXPECT_EQ(resumed.records_logged(), 2u);
+  resumed.append(req_at(3, "c", "h.test"));
+  EXPECT_GT(resumed.position().offset, offset);
+
+  const std::string data =
+      File::read_all(dir.path + "/" + durability::segment_file_name(1));
+  const auto scan =
+      durability::scan_records(data, 0, [](std::string_view) { return true; });
+  EXPECT_TRUE(scan.clean);
+  EXPECT_EQ(scan.records, 3u);
+}
+
+// --- replay classification ---------------------------------------------------
+
+TEST_F(DurabilityTest, ReplayTruncatesTornTailOfLastSegment) {
+  TempDir dir("replay_torn");
+  DurableJournal journal(dir.path, FsyncPolicy::kOff);
+  journal.append(req_at(1, "c", "h.test"));
+  journal.append(req_at(2, "c", "h.test"));
+  const std::string path = dir.path + "/" + durability::segment_file_name(1);
+  const auto intact_size = File::size_of(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write("\x01\x02\x03", 3);  // torn header of a half-written record
+  }
+
+  std::uint64_t applied = 0;
+  const auto stats = durability::replay_wal(
+      dir.path, 1, 0, [&](const WalRecord&) { ++applied; });
+  EXPECT_EQ(applied, 2u);
+  EXPECT_EQ(stats.records_replayed, 2u);
+  EXPECT_EQ(stats.events_replayed, 2u);
+  EXPECT_EQ(stats.bytes_truncated, 3u);
+  EXPECT_EQ(stats.next_segment, 1u);
+  EXPECT_EQ(stats.next_offset, intact_size);
+  // The torn tail is gone from disk, not just skipped.
+  EXPECT_EQ(File::size_of(path), intact_size);
+}
+
+TEST_F(DurabilityTest, ReplayFailsLoudlyOnEarlierSegmentCorruption) {
+  TempDir dir("replay_earlier");
+  DurableJournal journal(dir.path, FsyncPolicy::kOff);
+  journal.append(req_at(1, "c", "h.test"));
+  journal.seal_epoch(0);
+  journal.append(req_at(700, "c", "h.test"));
+  flip_byte(dir.path + "/" + durability::segment_file_name(1), 12);
+  EXPECT_THROW(durability::replay_wal(dir.path, 1, 0, [](const WalRecord&) {}),
+               RecoveryError);
+}
+
+TEST_F(DurabilityTest, ReplayFailsLoudlyOnSegmentGapOrMissingStart) {
+  TempDir dir("replay_gap");
+  DurableJournal journal(dir.path, FsyncPolicy::kOff);
+  journal.append(req_at(1, "c", "h.test"));
+  journal.seal_epoch(0);
+  journal.append(req_at(700, "c", "h.test"));
+  // Segment 2 -> 3 leaves a hole at 2.
+  std::filesystem::rename(dir.path + "/" + durability::segment_file_name(2),
+                          dir.path + "/" + durability::segment_file_name(3));
+  EXPECT_THROW(durability::replay_wal(dir.path, 1, 0, [](const WalRecord&) {}),
+               RecoveryError);
+
+  // Oldest present segment is past the replay position.
+  File::remove_file(dir.path + "/" + durability::segment_file_name(1));
+  EXPECT_THROW(durability::replay_wal(dir.path, 1, 0, [](const WalRecord&) {}),
+               RecoveryError);
+
+  // A checkpoint pointing into a missing segment must not cold-start.
+  TempDir empty("replay_missing");
+  File::make_dirs(empty.path);
+  EXPECT_THROW(durability::replay_wal(empty.path, 1, 40, [](const WalRecord&) {}),
+               RecoveryError);
+  // ...but a position at the start of a not-yet-created segment is the
+  // normal crash-right-after-seal shape.
+  std::uint64_t applied = 0;
+  const auto stats = durability::replay_wal(empty.path, 2, 0,
+                                            [&](const WalRecord&) { ++applied; });
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(stats.next_segment, 2u);
+  EXPECT_EQ(stats.next_offset, 0u);
+}
+
+TEST_F(DurabilityTest, ReplayFailsLoudlyOnUndecodableCrcValidRecord) {
+  TempDir dir("replay_undecodable");
+  File::make_dirs(dir.path);
+  {
+    WalWriter writer(dir.path, 1);
+    writer.append(durability::encode_record(WalRecord{req_at(1, "c", "h.test")}));
+    writer.append("\x63junk");  // CRC-valid frame, unknown record type
+  }
+  EXPECT_THROW(durability::replay_wal(dir.path, 1, 0, [](const WalRecord&) {}),
+               RecoveryError);
+}
+
+TEST_F(DurabilityTest, ReplayAdvancesPastSealTerminatedSegment) {
+  TempDir dir("replay_sealed");
+  DurableJournal journal(dir.path, FsyncPolicy::kOff);
+  journal.append(req_at(1, "c", "h.test"));
+  journal.seal_epoch(0);
+  const auto stats =
+      durability::replay_wal(dir.path, 1, 0, [](const WalRecord&) {});
+  EXPECT_EQ(stats.records_replayed, 2u);
+  EXPECT_EQ(stats.events_replayed, 1u);
+  EXPECT_EQ(stats.next_segment, 2u);
+  EXPECT_EQ(stats.next_offset, 0u);
+}
+
+// --- engine-level recovery ---------------------------------------------------
+
+stream::StreamConfig durable_config(const std::string& dir,
+                                    stream::WalFsync policy,
+                                    std::uint32_t checkpoint_every) {
+  stream::StreamConfig config;
+  config.epoch_seconds = 600;
+  config.window_epochs = 3;
+  config.smash.idf_threshold = 50;
+  config.durability_dir = dir;
+  config.fsync_policy = policy;
+  config.checkpoint_every_epochs = checkpoint_every;
+  return config;
+}
+
+// The non-durable twin of `config`, fed the same events as the oracle.
+stream::StreamConfig reference_of(stream::StreamConfig config) {
+  config.durability_dir.clear();
+  return config;
+}
+
+void feed_range(stream::StreamEngine& engine,
+                const std::vector<synth::StreamEvent>& events, std::size_t from,
+                std::size_t to) {
+  for (std::size_t i = from; i < to; ++i) synth::ingest_event(engine, events[i]);
+}
+
+TEST_F(DurabilityTest, ColdStartRecoverIsAFreshEngine) {
+  TempDir dir("engine_cold");
+  const whois::Registry registry;
+  auto config = durable_config(dir.path, stream::WalFsync::kOff, 4);
+  auto engine = stream::StreamEngine::recover(config, registry);
+  EXPECT_TRUE(engine->recovery_stats().recovered);
+  EXPECT_FALSE(engine->recovery_stats().used_checkpoint);
+  EXPECT_EQ(engine->recovery_stats().records_replayed, 0u);
+  EXPECT_EQ(engine->snapshot(), nullptr);
+
+  const auto events = test::random_schedule(3);
+  feed_range(*engine, events, 0, events.size());
+  engine->finish();
+
+  stream::StreamEngine reference(reference_of(config), registry);
+  feed_range(reference, events, 0, events.size());
+  reference.finish();
+
+  const auto recovered_snap = engine->snapshot();
+  const auto reference_snap = reference.snapshot();
+  ASSERT_NE(recovered_snap, nullptr);
+  ASSERT_NE(reference_snap, nullptr);
+  test::expect_identical_snapshots(*recovered_snap, *reference_snap);
+}
+
+TEST_F(DurabilityTest, WalOnlyRecoveryMatchesUninterruptedRun) {
+  TempDir dir("engine_walonly");
+  const whois::Registry registry;
+  // Checkpoint cadence far past the schedule: recovery replays pure WAL.
+  const auto config = durable_config(dir.path, stream::WalFsync::kOnSeal, 1000000);
+  const auto events = test::random_schedule(5);
+  const std::size_t cut = events.size() / 2;
+
+  {
+    stream::StreamEngine engine(config, registry);
+    feed_range(engine, events, 0, cut);
+    // Dropped without finish(): the open epoch's tail lives only in the WAL.
+  }
+
+  auto recovered = stream::StreamEngine::recover(config, registry);
+  EXPECT_TRUE(recovered->recovery_stats().recovered);
+  EXPECT_FALSE(recovered->recovery_stats().used_checkpoint);
+  EXPECT_GT(recovered->recovery_stats().records_replayed, 0u);
+  feed_range(*recovered, events, cut, events.size());
+  recovered->finish();
+
+  stream::StreamEngine reference(reference_of(config), registry);
+  feed_range(reference, events, 0, events.size());
+  reference.finish();
+
+  const auto recovered_snap = recovered->snapshot();
+  const auto reference_snap = reference.snapshot();
+  ASSERT_NE(recovered_snap, nullptr);
+  ASSERT_NE(reference_snap, nullptr);
+  test::expect_identical_snapshots(*recovered_snap, *reference_snap);
+}
+
+TEST_F(DurabilityTest, CheckpointedRecoveryReplaysOnlyTheTail) {
+  TempDir dir("engine_ckpt");
+  const whois::Registry registry;
+  const auto config = durable_config(dir.path, stream::WalFsync::kOnSeal, 2);
+  const auto events = test::random_schedule(6);
+
+  {
+    stream::StreamEngine engine(config, registry);
+    feed_range(engine, events, 0, events.size());
+    engine.finish();
+  }
+
+  auto recovered = stream::StreamEngine::recover(config, registry);
+  EXPECT_TRUE(recovered->recovery_stats().used_checkpoint);
+  EXPECT_GT(recovered->recovery_stats().checkpoint_closes, 0u);
+
+  stream::StreamEngine reference(reference_of(config), registry);
+  feed_range(reference, events, 0, events.size());
+  reference.finish();
+
+  const auto recovered_snap = recovered->snapshot();
+  const auto reference_snap = reference.snapshot();
+  ASSERT_NE(recovered_snap, nullptr);
+  ASSERT_NE(reference_snap, nullptr);
+  test::expect_identical_snapshots(*recovered_snap, *reference_snap);
+}
+
+// Crash exactly at the epoch-seal boundary, in all three shapes: before the
+// seal record hits disk, torn mid-seal-record, and after the record but
+// before its fsync. Recovery must land on the same state every time an
+// uninterrupted engine would reach by replaying the surviving prefix.
+TEST_F(DurabilityTest, CrashAtSealBoundaryRecovers) {
+  struct Shape {
+    const char* name;
+    const char* site;
+    FailAction action;
+    std::uint64_t skip;
+    bool seal_survives;
+  };
+  const Shape shapes[] = {
+      // Armed after the two epoch-0 events are journaled, so the seal
+      // record that events[2] forces is the first "wal.write" hit.
+      {"before_seal_write", "wal.write", {FailAction::Kind::kCrash, 0}, 0, false},
+      {"torn_seal_write", "wal.write", {FailAction::Kind::kShortWrite, 5}, 0, false},
+      // Under kOnSeal only the seal fsyncs, which happens after its append.
+      {"at_seal_fsync", "wal.fsync", {FailAction::Kind::kCrash, 0}, 0, true},
+  };
+  const whois::Registry registry;
+  const std::vector<synth::StreamEvent> events = {
+      synth::StreamEvent{req_at(10, "bot0", "evil0.test", "/beacon.exe")},
+      synth::StreamEvent{res_at(20, "evil0.test", "10.9.0.1")},
+      synth::StreamEvent{req_at(700, "bot1", "evil0.test", "/beacon.exe")},
+      synth::StreamEvent{req_at(800, "bot0", "evil1.test", "/beacon.exe")},
+  };
+
+  for (const Shape& shape : shapes) {
+    SCOPED_TRACE(shape.name);
+    TempDir dir(std::string("engine_seal_") + shape.name);
+    const auto config =
+        durable_config(dir.path, stream::WalFsync::kOnSeal, 1000000);
+    {
+      stream::StreamEngine engine(config, registry);
+      synth::ingest_event(engine, events[0]);
+      synth::ingest_event(engine, events[1]);
+      FailPoint::Spec spec;
+      spec.action = shape.action;
+      spec.skip = shape.skip;
+      FailPoint::arm(shape.site, spec);
+      // events[2] belongs to epoch 1: sealing epoch 0 hits the failpoint.
+      EXPECT_THROW(synth::ingest_event(engine, events[2]), SimulatedCrash);
+      FailPoint::disarm_all();
+    }
+
+    auto recovered = stream::StreamEngine::recover(config, registry);
+    EXPECT_EQ(recovered->recovery_stats().events_replayed, 2u);
+    EXPECT_EQ(recovered->epochs_closed_total(), shape.seal_survives ? 1u : 0u);
+    if (shape.action.kind == FailAction::Kind::kShortWrite) {
+      EXPECT_GT(recovered->recovery_stats().bytes_truncated, 0u);
+    }
+    // The crashed event was never acked; the client retries it.
+    feed_range(*recovered, events, 2, events.size());
+    recovered->finish();
+
+    stream::StreamEngine reference(reference_of(config), registry);
+    feed_range(reference, events, 0, events.size());
+    reference.finish();
+
+    const auto recovered_snap = recovered->snapshot();
+    const auto reference_snap = reference.snapshot();
+    ASSERT_NE(recovered_snap, nullptr);
+    ASSERT_NE(reference_snap, nullptr);
+    test::expect_identical_snapshots(*recovered_snap, *reference_snap);
+  }
+}
+
+// Crash during the *second* checkpoint's install: the stale first
+// checkpoint plus the longer WAL tail must win.
+TEST_F(DurabilityTest, CrashDuringCheckpointWriteFallsBackToOlderCheckpoint) {
+  for (const char* site : {"ckpt.write", "ckpt.rename"}) {
+    SCOPED_TRACE(site);
+    TempDir dir(std::string("engine_ckpt_crash_") + (site + 5));
+    const whois::Registry registry;
+    const auto config = durable_config(dir.path, stream::WalFsync::kOnSeal, 1);
+    const auto events = test::random_schedule(9);
+    std::size_t crashed_at = events.size();
+    {
+      stream::StreamEngine engine(config, registry);
+      FailPoint::Spec spec;
+      spec.action.kind = FailAction::Kind::kCrash;
+      spec.skip = 1;  // first checkpoint installs, second crashes
+      FailPoint::arm(site, spec);
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        try {
+          synth::ingest_event(engine, events[i]);
+        } catch (const SimulatedCrash&) {
+          crashed_at = i;
+          break;
+        }
+      }
+      FailPoint::disarm_all();
+      ASSERT_LT(crashed_at, events.size()) << "schedule closed < 2 epochs";
+    }
+
+    auto recovered = stream::StreamEngine::recover(config, registry);
+    EXPECT_TRUE(recovered->recovery_stats().used_checkpoint);
+    // The tail since the surviving checkpoint replayed from the WAL.
+    EXPECT_GT(recovered->recovery_stats().records_replayed, 0u);
+    // The event whose close triggered the crashed checkpoint was journaled
+    // and ingested before the crash, so it is NOT re-fed.
+    feed_range(*recovered, events, crashed_at + 1, events.size());
+    recovered->finish();
+
+    stream::StreamEngine reference(reference_of(config), registry);
+    feed_range(reference, events, 0, events.size());
+    reference.finish();
+
+    const auto recovered_snap = recovered->snapshot();
+    const auto reference_snap = reference.snapshot();
+    ASSERT_NE(recovered_snap, nullptr);
+    ASSERT_NE(reference_snap, nullptr);
+    test::expect_identical_snapshots(*recovered_snap, *reference_snap);
+  }
+}
+
+TEST_F(DurabilityTest, LateEventsSurviveRecoveryUnderBothPolicies) {
+  for (const bool drop_late : {true, false}) {
+    SCOPED_TRACE(drop_late ? "drop" : "fold");
+    TempDir dir(std::string("engine_late_") + (drop_late ? "drop" : "fold"));
+    const whois::Registry registry;
+    auto config = durable_config(dir.path, stream::WalFsync::kOff, 1000000);
+    config.drop_late_events = drop_late;
+    const std::vector<synth::StreamEvent> events = {
+        synth::StreamEvent{req_at(10, "bot0", "evil0.test", "/beacon.exe")},
+        synth::StreamEvent{req_at(700, "bot1", "evil0.test", "/beacon.exe")},
+        synth::StreamEvent{req_at(5, "bot0", "evil0.test", "/beacon.exe")},  // late
+        synth::StreamEvent{req_at(1300, "bot1", "evil0.test", "/beacon.exe")},
+    };
+    {
+      stream::StreamEngine engine(config, registry);
+      feed_range(engine, events, 0, 3);  // late event journaled pre-crash
+    }
+    auto recovered = stream::StreamEngine::recover(config, registry);
+    feed_range(*recovered, events, 3, events.size());
+    recovered->finish();
+
+    stream::StreamEngine reference(reference_of(config), registry);
+    feed_range(reference, events, 0, events.size());
+    reference.finish();
+
+    const auto recovered_snap = recovered->snapshot();
+    const auto reference_snap = reference.snapshot();
+    ASSERT_NE(recovered_snap, nullptr);
+    ASSERT_NE(reference_snap, nullptr);
+    // Late classification replays identically (drop vs fold is config-driven
+    // and the WAL holds events in arrival order).
+    EXPECT_EQ(recovered_snap->late_dropped(), drop_late ? 1u : 0u);
+    EXPECT_EQ(recovered_snap->late_folded(), drop_late ? 0u : 1u);
+    test::expect_identical_snapshots(*recovered_snap, *reference_snap);
+  }
+}
+
+TEST_F(DurabilityTest, RecoveredEngineJournalsOnAndRecoversAgain) {
+  TempDir dir("engine_twice");
+  const whois::Registry registry;
+  const auto config = durable_config(dir.path, stream::WalFsync::kOnSeal, 2);
+  const auto events = test::random_schedule(11);
+  const std::size_t cut = events.size() / 3;
+
+  {
+    stream::StreamEngine engine(config, registry);
+    feed_range(engine, events, 0, cut);
+  }
+  std::string first_digest;
+  {
+    auto recovered = stream::StreamEngine::recover(config, registry);
+    feed_range(*recovered, events, cut, events.size());
+    recovered->finish();
+    const auto snap = recovered->snapshot();
+    ASSERT_NE(snap, nullptr);
+    first_digest = snap->digest();
+  }
+  // Everything the recovered engine appended must itself recover.
+  auto again = stream::StreamEngine::recover(config, registry);
+  const auto snap = again->snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->digest(), first_digest);
+}
+
+TEST_F(DurabilityTest, RecoverRejectsConfigMismatch) {
+  TempDir dir("engine_mismatch");
+  const whois::Registry registry;
+  const auto config = durable_config(dir.path, stream::WalFsync::kOnSeal, 1);
+  {
+    stream::StreamEngine engine(config, registry);
+    synth::ingest_event(engine,
+                        synth::StreamEvent{req_at(10, "c", "h.test")});
+    synth::ingest_event(engine,
+                        synth::StreamEvent{req_at(700, "c", "h.test")});
+    engine.finish();  // cadence 1: at least one checkpoint is installed
+  }
+  auto mismatched = config;
+  mismatched.window_epochs = 5;
+  EXPECT_THROW(stream::StreamEngine::recover(mismatched, registry), RecoveryError);
+  auto late_mismatch = config;
+  late_mismatch.drop_late_events = !config.drop_late_events;
+  EXPECT_THROW(stream::StreamEngine::recover(late_mismatch, registry),
+               RecoveryError);
+}
+
+// --- construction guards (SMASH_CHECK aborts) --------------------------------
+
+TEST(DurabilityDeathTest, FreshEngineRefusesDirWithState) {
+  TempDir dir("engine_refuse");
+  {
+    DurableJournal journal(dir.path, FsyncPolicy::kOff);
+    journal.append(req_at(1, "c", "h.test"));
+  }
+  const whois::Registry registry;
+  const auto config = durable_config(dir.path, stream::WalFsync::kOff, 4);
+  EXPECT_DEATH({ stream::StreamEngine engine(config, registry); }, "recover");
+}
+
+TEST(DurabilityDeathTest, ValidateRejectsNonsenseConfigs) {
+  stream::StreamConfig config;
+  config.epoch_seconds = 0;
+  EXPECT_DEATH(config.validate(), "epoch_seconds");
+
+  stream::StreamConfig no_window;
+  no_window.window_epochs = 0;
+  EXPECT_DEATH(no_window.validate(), "window_epochs");
+
+  stream::StreamConfig bad_policy;
+  bad_policy.fsync_policy = static_cast<stream::WalFsync>(7);
+  EXPECT_DEATH(bad_policy.validate(), "fsync_policy");
+
+  stream::StreamConfig no_cadence;
+  no_cadence.durability_dir = "/tmp/smash_dur_validate";
+  no_cadence.checkpoint_every_epochs = 0;
+  EXPECT_DEATH(no_cadence.validate(), "checkpoint_every_epochs");
+
+  // The engine constructor validates, so a bad config dies before ingest.
+  const whois::Registry registry;
+  stream::StreamConfig engine_config;
+  engine_config.epoch_seconds = 0;
+  EXPECT_DEATH({ stream::StreamEngine engine(engine_config, registry); },
+               "epoch_seconds");
+}
+
+}  // namespace
+}  // namespace smash

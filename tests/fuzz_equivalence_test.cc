@@ -15,11 +15,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "durability/checkpoint.h"
+#include "durability/file.h"
+#include "durability/recover.h"
+#include "durability/wal.h"
 #include "stream/engine.h"
+#include "stream_fuzz_helpers.h"
 #include "synth/stream_gen.h"
 #include "test_helpers.h"
 #include "util/rng.h"
@@ -29,8 +36,11 @@ namespace smash {
 namespace {
 
 using test::add_request;
+using test::expect_identical_snapshots;
 using test::fuzz_seeds;
+using test::random_schedule;
 using test::resolve;
+using test::schedule_config;
 
 // --- random batch traces -----------------------------------------------------
 
@@ -206,120 +216,9 @@ TEST(FuzzParallelPipeline, ReferenceRunIsDeterministic) {
 }
 
 // --- random event schedules through the streaming engine ---------------------
-
-constexpr std::uint32_t kEpochSeconds = 600;
-
-// Random timestamped schedule: bursts of benign browsing and campaign
-// polling with occasional multi-epoch gaps and late (out-of-order) events.
-// Time never exceeds ~10 epochs, so sync re-mines stay cheap.
-std::vector<synth::StreamEvent> random_schedule(std::uint64_t seed) {
-  util::Rng rng(seed ^ 0x57fea11ULL);
-  std::vector<synth::StreamEvent> events;
-  std::uint64_t now = 1;
-
-  const std::uint32_t campaign_servers =
-      2 + static_cast<std::uint32_t>(rng.uniform(3));
-  const std::uint32_t bots = 2 + static_cast<std::uint32_t>(rng.uniform(3));
-  const std::uint64_t total_events = 600 + rng.uniform(400);
-
-  for (std::uint64_t e = 0; e < total_events; ++e) {
-    now += rng.uniform(20);
-    if (rng.bernoulli(0.01)) {
-      now += kEpochSeconds * (2 + rng.uniform(3));  // multi-epoch gap
-    }
-    if (now > 10 * kEpochSeconds) break;
-
-    // 6% of events arrive late: stamped up to two epochs in the past, so
-    // some fall behind the open epoch and take the late-drop/fold path.
-    std::uint64_t stamp = now;
-    if (rng.bernoulli(0.06)) {
-      const std::uint64_t back = rng.uniform(2 * kEpochSeconds);
-      stamp = back >= stamp ? 0 : stamp - back;
-    }
-
-    const std::uint64_t kind = rng.uniform(100);
-    if (kind < 78) {
-      stream::RequestEvent req;
-      req.time_s = stamp;
-      if (rng.bernoulli(0.45)) {  // campaign polling
-        const auto c = rng.uniform(campaign_servers);
-        req.client = "bot" + std::to_string(rng.uniform(bots));
-        req.host = "evil" + std::to_string(c) + ".test";
-        req.path = "/beacon.exe";
-      } else {  // benign browsing
-        req.client = "user" + std::to_string(rng.uniform(30));
-        req.host = "site" + std::to_string(rng.uniform(25)) + ".org";
-        req.path = "/page" + std::to_string(rng.uniform(6)) + ".html";
-      }
-      req.user_agent = "UA";
-      events.emplace_back(std::move(req));
-    } else if (kind < 92) {
-      stream::ResolutionEvent res;
-      res.time_s = stamp;
-      if (rng.bernoulli(0.5)) {
-        const auto c = rng.uniform(campaign_servers);
-        res.host = "evil" + std::to_string(c) + ".test";
-        res.ip = "10.9.0." + std::to_string(c % 3);
-      } else {
-        const auto s = rng.uniform(25);
-        res.host = "site" + std::to_string(s) + ".org";
-        res.ip = "192.168.1." + std::to_string(s);
-      }
-      events.emplace_back(std::move(res));
-    } else {
-      stream::RedirectEvent redir;
-      redir.time_s = stamp;
-      redir.from = "site" + std::to_string(rng.uniform(25)) + ".org";
-      redir.to = "site" + std::to_string(rng.uniform(25)) + ".org";
-      events.emplace_back(std::move(redir));
-    }
-  }
-  return events;
-}
-
-stream::StreamConfig schedule_config(std::uint64_t seed, bool async) {
-  stream::StreamConfig config;
-  config.epoch_seconds = kEpochSeconds;
-  config.window_epochs = 3 + static_cast<std::uint32_t>(seed % 3);
-  config.drop_late_events = seed % 2 == 0;
-  config.async_mining = async;
-  config.smash.idf_threshold = 50;
-  config.smash.num_threads = seed % 3 == 0 ? 4 : 1;
-  return config;
-}
-
-// Deep equality of two published snapshots: the verdict index a reader
-// sees must be byte-identical, not merely campaign-count equal.
-void expect_identical_snapshots(const stream::DetectionSnapshot& a,
-                                const stream::DetectionSnapshot& b) {
-  EXPECT_EQ(a.first_epoch(), b.first_epoch());
-  EXPECT_EQ(a.last_epoch(), b.last_epoch());
-  EXPECT_EQ(a.sequence(), b.sequence());
-  EXPECT_EQ(a.window_requests(), b.window_requests());
-  EXPECT_EQ(a.kept_servers(), b.kept_servers());
-  EXPECT_EQ(a.num_malicious_servers(), b.num_malicious_servers());
-  EXPECT_EQ(a.postings_budget_exceeded(), b.postings_budget_exceeded());
-  EXPECT_EQ(a.louvain_stats(), b.louvain_stats());
-  EXPECT_EQ(a.late_dropped(), b.late_dropped());
-  EXPECT_EQ(a.late_folded(), b.late_folded());
-  ASSERT_EQ(a.campaigns().size(), b.campaigns().size());
-  for (std::size_t c = 0; c < a.campaigns().size(); ++c) {
-    EXPECT_EQ(a.campaigns()[c].servers, b.campaigns()[c].servers);
-    EXPECT_EQ(a.campaigns()[c].involved_clients,
-              b.campaigns()[c].involved_clients);
-    EXPECT_EQ(a.campaigns()[c].single_client, b.campaigns()[c].single_client);
-    for (const auto& host : a.campaigns()[c].servers) {
-      const auto* va = a.find_host(host);
-      const auto* vb = b.find_host(host);
-      ASSERT_NE(va, nullptr) << host;
-      ASSERT_NE(vb, nullptr) << host;
-      EXPECT_EQ(va->campaign, vb->campaign) << host;
-      EXPECT_EQ(va->campaign_servers, vb->campaign_servers) << host;
-      EXPECT_EQ(va->window_requests, vb->window_requests) << host;
-      EXPECT_EQ(va->active_epochs, vb->active_epochs) << host;
-    }
-  }
-}
+//
+// random_schedule / schedule_config / expect_identical_snapshots live in
+// tests/stream_fuzz_helpers.h, shared with the crash-recovery matrix.
 
 TEST(FuzzStreamEquivalence, RandomSchedulesSyncVsAsync) {
   std::size_t snapshots_with_verdicts = 0;
@@ -406,6 +305,238 @@ TEST(FuzzStreamEquivalence, FinalSyncSnapshotMatchesBatchMineOfWindow) {
     EXPECT_GT(late_events_seen, 0u);
     EXPECT_GT(gaps_seen, 0u);
   }
+}
+
+// --- seeded WAL/checkpoint corruption fuzzer ---------------------------------
+//
+// The durability contract under random damage: recovery either (a) fails
+// loudly with RecoveryError, or (b) lands on a state equal to replaying a
+// PREFIX of the original event schedule — never a silently divergent one.
+// The prefix property is checked end-to-end: the recovered engine is fed
+// the rest of the schedule and its final snapshot must be byte-identical
+// to an engine that saw the whole schedule uninterrupted.
+
+std::string fuzz_dir(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() / ("smash_fuzz_dur_" + tag))
+      .string();
+}
+
+void corrupt_flip(const std::string& path, util::Rng& rng) {
+  std::string data = durability::File::read_all(path);
+  if (data.empty()) return;
+  const std::uint64_t flips = 1 + rng.uniform(4);
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    data[rng.uniform(data.size())] ^=
+        static_cast<char>(1u << rng.uniform(8));
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+std::vector<std::string> wal_segments_of(const std::string& dir) {
+  std::vector<std::string> segments;
+  for (const auto& name : durability::File::list_dir(dir)) {
+    if (durability::parse_segment_file_name(name)) segments.push_back(name);
+  }
+  return segments;  // list_dir sorts; zero-padded names sort numerically
+}
+
+std::vector<std::string> checkpoints_of(const std::string& dir) {
+  std::vector<std::string> checkpoints;
+  for (const auto& name : durability::File::list_dir(dir)) {
+    if (durability::parse_checkpoint_file_name(name)) checkpoints.push_back(name);
+  }
+  return checkpoints;
+}
+
+// Recovers `dir`, feeds `events[from_event..)`, finishes, and requires the
+// final snapshot to match `reference_digest`. Returns false when recovery
+// failed loudly (RecoveryError) — the acceptable alternative.
+bool recover_and_compare(const stream::StreamConfig& config,
+                         const whois::Registry& registry,
+                         const std::vector<synth::StreamEvent>& events,
+                         std::size_t from_event,
+                         const std::string& reference_digest) {
+  std::unique_ptr<stream::StreamEngine> recovered;
+  try {
+    recovered = stream::StreamEngine::recover(config, registry);
+  } catch (const durability::RecoveryError&) {
+    return false;
+  }
+  for (std::size_t i = from_event; i < events.size(); ++i) {
+    synth::ingest_event(*recovered, events[i]);
+  }
+  recovered->finish();
+  const auto snapshot = recovered->snapshot();
+  if (snapshot == nullptr) {
+    // A schedule whose verdict-bearing window vanished entirely can only
+    // happen when nothing was ever closed; the reference must agree.
+    EXPECT_EQ(reference_digest, "");
+    return true;
+  }
+  EXPECT_EQ(snapshot->digest(), reference_digest);
+  return true;
+}
+
+TEST(FuzzDurability, CorruptedWalTruncatesToValidPrefixOrFailsLoudly) {
+  const whois::Registry registry;
+  std::size_t recovered_clean = 0;
+  std::size_t failed_loudly = 0;
+  for (const auto seed : fuzz_seeds(8)) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " (rerun with SMASH_FUZZ_SEED=" + std::to_string(seed) + ")");
+    const auto events = random_schedule(seed);
+    auto config = schedule_config(seed, /*async=*/false);
+    config.durability_dir = fuzz_dir("wal_" + std::to_string(seed));
+    config.fsync_policy = stream::WalFsync::kOff;
+    config.checkpoint_every_epochs = 1000000;  // pure-WAL recovery
+    std::filesystem::remove_all(config.durability_dir);
+
+    // The uninterrupted run (and the reference digest).
+    std::string reference_digest;
+    {
+      stream::StreamEngine engine(config, registry);
+      // Simulated hard stop at stream end: no finish(), like a crash.
+      for (const auto& event : events) synth::ingest_event(engine, event);
+    }
+    {
+      auto reference = schedule_config(seed, /*async=*/false);
+      stream::StreamEngine engine(reference, registry);
+      for (const auto& event : events) synth::ingest_event(engine, event);
+      engine.finish();
+      const auto snapshot = engine.snapshot();
+      if (snapshot != nullptr) reference_digest = snapshot->digest();
+    }
+
+    const auto segments = wal_segments_of(config.durability_dir);
+    ASSERT_FALSE(segments.empty());
+    util::Rng rng(seed ^ 0xc0ffeeULL);
+
+    // Damage shape 1: truncate the LAST segment at a random byte — the
+    // canonical torn-tail crash. Always recoverable to a prefix.
+    {
+      const std::string tail =
+          config.durability_dir + "/" + segments.back();
+      const auto size = durability::File::size_of(tail);
+      durability::File::truncate_file(tail, rng.uniform(size + 1));
+      auto recovered = stream::StreamEngine::recover(config, registry);
+      EXPECT_FALSE(recovered->recovery_stats().used_checkpoint);
+      const std::size_t applied =
+          static_cast<std::size_t>(recovered->recovery_stats().events_replayed);
+      ASSERT_LE(applied, events.size());
+      for (std::size_t i = applied; i < events.size(); ++i) {
+        synth::ingest_event(*recovered, events[i]);
+      }
+      recovered->finish();
+      const auto snapshot = recovered->snapshot();
+      ASSERT_NE(snapshot, nullptr);
+      EXPECT_EQ(snapshot->digest(), reference_digest);
+      ++recovered_clean;
+    }
+
+    // Damage shape 2: rebuild the log (the truncation above consumed it),
+    // then flip random bits in a random segment. Recovery must truncate to
+    // a valid prefix (flip landed in the last segment) or throw (earlier
+    // segment) — never pass damage through.
+    std::filesystem::remove_all(config.durability_dir);
+    {
+      stream::StreamEngine engine(config, registry);
+      for (const auto& event : events) synth::ingest_event(engine, event);
+    }
+    {
+      const auto fresh_segments = wal_segments_of(config.durability_dir);
+      const std::string victim =
+          config.durability_dir + "/" +
+          fresh_segments[rng.uniform(fresh_segments.size())];
+      corrupt_flip(victim, rng);
+
+      std::unique_ptr<stream::StreamEngine> recovered;
+      try {
+        recovered = stream::StreamEngine::recover(config, registry);
+      } catch (const durability::RecoveryError&) {
+        ++failed_loudly;
+      }
+      if (recovered) {
+        const std::size_t applied = static_cast<std::size_t>(
+            recovered->recovery_stats().events_replayed);
+        ASSERT_LE(applied, events.size());
+        for (std::size_t i = applied; i < events.size(); ++i) {
+          synth::ingest_event(*recovered, events[i]);
+        }
+        recovered->finish();
+        const auto snapshot = recovered->snapshot();
+        ASSERT_NE(snapshot, nullptr);
+        EXPECT_EQ(snapshot->digest(), reference_digest);
+        ++recovered_clean;
+      }
+    }
+    std::filesystem::remove_all(config.durability_dir);
+  }
+  // Truncation damage always recovers; over the sweep both outcomes of the
+  // bit-flip shape should appear (a pinned seed may only see one).
+  EXPECT_GT(recovered_clean, 0u);
+  if (!test::fuzz_seed_pinned()) EXPECT_GT(failed_loudly, 0u);
+}
+
+TEST(FuzzDurability, CorruptedCheckpointsFallBackOrFailLoudly) {
+  const whois::Registry registry;
+  std::size_t fell_back = 0;
+  for (const auto seed : fuzz_seeds(6)) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " (rerun with SMASH_FUZZ_SEED=" + std::to_string(seed) + ")");
+    const auto events = random_schedule(seed);
+    auto config = schedule_config(seed, /*async=*/false);
+    config.durability_dir = fuzz_dir("ckpt_" + std::to_string(seed));
+    config.fsync_policy = stream::WalFsync::kOff;
+    config.checkpoint_every_epochs = 2;
+    std::filesystem::remove_all(config.durability_dir);
+
+    std::string reference_digest;
+    {
+      stream::StreamEngine engine(config, registry);
+      for (const auto& event : events) synth::ingest_event(engine, event);
+    }
+    {
+      auto reference = schedule_config(seed, /*async=*/false);
+      stream::StreamEngine engine(reference, registry);
+      for (const auto& event : events) synth::ingest_event(engine, event);
+      engine.finish();
+      const auto snapshot = engine.snapshot();
+      if (snapshot != nullptr) reference_digest = snapshot->digest();
+    }
+
+    const auto checkpoints = checkpoints_of(config.durability_dir);
+    if (checkpoints.empty()) {
+      std::filesystem::remove_all(config.durability_dir);
+      continue;  // quiet schedule: nothing checkpointed, nothing to corrupt
+    }
+    util::Rng rng(seed ^ 0xf00dULL);
+
+    // Corrupt the NEWEST checkpoint: recovery must skip it and win with the
+    // previous checkpoint (or none) plus the longer WAL tail — the WAL is
+    // intact, so the recovered state must equal the uninterrupted one.
+    corrupt_flip(config.durability_dir + "/" + checkpoints.back(), rng);
+    {
+      std::uint64_t skipped = 0;
+      durability::load_latest_checkpoint(config.durability_dir, &skipped);
+      EXPECT_GE(skipped, 1u);
+    }
+    ASSERT_TRUE(recover_and_compare(config, registry, events, events.size(),
+                                    reference_digest));
+    ++fell_back;
+
+    // Corrupt EVERY checkpoint: recovery replays from segment 1 — which
+    // pruning may have removed, in which case it must fail loudly, not
+    // fabricate a window.
+    for (const auto& name : checkpoints_of(config.durability_dir)) {
+      corrupt_flip(config.durability_dir + "/" + name, rng);
+    }
+    recover_and_compare(config, registry, events, events.size(),
+                        reference_digest);
+
+    std::filesystem::remove_all(config.durability_dir);
+  }
+  if (!test::fuzz_seed_pinned()) EXPECT_GT(fell_back, 0u);
 }
 
 }  // namespace

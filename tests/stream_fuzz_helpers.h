@@ -1,0 +1,140 @@
+// Shared streaming-fuzz machinery: the seeded random event schedule, its
+// engine config, and deep snapshot equality. Used by the sync/async
+// differential harness (tests/fuzz_equivalence_test.cc), the
+// crash-recovery matrix (tests/recovery_equivalence_test.cc), and the WAL
+// corruption fuzzer. Deterministic from the seed via util::Rng, so a
+// failing seed reproduces exactly (docs/TESTING.md).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/engine.h"
+#include "stream/snapshot.h"
+#include "synth/stream_gen.h"
+#include "util/rng.h"
+
+namespace smash::test {
+
+inline constexpr std::uint32_t kFuzzEpochSeconds = 600;
+
+// Random timestamped schedule: bursts of benign browsing and campaign
+// polling with occasional multi-epoch gaps and late (out-of-order) events.
+// Time never exceeds ~10 epochs, so sync re-mines stay cheap.
+inline std::vector<synth::StreamEvent> random_schedule(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x57fea11ULL);
+  std::vector<synth::StreamEvent> events;
+  std::uint64_t now = 1;
+
+  const std::uint32_t campaign_servers =
+      2 + static_cast<std::uint32_t>(rng.uniform(3));
+  const std::uint32_t bots = 2 + static_cast<std::uint32_t>(rng.uniform(3));
+  const std::uint64_t total_events = 600 + rng.uniform(400);
+
+  for (std::uint64_t e = 0; e < total_events; ++e) {
+    now += rng.uniform(20);
+    if (rng.bernoulli(0.01)) {
+      now += kFuzzEpochSeconds * (2 + rng.uniform(3));  // multi-epoch gap
+    }
+    if (now > 10 * kFuzzEpochSeconds) break;
+
+    // 6% of events arrive late: stamped up to two epochs in the past, so
+    // some fall behind the open epoch and take the late-drop/fold path.
+    std::uint64_t stamp = now;
+    if (rng.bernoulli(0.06)) {
+      const std::uint64_t back = rng.uniform(2 * kFuzzEpochSeconds);
+      stamp = back >= stamp ? 0 : stamp - back;
+    }
+
+    const std::uint64_t kind = rng.uniform(100);
+    if (kind < 78) {
+      stream::RequestEvent req;
+      req.time_s = stamp;
+      if (rng.bernoulli(0.45)) {  // campaign polling
+        const auto c = rng.uniform(campaign_servers);
+        req.client = "bot" + std::to_string(rng.uniform(bots));
+        req.host = "evil" + std::to_string(c) + ".test";
+        req.path = "/beacon.exe";
+      } else {  // benign browsing
+        req.client = "user" + std::to_string(rng.uniform(30));
+        req.host = "site" + std::to_string(rng.uniform(25)) + ".org";
+        req.path = "/page" + std::to_string(rng.uniform(6)) + ".html";
+      }
+      req.user_agent = "UA";
+      events.emplace_back(std::move(req));
+    } else if (kind < 92) {
+      stream::ResolutionEvent res;
+      res.time_s = stamp;
+      if (rng.bernoulli(0.5)) {
+        const auto c = rng.uniform(campaign_servers);
+        res.host = "evil" + std::to_string(c) + ".test";
+        res.ip = "10.9.0." + std::to_string(c % 3);
+      } else {
+        const auto s = rng.uniform(25);
+        res.host = "site" + std::to_string(s) + ".org";
+        res.ip = "192.168.1." + std::to_string(s);
+      }
+      events.emplace_back(std::move(res));
+    } else {
+      stream::RedirectEvent redir;
+      redir.time_s = stamp;
+      redir.from = "site" + std::to_string(rng.uniform(25)) + ".org";
+      redir.to = "site" + std::to_string(rng.uniform(25)) + ".org";
+      events.emplace_back(std::move(redir));
+    }
+  }
+  return events;
+}
+
+inline stream::StreamConfig schedule_config(std::uint64_t seed, bool async) {
+  stream::StreamConfig config;
+  config.epoch_seconds = kFuzzEpochSeconds;
+  config.window_epochs = 3 + static_cast<std::uint32_t>(seed % 3);
+  config.drop_late_events = seed % 2 == 0;
+  config.async_mining = async;
+  config.smash.idf_threshold = 50;
+  config.smash.num_threads = seed % 3 == 0 ? 4 : 1;
+  return config;
+}
+
+// Deep equality of two published snapshots: the verdict index a reader
+// sees must be byte-identical, not merely campaign-count equal.
+inline void expect_identical_snapshots(const stream::DetectionSnapshot& a,
+                                       const stream::DetectionSnapshot& b) {
+  EXPECT_EQ(a.first_epoch(), b.first_epoch());
+  EXPECT_EQ(a.last_epoch(), b.last_epoch());
+  EXPECT_EQ(a.sequence(), b.sequence());
+  EXPECT_EQ(a.window_requests(), b.window_requests());
+  EXPECT_EQ(a.kept_servers(), b.kept_servers());
+  EXPECT_EQ(a.num_malicious_servers(), b.num_malicious_servers());
+  EXPECT_EQ(a.postings_budget_exceeded(), b.postings_budget_exceeded());
+  EXPECT_EQ(a.louvain_stats(), b.louvain_stats());
+  EXPECT_EQ(a.late_dropped(), b.late_dropped());
+  EXPECT_EQ(a.late_folded(), b.late_folded());
+  // digest() folds in every verdict-bearing field (campaigns plus the
+  // sorted per-2LD and per-IP verdict maps), so one comparison covers the
+  // whole reader-visible surface.
+  EXPECT_EQ(a.digest(), b.digest());
+  ASSERT_EQ(a.campaigns().size(), b.campaigns().size());
+  for (std::size_t c = 0; c < a.campaigns().size(); ++c) {
+    EXPECT_EQ(a.campaigns()[c].servers, b.campaigns()[c].servers);
+    EXPECT_EQ(a.campaigns()[c].involved_clients,
+              b.campaigns()[c].involved_clients);
+    EXPECT_EQ(a.campaigns()[c].single_client, b.campaigns()[c].single_client);
+    for (const auto& host : a.campaigns()[c].servers) {
+      const auto* va = a.find_host(host);
+      const auto* vb = b.find_host(host);
+      ASSERT_NE(va, nullptr) << host;
+      ASSERT_NE(vb, nullptr) << host;
+      EXPECT_EQ(va->campaign, vb->campaign) << host;
+      EXPECT_EQ(va->campaign_servers, vb->campaign_servers) << host;
+      EXPECT_EQ(va->window_requests, vb->window_requests) << host;
+      EXPECT_EQ(va->active_epochs, vb->active_epochs) << host;
+    }
+  }
+}
+
+}  // namespace smash::test

@@ -389,6 +389,84 @@ TEST(AsyncStreamMining, MiningFailureSurfacesOnWriterThreadAndEngineRecovers) {
   EXPECT_EQ(accounted, engine.epochs_closed_total());
 }
 
+TEST(StreamSnapshot, TornPublishLeavesPreviousSnapshotReadable) {
+  // An exception escaping DetectionSnapshot::build mid-assembly must leave
+  // the previously published snapshot installed — readers never observe a
+  // half-built window — and the engine keeps mining subsequent closes.
+  const whois::Registry registry;
+  StreamConfig config = small_config(/*epoch_s=*/100, /*window=*/3);
+  std::atomic<bool> tear{false};
+  config.snapshot_test_hook = [&tear] {
+    if (tear.load()) throw std::runtime_error("injected torn publish");
+  };
+  StreamEngine engine(config, registry);
+  engine.ingest(req(10, "c1", "a.com"));
+  engine.ingest(req(110, "c1", "a.com"));  // closes epoch 0: publishes #1
+  const auto first = engine.snapshot();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->sequence(), 1u);
+
+  tear.store(true);
+  EXPECT_THROW(engine.ingest(req(210, "c2", "a.com")), std::runtime_error);
+  EXPECT_EQ(engine.snapshot(), first);  // same object, not a torn successor
+  EXPECT_EQ(engine.snapshots_published(), 1u);
+
+  tear.store(false);
+  engine.ingest(req(310, "c1", "a.com"));  // closes epoch 2: mines again
+  engine.finish();                         // closes epoch 3
+  const auto final_snap = engine.snapshot();
+  ASSERT_NE(final_snap, nullptr);
+  EXPECT_EQ(final_snap->sequence(), 4u);
+  EXPECT_EQ(engine.epochs_closed_total(), 4u);
+
+  // The aborted build had no side effects: an engine that never tore
+  // lands on the same final window.
+  StreamConfig plain = small_config(/*epoch_s=*/100, /*window=*/3);
+  StreamEngine reference(plain, registry);
+  reference.ingest(req(10, "c1", "a.com"));
+  reference.ingest(req(110, "c1", "a.com"));
+  reference.ingest(req(210, "c2", "a.com"));
+  reference.ingest(req(310, "c1", "a.com"));
+  reference.finish();
+  const auto reference_snap = reference.snapshot();
+  ASSERT_NE(reference_snap, nullptr);
+  EXPECT_EQ(final_snap->digest(), reference_snap->digest());
+}
+
+TEST(AsyncStreamMining, TornPublishOnMiningThreadKeepsOldSnapshot) {
+  // Same torn-publish guarantee when the build runs on the mining thread:
+  // the old snapshot stays installed, the error surfaces on the writer
+  // thread via wait_for_mining(), and later closes publish normally.
+  const whois::Registry registry;
+  StreamConfig config = small_config(/*epoch_s=*/100, /*window=*/3);
+  config.async_mining = true;
+  std::atomic<bool> tear{false};
+  config.snapshot_test_hook = [&tear] {
+    if (tear.load()) throw std::runtime_error("injected torn publish");
+  };
+  StreamEngine engine(config, registry);
+  engine.ingest(req(10, "c1", "a.com"));
+  engine.ingest(req(110, "c1", "a.com"));  // closes epoch 0
+  engine.wait_for_mining();
+  const auto first = engine.snapshot();
+  ASSERT_NE(first, nullptr);
+
+  tear.store(true);
+  engine.ingest(req(210, "c2", "a.com"));  // closes epoch 1: build tears
+  EXPECT_THROW(engine.wait_for_mining(), std::runtime_error);
+  EXPECT_EQ(engine.snapshot(), first);
+  EXPECT_EQ(engine.snapshots_published(), 1u);
+
+  tear.store(false);
+  engine.ingest(req(310, "c1", "a.com"));  // closes epoch 2
+  engine.finish();                         // closes epoch 3, drains
+  const auto final_snap = engine.snapshot();
+  ASSERT_NE(final_snap, nullptr);
+  EXPECT_NE(final_snap, first);
+  EXPECT_EQ(final_snap->sequence(), 4u);
+  EXPECT_EQ(engine.epochs_closed_total(), 4u);
+}
+
 TEST(StreamSnapshot, SurfacesLateEventLoss) {
   // Late events are invisible in the verdict maps; the snapshot must carry
   // the ingest counters so the data loss is observable by readers.

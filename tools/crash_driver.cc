@@ -1,0 +1,178 @@
+// Out-of-process crash/recovery driver for the CI kill/restart matrix
+// (tools/crash_matrix.py). Three modes over one deterministic synthetic
+// scenario (seeded, shared by all modes):
+//
+//   crash_driver run <dir> [flags]        fresh durable engine, feed the
+//       whole schedule, finish, print the final snapshot digest. When an
+//       armed failpoint (SMASH_FAILPOINTS) fires, prints "crashed_at=<i>"
+//       and _Exits(42) without unwinding — destructors never run, so the
+//       on-disk state is exactly what a SIGKILL would have left.
+//   crash_driver resume <dir> --start <i> [flags]   StreamEngine::recover,
+//       feed events [i..), finish, print the digest.
+//   crash_driver reference [flags]        no durability, feed everything,
+//       finish, print the digest the other two must reproduce.
+//
+// Flags: --seed N  --policy off|on_seal|every_record  --threads N
+//        --ckpt N (checkpoint cadence, default 2)
+//
+// The digest is printed raw between "digest-begin"/"digest-end" marker
+// lines; the harness string-compares the block across processes.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "stream/engine.h"
+#include "synth/stream_gen.h"
+#include "util/failpoint.h"
+
+namespace {
+
+struct Options {
+  std::string mode;
+  std::string dir;
+  std::uint64_t seed = 1;
+  std::string policy = "off";
+  unsigned threads = 1;
+  std::uint32_t ckpt_every = 2;
+  std::size_t start = 0;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: crash_driver run|resume|reference [<dir>] [--seed N] "
+               "[--policy off|on_seal|every_record] [--threads N] [--ckpt N] "
+               "[--start I]\n");
+  std::exit(2);
+}
+
+smash::synth::StreamScenarioConfig scenario_config(std::uint64_t seed) {
+  smash::synth::StreamScenarioConfig config;
+  config.seed = seed;
+  config.duration_s = 2 * 3600;
+  config.benign_servers = 60;
+  config.benign_clients = 50;
+  config.benign_visits = 1500;
+  config.popular_servers = 1;
+  config.popular_clients = 80;
+  config.campaigns = 2;
+  config.campaign_servers = 4;
+  config.campaign_bots = 3;
+  config.poll_interval_s = 300;
+  config.active_fraction = 0.35;
+  return config;
+}
+
+smash::stream::StreamConfig stream_config(const Options& opt) {
+  smash::stream::StreamConfig config;
+  config.epoch_seconds = 600;
+  config.window_epochs = 4;
+  config.smash.idf_threshold = 50;
+  config.smash.num_threads = opt.threads;
+  config.checkpoint_every_epochs = opt.ckpt_every;
+  if (opt.policy == "off") {
+    config.fsync_policy = smash::stream::WalFsync::kOff;
+  } else if (opt.policy == "on_seal") {
+    config.fsync_policy = smash::stream::WalFsync::kOnSeal;
+  } else if (opt.policy == "every_record") {
+    config.fsync_policy = smash::stream::WalFsync::kEveryRecord;
+  } else {
+    usage();
+  }
+  return config;
+}
+
+void print_final(const smash::stream::StreamEngine& engine) {
+  const auto snapshot = engine.snapshot();
+  std::printf("epochs_closed=%llu\n",
+              static_cast<unsigned long long>(engine.epochs_closed_total()));
+  // digest() is newline-terminated; "(empty)" matches that shape.
+  std::printf("digest-begin\n%sdigest-end\n",
+              snapshot ? snapshot->digest().c_str() : "(empty)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--policy") {
+      opt.policy = next();
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--ckpt") {
+      opt.ckpt_every = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--start") {
+      opt.start = std::strtoull(next(), nullptr, 10);
+    } else if (positional == 0) {
+      opt.mode = arg;
+      ++positional;
+    } else if (positional == 1) {
+      opt.dir = arg;
+      ++positional;
+    } else {
+      usage();
+    }
+  }
+  if (opt.mode.empty()) usage();
+  if (opt.mode != "reference" && opt.dir.empty()) usage();
+
+  const auto scenario = smash::synth::generate_stream(scenario_config(opt.seed));
+  auto config = stream_config(opt);
+
+  try {
+    if (opt.mode == "reference") {
+      smash::stream::StreamEngine engine(config, scenario.whois);
+      for (const auto& event : scenario.events) {
+        smash::synth::ingest_event(engine, event);
+      }
+      engine.finish();
+      print_final(engine);
+      return 0;
+    }
+    config.durability_dir = opt.dir;
+    if (opt.mode == "run") {
+      smash::stream::StreamEngine engine(config, scenario.whois);
+      for (std::size_t i = 0; i < scenario.events.size(); ++i) {
+        try {
+          smash::synth::ingest_event(engine, scenario.events[i]);
+        } catch (const smash::util::SimulatedCrash&) {
+          // Die like the kernel would: report where, skip every destructor.
+          std::printf("crashed_at=%zu\n", i);
+          std::fflush(stdout);
+          std::_Exit(42);
+        }
+      }
+      engine.finish();
+      print_final(engine);
+      return 0;
+    }
+    if (opt.mode == "resume") {
+      auto engine = smash::stream::StreamEngine::recover(config, scenario.whois);
+      std::printf("events_replayed=%llu\n",
+                  static_cast<unsigned long long>(
+                      engine->recovery_stats().events_replayed));
+      for (std::size_t i = opt.start; i < scenario.events.size(); ++i) {
+        smash::synth::ingest_event(*engine, scenario.events[i]);
+      }
+      engine->finish();
+      print_final(*engine);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "crash_driver: %s\n", e.what());
+    return 3;
+  }
+  usage();
+}
