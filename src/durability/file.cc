@@ -1,6 +1,7 @@
 #include "durability/file.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -176,7 +177,24 @@ void File::make_dirs(const std::string& dir) {
   if (ec) throw IoError("mkdir failed for " + dir + ": " + ec.message());
 }
 
-void File::sync_dir(const std::string& dir) {
+void File::sync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("open", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno("fsync", path);
+}
+
+void File::sync_dir(const std::string& dir, const std::string& site) {
+  if (!site.empty()) {
+    const auto action = util::FailPoint::consume(site + ".dirsync");
+    if (action.kind == util::FailAction::Kind::kError) {
+      throw IoError("injected fsync error on directory " + dir);
+    }
+    if (action.kind != util::FailAction::Kind::kNone) {
+      throw util::SimulatedCrash(site + ".dirsync");
+    }
+  }
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) throw_errno("open(dir)", dir);
   const int rc = ::fsync(fd);
@@ -193,6 +211,44 @@ std::vector<std::string> File::list_dir(const std::string& dir) {
   if (ec) throw IoError("listdir failed for " + dir + ": " + ec.message());
   std::sort(names.begin(), names.end());
   return names;
+}
+
+DirLock::~DirLock() { release(); }
+
+DirLock::DirLock(DirLock&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+DirLock& DirLock::operator=(DirLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+DirLock DirLock::acquire(const std::string& dir) {
+  DirLock lock;
+  lock.path_ = dir + "/LOCK";
+  lock.fd_ = ::open(lock.path_.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock.fd_ < 0) throw_errno("open(lock)", lock.path_);
+  if (::flock(lock.fd_, LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;
+    ::close(lock.fd_);
+    lock.fd_ = -1;
+    throw IoError("durability dir " + dir +
+                  " is locked by another journal: " + std::strerror(err));
+  }
+  return lock;
+}
+
+void DirLock::release() {
+  if (fd_ < 0) return;
+  // close() drops the flock with the last reference to the description.
+  if (::close(std::exchange(fd_, -1)) != 0) {
+    std::fprintf(stderr, "durability::DirLock: close(%s) failed: %s\n",
+                 path_.c_str(), std::strerror(errno));
+  }
 }
 
 }  // namespace smash::durability

@@ -68,8 +68,13 @@ class File {
   static void remove_file(const std::string& path);
   // mkdir -p equivalent.
   static void make_dirs(const std::string& dir);
-  // fsync on the directory itself (durable rename/create on POSIX).
-  static void sync_dir(const std::string& dir);
+  // Opens `path` read-only and fsyncs it — used to make a truncation
+  // durable when there is no writer fd open on the file.
+  static void sync_path(const std::string& path);
+  // fsync on the directory itself (durable rename/create on POSIX). When
+  // `site` is non-empty, consults "<site>.dirsync" (kError -> IoError,
+  // anything else armed -> SimulatedCrash) before syncing.
+  static void sync_dir(const std::string& dir, const std::string& site = "");
   // Plain file names (not paths) in `dir`, sorted.
   static std::vector<std::string> list_dir(const std::string& dir);
 
@@ -78,6 +83,34 @@ class File {
   std::uint64_t offset_ = 0;
   std::string path_;
   std::string site_;
+};
+
+// Exclusive advisory lock on a durability directory, held via flock(2) on
+// `<dir>/LOCK` for the lifetime of the object. Guards against two journals
+// (in one process or across processes) interleaving appends into the same
+// segment files. flock locks are per open-file-description, so a second
+// acquire in the same process conflicts just like one from another
+// process; the lock dies with the fd — a SIGKILL/_Exit releases it, and a
+// stale LOCK file on disk is inert.
+class DirLock {
+ public:
+  DirLock() = default;
+  ~DirLock();
+  DirLock(DirLock&& other) noexcept;
+  DirLock& operator=(DirLock&& other) noexcept;
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+  // Takes the lock (LOCK_EX | LOCK_NB); throws IoError when another
+  // journal already holds it. `dir` must exist.
+  static DirLock acquire(const std::string& dir);
+
+  bool held() const noexcept { return fd_ >= 0; }
+  void release();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
 };
 
 }  // namespace smash::durability

@@ -3,17 +3,22 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace smash::durability {
 
 DurableJournal::DurableJournal(std::string dir, FsyncPolicy policy)
     : dir_(std::move(dir)), policy_(policy) {
   File::make_dirs(dir_);
+  lock_ = DirLock::acquire(dir_);
 }
 
 DurableJournal::DurableJournal(std::string dir, FsyncPolicy policy,
-                               WalPosition position, std::uint64_t records_logged)
+                               WalPosition position, std::uint64_t records_logged,
+                               DirLock lock)
     : dir_(std::move(dir)),
       policy_(policy),
+      lock_(std::move(lock)),
       segment_(position.segment),
       records_logged_(records_logged),
       resume_offset_(position.offset),
@@ -22,6 +27,7 @@ DurableJournal::DurableJournal(std::string dir, FsyncPolicy policy,
   // Recovery of an absent directory (cold start) resumes at {1, 0} with
   // nothing on disk; appends still need somewhere to land.
   File::make_dirs(dir_);
+  if (!lock_.held()) lock_ = DirLock::acquire(dir_);
 }
 
 bool DurableJournal::dir_has_state(const std::string& dir) {
@@ -36,14 +42,27 @@ bool DurableJournal::dir_has_state(const std::string& dir) {
 
 void DurableJournal::ensure_writer() {
   if (writer_) return;
+  const bool creating = !resume_segment_;
   writer_ = std::make_unique<WalWriter>(
       dir_, segment_,
       resume_segment_ ? WalWriter::Mode::kResume : WalWriter::Mode::kCreate);
   resume_segment_ = false;
+  // A freshly created segment's directory entry must reach stable storage
+  // before any record in it is fsynced: without this a machine crash can
+  // drop the whole file while its records were already acked, and recovery
+  // would read the missing trailing segment as a legitimate quiet tail.
+  if (creating && policy_ != FsyncPolicy::kOff) File::sync_dir(dir_, "wal");
+}
+
+bool DurableJournal::refuse_if_dead() const {
+  if (!dead_) return false;
+  if (crashed_) return true;  // frozen post-SimulatedCrash image (teardown)
+  throw IoError("DurableJournal for " + dir_ +
+                " is unusable after a prior I/O error");
 }
 
 void DurableJournal::append_payload(std::string_view payload, bool is_seal) {
-  if (dead_) return;
+  if (refuse_if_dead()) return;
   try {
     ensure_writer();
     writer_->append(payload);
@@ -58,6 +77,10 @@ void DurableJournal::append_payload(std::string_view payload, bool is_seal) {
       ++segment_;
       resume_offset_ = 0;
     }
+  } catch (const util::SimulatedCrash&) {
+    dead_ = true;
+    crashed_ = true;
+    throw;
   } catch (...) {
     dead_ = true;
     throw;
@@ -81,7 +104,7 @@ void DurableJournal::seal_epoch(stream::EpochId epoch) {
 }
 
 void DurableJournal::write_checkpoint(CheckpointState state) {
-  if (dead_) return;
+  if (refuse_if_dead()) return;
   try {
     const WalPosition pos = position();
     state.replay_segment = pos.segment;
@@ -112,6 +135,10 @@ void DurableJournal::write_checkpoint(CheckpointState state) {
         }
       }
     }
+  } catch (const util::SimulatedCrash&) {
+    dead_ = true;
+    crashed_ = true;
+    throw;
   } catch (...) {
     dead_ = true;
     throw;

@@ -8,6 +8,15 @@
 // util::SimulatedCrash both mark the journal dead before propagating, so
 // nothing is written after the "crash" — the on-disk bytes stay exactly as
 // the failure left them, which is what the recovery tests replay against.
+// The two causes differ on LATER use: after a SimulatedCrash every
+// operation is a silent no-op (teardown of an in-process crash test must
+// not smear the disk image), while after a real IoError every operation
+// throws IoError again — a caller that swallowed the first error can never
+// keep ingesting with journaling silently disabled.
+//
+// The journal also holds an exclusive DirLock on the durability dir for
+// its whole lifetime, so two engines (same process or not) can never
+// interleave appends into the same segment files.
 #pragma once
 
 #include <cstdint>
@@ -35,9 +44,11 @@ class DurableJournal {
 
   // Resumed journal (recovery): continues appending to segment
   // `position.segment`, already truncated to `position.offset` valid
-  // bytes; `records_logged` restores the lifetime record counter.
+  // bytes; `records_logged` restores the lifetime record counter. `lock`,
+  // when already held, is adopted (recover() takes it before reading the
+  // dir so there is no unlocked window); otherwise acquired here.
   DurableJournal(std::string dir, FsyncPolicy policy, WalPosition position,
-                 std::uint64_t records_logged);
+                 std::uint64_t records_logged, DirLock lock = DirLock());
 
   DurableJournal(const DurableJournal&) = delete;
   DurableJournal& operator=(const DurableJournal&) = delete;
@@ -70,17 +81,25 @@ class DurableJournal {
 
   std::uint64_t records_logged() const noexcept { return records_logged_; }
 
-  // True once any operation threw (IoError or SimulatedCrash). All
-  // further operations are silent no-ops so engine teardown after a
-  // simulated crash cannot touch the disk image under test.
+  // True once any operation threw (IoError or SimulatedCrash). After a
+  // SimulatedCrash further operations are silent no-ops (teardown cannot
+  // touch the disk image under test); after a real IoError they throw
+  // IoError so a caller can never keep ingesting unjournaled.
   bool dead() const noexcept { return dead_; }
+  // True when dead_ came from a util::SimulatedCrash.
+  bool crashed() const noexcept { return crashed_; }
 
  private:
   void append_payload(std::string_view payload, bool is_seal);
   void ensure_writer();
+  // Enforces the dead-journal contract at every public entry point:
+  // returns true when the call must silently no-op (post-SimulatedCrash),
+  // throws IoError when the journal died from a real I/O error.
+  bool refuse_if_dead() const;
 
   std::string dir_;
   FsyncPolicy policy_;
+  DirLock lock_;
   std::uint64_t segment_ = 1;
   std::uint64_t records_logged_ = 0;
   // Valid bytes already in the open segment when resuming (position()
@@ -89,6 +108,7 @@ class DurableJournal {
   std::unique_ptr<WalWriter> writer_;
   bool resume_segment_ = false;
   bool dead_ = false;
+  bool crashed_ = false;
 };
 
 }  // namespace smash::durability

@@ -26,7 +26,8 @@ std::optional<CheckpointState> load_latest_checkpoint(
 
 ReplayStats replay_wal(const std::string& dir, std::uint64_t from_segment,
                        std::uint64_t from_offset,
-                       const std::function<void(const WalRecord&)>& apply) {
+                       const std::function<void(const WalRecord&)>& apply,
+                       FsyncPolicy fsync_policy) {
   ReplayStats stats;
   stats.next_segment = from_segment;
   stats.next_offset = from_offset;
@@ -91,6 +92,14 @@ ReplayStats replay_wal(const std::string& dir, std::uint64_t from_segment,
       }
       stats.bytes_truncated = data.size() - scan.valid_bytes;
       File::truncate_file(path, scan.valid_bytes);
+      // The truncation must be durable before the resumed journal appends
+      // at this offset: otherwise a machine crash could keep the old torn
+      // bytes on disk under newer, partially flushed appends, leaving only
+      // CRC framing to re-detect the mix.
+      if (fsync_policy != FsyncPolicy::kOff) {
+        File::sync_path(path);
+        File::sync_dir(dir);
+      }
     }
     if (last) {
       if (last_record_was_seal && scan.records > 0) {

@@ -57,10 +57,14 @@ std::optional<CheckpointState> load_latest_checkpoint(
 
 // Replays WAL records from (from_segment, from_offset) through the end of
 // the log, invoking `apply` per decoded record in order. Truncates a torn
-// last segment to its valid prefix (on disk) per the rules above; throws
-// RecoveryError on anything unrecoverable.
+// last segment to its valid prefix (on disk) per the rules above — and,
+// when `fsync_policy` is not kOff, fsyncs the truncated segment and its
+// directory so a second machine crash cannot resurrect torn bytes under
+// records the resumed journal appends after them. Throws RecoveryError on
+// anything unrecoverable.
 ReplayStats replay_wal(const std::string& dir, std::uint64_t from_segment,
                        std::uint64_t from_offset,
-                       const std::function<void(const WalRecord&)>& apply);
+                       const std::function<void(const WalRecord&)>& apply,
+                       FsyncPolicy fsync_policy = FsyncPolicy::kOff);
 
 }  // namespace smash::durability

@@ -8,6 +8,7 @@
 #include <variant>
 
 #include "core/preshard.h"
+#include "durability/file.h"
 #include "durability/journal.h"
 #include "durability/recover.h"
 #include "util/check.h"
@@ -318,6 +319,12 @@ std::unique_ptr<StreamEngine> StreamEngine::recover(
   const auto start = std::chrono::steady_clock::now();
   const std::string& dir = config.durability_dir;
 
+  // Exclusive lock for the whole recovery (and then, handed to the
+  // resumed journal, for the engine's lifetime): a second recover() or a
+  // live journal on the same dir fails here instead of interleaving.
+  durability::File::make_dirs(dir);
+  auto dir_lock = durability::DirLock::acquire(dir);
+
   RecoveryStats rstats;
   rstats.recovered = true;
   auto ckpt = durability::load_latest_checkpoint(dir, &rstats.checkpoints_skipped);
@@ -410,7 +417,8 @@ std::unique_ptr<StreamEngine> StreamEngine::recover(
               }
             },
             record);
-      });
+      },
+      fsync_policy_of(config));
   rstats.segments_scanned = replay.segments_scanned;
   rstats.records_replayed = replay.records_replayed;
   rstats.events_replayed = replay.events_replayed;
@@ -420,13 +428,22 @@ std::unique_ptr<StreamEngine> StreamEngine::recover(
   auto journal = std::make_unique<durability::DurableJournal>(
       dir, fsync_policy_of(config),
       durability::WalPosition{replay.next_segment, replay.next_offset},
-      records_logged + replay.records_replayed);
+      records_logged + replay.records_replayed, std::move(dir_lock));
 
+  rstats.checkpoint_on_recovery = replay.records_replayed > 0;
   rstats.recovery_ms = ms_since(start);
   auto engine = std::unique_ptr<StreamEngine>(
       new StreamEngine(RecoveredTag{}, std::move(config), registry,
                        std::move(*ingestor), std::move(journal), closes_total,
                        rstats));
+  // A replayed tail is checkpointed right away: without this a
+  // crash-looping process never advances its replay position (the counter
+  // restarts at zero every recovery) and re-replays an ever-growing tail.
+  // Checkpoint timing is invisible to snapshots, so the differential
+  // guarantee is untouched.
+  if (rstats.checkpoint_on_recovery) {
+    engine->journal_->write_checkpoint(engine->build_checkpoint());
+  }
   // Republish the recovered window so readers see verdicts immediately;
   // subsequent closes then publish exactly as the uninterrupted engine
   // would have. Runs synchronously here even in async mode — recovery is

@@ -38,6 +38,10 @@ struct RecoveryStats {
   std::uint64_t events_replayed = 0;   // events among them
   std::uint64_t bytes_replayed = 0;
   std::uint64_t bytes_truncated = 0;   // torn tail cut from the last segment
+  // recover() replayed a non-empty WAL tail and immediately installed a
+  // fresh checkpoint, so a crash-looping process re-replays a bounded tail
+  // instead of an ever-growing one.
+  bool checkpoint_on_recovery = false;
   double recovery_ms = 0.0;            // wall time of recover()
 };
 

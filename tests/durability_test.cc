@@ -456,7 +456,7 @@ TEST_F(DurabilityTest, JournalDirHasStateSeesCheckpointsToo) {
   EXPECT_TRUE(DurableJournal::dir_has_state(dir.path));
 }
 
-TEST_F(DurabilityTest, JournalIsDeadAfterFirstFailure) {
+TEST_F(DurabilityTest, JournalIsDeadAfterFirstIoErrorAndKeepsThrowing) {
   TempDir dir("journal_dead");
   DurableJournal journal(dir.path, FsyncPolicy::kOff);
   journal.append(req_at(1, "c", "h.test"));
@@ -466,17 +466,100 @@ TEST_F(DurabilityTest, JournalIsDeadAfterFirstFailure) {
   FailPoint::arm("wal.write", spec);
   EXPECT_THROW(journal.append(req_at(2, "c", "h.test")), durability::IoError);
   EXPECT_TRUE(journal.dead());
+  EXPECT_FALSE(journal.crashed());
   FailPoint::disarm_all();
 
-  // Dead journals no-op: the on-disk image stays exactly as the failure
-  // left it, and counters freeze.
+  // A journal dead from a real I/O error must refuse later work loudly: a
+  // caller that swallowed the first error can never keep ingesting with
+  // journaling silently disabled. Nothing reaches disk, counters freeze.
+  const auto size_before =
+      File::size_of(dir.path + "/" + durability::segment_file_name(1));
+  EXPECT_THROW(journal.append(req_at(3, "c", "h.test")), durability::IoError);
+  EXPECT_THROW(journal.seal_epoch(0), durability::IoError);
+  EXPECT_THROW(journal.write_checkpoint(sample_checkpoint()),
+               durability::IoError);
+  EXPECT_EQ(File::size_of(dir.path + "/" + durability::segment_file_name(1)),
+            size_before);
+  EXPECT_EQ(journal.records_logged(), 1u);
+}
+
+TEST_F(DurabilityTest, JournalNoOpsSilentlyAfterSimulatedCrash) {
+  TempDir dir("journal_crashed");
+  DurableJournal journal(dir.path, FsyncPolicy::kOff);
+  journal.append(req_at(1, "c", "h.test"));
+
+  FailPoint::Spec spec;
+  spec.action.kind = FailAction::Kind::kCrash;
+  FailPoint::arm("wal.write", spec);
+  EXPECT_THROW(journal.append(req_at(2, "c", "h.test")), SimulatedCrash);
+  EXPECT_TRUE(journal.dead());
+  EXPECT_TRUE(journal.crashed());
+  FailPoint::disarm_all();
+
+  // Post-crash teardown must not smear the disk image under test: every
+  // further operation is a silent no-op.
   const auto size_before =
       File::size_of(dir.path + "/" + durability::segment_file_name(1));
   journal.append(req_at(3, "c", "h.test"));
   journal.seal_epoch(0);
+  journal.write_checkpoint(sample_checkpoint());
   EXPECT_EQ(File::size_of(dir.path + "/" + durability::segment_file_name(1)),
             size_before);
   EXPECT_EQ(journal.records_logged(), 1u);
+}
+
+TEST_F(DurabilityTest, JournalHoldsExclusiveDirLock) {
+  TempDir dir("journal_lock");
+  {
+    DurableJournal journal(dir.path, FsyncPolicy::kOff);
+    journal.append(req_at(1, "c", "h.test"));
+    // A second journal (same process or another) must not be able to
+    // interleave appends into the same segments.
+    EXPECT_THROW(DurableJournal(dir.path, FsyncPolicy::kOff),
+                 durability::IoError);
+    EXPECT_THROW(DurableJournal(dir.path, FsyncPolicy::kOff, {1, 0}, 0),
+                 durability::IoError);
+  }
+  // Destroying the holder releases the lock; the LOCK file itself is inert
+  // and never counts as journal state.
+  DurableJournal resumed(dir.path, FsyncPolicy::kOff, {1, 0}, 0);
+  EXPECT_TRUE(DurableJournal::dir_has_state(dir.path));
+}
+
+TEST_F(DurabilityTest, SegmentCreationSyncsDirectoryUnderDurablePolicies) {
+  // Counting probe: an armed kNone spec counts hits without injecting.
+  FailPoint::Spec probe;
+  probe.action.kind = FailAction::Kind::kNone;
+  {
+    TempDir dir("journal_dirsync");
+    DurableJournal journal(dir.path, FsyncPolicy::kOnSeal);
+    FailPoint::arm("wal.dirsync", probe);
+    journal.append(req_at(1, "c", "h.test"));
+    EXPECT_EQ(FailPoint::hits("wal.dirsync"), 1u);  // segment 1 created
+    journal.seal_epoch(0);
+    journal.append(req_at(700, "c", "h.test"));
+    EXPECT_EQ(FailPoint::hits("wal.dirsync"), 2u);  // lazy rotation created 2
+
+    // An injected directory-fsync failure is a real I/O error: fail-stop.
+    FailPoint::Spec fail;
+    fail.action.kind = FailAction::Kind::kError;
+    FailPoint::arm("wal.dirsync", fail);
+    journal.seal_epoch(1);
+    EXPECT_THROW(journal.append(req_at(1400, "c", "h.test")),
+                 durability::IoError);
+    EXPECT_TRUE(journal.dead());
+    FailPoint::disarm_all();
+  }
+  {
+    // kOff never touches the directory (documented page-cache trade-off).
+    TempDir dir("journal_dirsync_off");
+    DurableJournal journal(dir.path, FsyncPolicy::kOff);
+    FailPoint::arm("wal.dirsync", probe);
+    journal.append(req_at(1, "c", "h.test"));
+    journal.seal_epoch(0);
+    journal.append(req_at(700, "c", "h.test"));
+    EXPECT_EQ(FailPoint::hits("wal.dirsync"), 0u);
+  }
 }
 
 TEST_F(DurabilityTest, JournalResumeContinuesSegment) {
@@ -888,6 +971,72 @@ TEST_F(DurabilityTest, RecoveredEngineJournalsOnAndRecoversAgain) {
   const auto snap = again->snapshot();
   ASSERT_NE(snap, nullptr);
   EXPECT_EQ(snap->digest(), first_digest);
+}
+
+// A recovery that replayed a tail installs a checkpoint immediately, so a
+// crash-looping process replays a bounded tail instead of an ever-growing
+// one — the second recovery starts from the recovery-time checkpoint and
+// replays nothing.
+TEST_F(DurabilityTest, RecoveryCheckpointsReplayedTailSoCrashLoopsStayBounded) {
+  TempDir dir("engine_crashloop");
+  const whois::Registry registry;
+  // Cadence far past the schedule: without the recovery-time checkpoint
+  // every recovery would re-replay the whole WAL forever.
+  const auto config = durable_config(dir.path, stream::WalFsync::kOnSeal, 1000000);
+  const auto events = test::random_schedule(13);
+  const std::size_t cut = events.size() / 2;
+  {
+    stream::StreamEngine engine(config, registry);
+    feed_range(engine, events, 0, cut);
+  }
+  std::string digest_after_first;
+  {
+    auto first = stream::StreamEngine::recover(config, registry);
+    EXPECT_FALSE(first->recovery_stats().used_checkpoint);
+    ASSERT_GT(first->recovery_stats().records_replayed, 0u);
+    EXPECT_TRUE(first->recovery_stats().checkpoint_on_recovery);
+    const auto snap = first->snapshot();
+    if (snap != nullptr) digest_after_first = snap->digest();
+  }
+  bool checkpoint_installed = false;
+  for (const auto& name : File::list_dir(dir.path)) {
+    if (durability::parse_checkpoint_file_name(name)) checkpoint_installed = true;
+  }
+  EXPECT_TRUE(checkpoint_installed);
+
+  // Crash loop, second lap: the tail is gone, the checkpoint carries it.
+  auto second = stream::StreamEngine::recover(config, registry);
+  EXPECT_TRUE(second->recovery_stats().used_checkpoint);
+  EXPECT_EQ(second->recovery_stats().records_replayed, 0u);
+  EXPECT_FALSE(second->recovery_stats().checkpoint_on_recovery);
+  const auto second_snap = second->snapshot();
+  if (second_snap != nullptr) {
+    EXPECT_EQ(second_snap->digest(), digest_after_first);
+  }
+
+  // And the recovered state still equals the uninterrupted run's.
+  feed_range(*second, events, cut, events.size());
+  second->finish();
+  stream::StreamEngine reference(reference_of(config), registry);
+  feed_range(reference, events, 0, events.size());
+  reference.finish();
+  const auto recovered_snap = second->snapshot();
+  const auto reference_snap = reference.snapshot();
+  ASSERT_NE(recovered_snap, nullptr);
+  ASSERT_NE(reference_snap, nullptr);
+  test::expect_identical_snapshots(*recovered_snap, *reference_snap);
+}
+
+// Two engines must never append to one durability dir concurrently: the
+// journal's flock guards both the fresh and the recover path.
+TEST_F(DurabilityTest, ConcurrentEnginesOnOneDirAreRejected) {
+  TempDir dir("engine_locked");
+  const whois::Registry registry;
+  const auto config = durable_config(dir.path, stream::WalFsync::kOff, 4);
+  stream::StreamEngine engine(config, registry);
+  synth::ingest_event(engine, synth::StreamEvent{req_at(10, "c", "h.test")});
+  EXPECT_THROW(stream::StreamEngine::recover(config, registry),
+               durability::IoError);
 }
 
 TEST_F(DurabilityTest, RecoverRejectsConfigMismatch) {
