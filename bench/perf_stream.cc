@@ -11,7 +11,14 @@
 // policy plus the wall-time to recover the finished log. Written to
 // BENCH_stream.json.
 //
-// Usage: perf_stream [output.json] [--smoke]
+// Also measures the observability tax: the same durable feed with the
+// metrics registry and span tracer off vs on (acceptance bar: <= 2%), with
+// in-bench consistency gates tying the exported histograms to the bench's
+// own counts. `--obs-dump <dir>` saves the obs-on run's Prometheus text,
+// registry JSON, periodic JSONL, and Chrome trace JSON (Perfetto-loadable)
+// for tools/check_trace.py and manual inspection.
+//
+// Usage: perf_stream [output.json] [--smoke] [--obs-dump <dir>]
 //   --smoke: minutes-long scenario for CI bitrot checks (same code paths,
 //            tiny population).
 #include <algorithm>
@@ -19,12 +26,15 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/engine.h"
 #include "stream/verdict.h"
 #include "synth/stream_gen.h"
@@ -163,10 +173,13 @@ void report_close_records(smash::bench::JsonReporter& report,
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_stream.json";
+  std::string obs_dump_dir;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--obs-dump") == 0 && i + 1 < argc) {
+      obs_dump_dir = argv[++i];
     } else {
       out_path = argv[i];
     }
@@ -308,6 +321,123 @@ int main(int argc, char** argv) {
         rstats.used_checkpoint ? 1 : 0);
     recovered.reset();
     std::filesystem::remove_all(dir);
+  }
+
+  // --- observability: metrics + tracing tax, export consistency -------------
+  {
+    const auto obs_dir = [](const char* tag) {
+      const std::string dir = (std::filesystem::temp_directory_path() /
+                               (std::string("smash_perf_obs_") + tag))
+                                  .string();
+      std::filesystem::remove_all(dir);
+      return dir;
+    };
+    auto obs_config = stream_config(smoke, /*async=*/false);
+    obs_config.fsync_policy = smash::stream::WalFsync::kOnSeal;
+    obs_config.checkpoint_every_epochs = 6;
+
+    // Baseline: the identical durable feed with the registry detached (every
+    // handle null) and the tracer disabled.
+    obs_config.metrics_enabled = false;
+    obs_config.durability_dir = obs_dir("off");
+    double obs_off_ms = 0.0;
+    {
+      smash::stream::StreamEngine off_engine(obs_config, scenario.whois);
+      obs_off_ms = feed_timed(off_engine, scenario, [] {}).feed_ms;
+    }
+    std::filesystem::remove_all(obs_config.durability_dir);
+
+    // Instrumented: registry on, global span tracer recording, and — when
+    // dumping — the periodic JSONL logger writing into the dump directory.
+    obs_config.metrics_enabled = true;
+    obs_config.durability_dir = obs_dir("on");
+    if (!obs_dump_dir.empty()) {
+      std::filesystem::create_directories(obs_dump_dir);
+      obs_config.metrics_dir = obs_dump_dir;
+      obs_config.metrics_interval_ms = 1000;
+    }
+    smash::obs::Tracer::global().enable(1u << 16);
+    double obs_on_ms = 0.0;
+    std::uint64_t publications = 0;
+    std::shared_ptr<smash::obs::Registry> registry;
+    {
+      smash::stream::StreamEngine on_engine(obs_config, scenario.whois);
+      obs_on_ms = feed_timed(on_engine, scenario, [] {}).feed_ms;
+      publications = on_engine.snapshots_published();
+      registry = on_engine.metrics();
+    }
+    const std::uint64_t spans = smash::obs::Tracer::global().recorded();
+    const std::uint64_t dropped = smash::obs::Tracer::global().dropped();
+    const std::string trace_json =
+        smash::obs::Tracer::global().dump_chrome_json();
+    smash::obs::Tracer::global().disable();
+    std::filesystem::remove_all(obs_config.durability_dir);
+
+    // Consistency gates: the exported metrics must agree with the bench's
+    // own ground truth, and the trace must show one epoch's full dataflow.
+    const auto snap = registry->snapshot();
+    const auto* close_hist = snap.histogram("stream.close_to_publish_ms");
+    if (close_hist == nullptr || close_hist->count != publications) {
+      std::fprintf(stderr,
+                   "obs gate: stream.close_to_publish_ms count %llu != %llu "
+                   "publications\n",
+                   close_hist ? static_cast<unsigned long long>(close_hist->count)
+                              : 0ull,
+                   static_cast<unsigned long long>(publications));
+      return 1;
+    }
+    const auto* fsync_hist = snap.histogram("wal.fsync_ms");
+    if (fsync_hist == nullptr || fsync_hist->count == 0) {
+      std::fprintf(stderr, "obs gate: wal.fsync_ms histogram empty on a "
+                           "durable on_seal run\n");
+      return 1;
+    }
+    for (const char* span_name :
+         {"stream.ingest", "stream.epoch_seal", "stream.assemble",
+          "stream.mine", "mine.join", "louvain.sweep", "stream.publish",
+          "wal.fsync", "ckpt.install"}) {
+      if (trace_json.find(std::string("\"name\":\"") + span_name + "\"") ==
+          std::string::npos) {
+        std::fprintf(stderr, "obs gate: trace has no \"%s\" span\n", span_name);
+        return 1;
+      }
+    }
+
+    if (!obs_dump_dir.empty()) {
+      const auto dump = [&](const char* file, const std::string& body) {
+        std::ofstream out(std::filesystem::path(obs_dump_dir) / file,
+                          std::ios::trunc);
+        out << body;
+        return out.good();
+      };
+      if (!dump("metrics.prom", smash::obs::render_prometheus(snap)) ||
+          !dump("metrics.json", smash::obs::render_json(snap) + "\n") ||
+          !dump("trace.json", trace_json)) {
+        std::fprintf(stderr, "obs dump: failed writing to %s\n",
+                     obs_dump_dir.c_str());
+        return 1;
+      }
+      std::printf("obs dump: metrics.prom, metrics.json, metrics.jsonl, "
+                  "trace.json in %s\n",
+                  obs_dump_dir.c_str());
+    }
+
+    const double obs_overhead =
+        obs_off_ms > 0.0 ? obs_on_ms / obs_off_ms : 0.0;
+    report.add("stream_obs/feed", obs_on_ms,
+               {{"obs_off_ms", obs_off_ms},
+                {"overhead_vs_obs_off", obs_overhead},
+                {"spans_recorded", static_cast<double>(spans)},
+                {"spans_dropped", static_cast<double>(dropped)},
+                {"wal_fsyncs", static_cast<double>(fsync_hist->count)},
+                {"publications", static_cast<double>(publications)}});
+    std::printf(
+        "obs     feed %8.1f ms instrumented vs %8.1f ms off (%0.3fx)  "
+        "%llu spans (%llu dropped), %llu fsyncs timed\n",
+        obs_on_ms, obs_off_ms, obs_overhead,
+        static_cast<unsigned long long>(spans),
+        static_cast<unsigned long long>(dropped),
+        static_cast<unsigned long long>(fsync_hist->count));
   }
 
   if (!report.write(out_path)) return 1;

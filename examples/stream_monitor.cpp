@@ -4,8 +4,14 @@
 //
 //   stream -> StreamEngine (epoch ring, re-mine, snapshot swap)
 //          -> VerdictService (lookups that never wait on mining)
+//
+// The engine's metrics registry (docs/OBSERVABILITY.md) is live the whole
+// time: every publication line is followed by a one-line registry readout,
+// and the run ends with the full Prometheus text exposition — exactly what
+// a /metrics endpoint would serve.
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "stream/engine.h"
 #include "stream/verdict.h"
 #include "synth/stream_gen.h"
@@ -29,7 +35,9 @@ int main() {
   config.smash.idf_threshold = 200;
 
   smash::stream::StreamEngine engine(config, scenario.whois);
-  const smash::stream::VerdictService service(engine.slot());
+  // Sharing the engine's registry folds the service's verdict.* counters
+  // into the same export as the stream.* / pipeline.* / wal.* metrics.
+  const smash::stream::VerdictService service(engine.slot(), engine.metrics());
 
   std::printf("streaming %zu events over %llu s (epoch %u s, window %u epochs)\n\n",
               scenario.events.size(),
@@ -51,6 +59,24 @@ int main() {
                 record.total_ms,
                 snapshot->postings_budget_exceeded() ? "  [postings cap hit]"
                                                      : "");
+    const auto metrics = engine.metrics()->snapshot();
+    const auto* events = metrics.counter("stream.events_total");
+    const auto* close = metrics.histogram("stream.close_to_publish_ms");
+    const auto* mine = metrics.histogram("stream.mine_ms");
+    std::printf("        [obs] %llu events in, close->publish %0.1f ms mean, "
+                "mine %0.1f ms mean over %llu publications\n",
+                events != nullptr
+                    ? static_cast<unsigned long long>(events->value)
+                    : 0ull,
+                close != nullptr && close->count > 0
+                    ? close->sum / static_cast<double>(close->count)
+                    : 0.0,
+                mine != nullptr && mine->count > 0
+                    ? mine->sum / static_cast<double>(mine->count)
+                    : 0.0,
+                close != nullptr
+                    ? static_cast<unsigned long long>(close->count)
+                    : 0ull);
   };
 
   for (const auto& event : scenario.events) {
@@ -75,5 +101,8 @@ int main() {
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.snapshot_sequence),
               stats.snapshot_age_s);
+
+  std::printf("\n--- registry, Prometheus text exposition ---\n%s",
+              engine.metrics()->render_prometheus().c_str());
   return 0;
 }

@@ -3,15 +3,44 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <chrono>
+
 #include "core/file_classifier.h"
 #include "graph/components.h"
 #include "graph/louvain.h"
 #include "graph/similarity_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace smash::core {
 
 namespace {
+
+// Span and histogram names must be string literals (trace slots store the
+// pointer, registry keys are stable), hence switches instead of
+// concatenating dimension_name().
+const char* dimension_span_name(Dimension d) noexcept {
+  switch (d) {
+    case Dimension::kClient: return "mine.client";
+    case Dimension::kFile: return "mine.uri_file";
+    case Dimension::kIp: return "mine.ip_set";
+    case Dimension::kWhois: return "mine.whois";
+    case Dimension::kParam: return "mine.param";
+  }
+  return "mine.unknown";
+}
+
+const char* dimension_hist_name(Dimension d) noexcept {
+  switch (d) {
+    case Dimension::kClient: return "pipeline.mine_ms.client";
+    case Dimension::kFile: return "pipeline.mine_ms.uri_file";
+    case Dimension::kIp: return "pipeline.mine_ms.ip_set";
+    case Dimension::kWhois: return "pipeline.mine_ms.whois";
+    case Dimension::kParam: return "pipeline.mine_ms.param";
+  }
+  return "pipeline.mine_ms.unknown";
+}
 
 // Shared tail of every dimension builder: threshold edges -> graph ->
 // Louvain -> size >= 2 communities with their densities.
@@ -34,7 +63,9 @@ DimensionAshes extract_ashes(Dimension dimension, graph::GraphBuilder builder,
   if (louvain_options.num_threads == 0) {
     louvain_options.num_threads = std::max(1u, config.num_threads);
   }
+  obs::Span louvain_span("mine.louvain", dimension_name(dimension).data());
   const auto louvain_result = graph::louvain_refined(g, louvain_options);
+  louvain_span.finish();
   out.modularity = louvain_result.modularity;
   out.louvain_stats = louvain_result.stats;
 
@@ -83,8 +114,10 @@ DimensionAshes mine_keyset_dimension(Dimension dimension,
   graph::JoinOptions join_options;
   join_options.max_postings_length = postings_cap;
   graph::JoinStats stats;
+  obs::Span join_span("mine.join", dimension_name(dimension).data());
   const auto pairs =
       dimension_join(key_sets, 1, join_options, config, join_threads, stats);
+  join_span.finish();
 
   graph::GraphBuilder builder(static_cast<std::uint32_t>(key_sets.size()));
   for (const auto& pair : pairs) {
@@ -183,9 +216,11 @@ DimensionAshes mine_whois_dimension(const PreprocessResult& pre,
   graph::JoinOptions join_options;
   join_options.max_postings_length = config.join_postings_cap;
   graph::JoinStats stats;
+  obs::Span join_span("mine.join", dimension_name(Dimension::kWhois).data());
   const auto pairs = dimension_join(
       field_sets, static_cast<std::uint32_t>(config.whois_min_shared_fields),
       join_options, config, config.num_threads, stats);
+  join_span.finish();
 
   graph::GraphBuilder builder(static_cast<std::uint32_t>(pre.kept.size()));
   for (const auto& pair : pairs) {
@@ -291,14 +326,24 @@ std::size_t DimensionAshes::num_herded_servers() const {
 DimensionAshes mine_dimension(Dimension dimension, const PreprocessResult& pre,
                               const whois::Registry& registry,
                               const SmashConfig& config) {
+  SMASH_SPAN(dimension_span_name(dimension));
+  const auto start = std::chrono::steady_clock::now();
+  DimensionAshes out;
   switch (dimension) {
-    case Dimension::kClient: return mine_client_dimension(pre, config);
-    case Dimension::kFile: return mine_file_dimension(pre, config);
-    case Dimension::kIp: return mine_ip_dimension(pre, config);
-    case Dimension::kWhois: return mine_whois_dimension(pre, registry, config);
-    case Dimension::kParam: return mine_param_dimension(pre, config);
+    case Dimension::kClient: out = mine_client_dimension(pre, config); break;
+    case Dimension::kFile: out = mine_file_dimension(pre, config); break;
+    case Dimension::kIp: out = mine_ip_dimension(pre, config); break;
+    case Dimension::kWhois: out = mine_whois_dimension(pre, registry, config); break;
+    case Dimension::kParam: out = mine_param_dimension(pre, config); break;
+    default: throw std::invalid_argument("mine_dimension: bad dimension");
   }
-  throw std::invalid_argument("mine_dimension: bad dimension");
+  if (config.metrics != nullptr) {
+    config.metrics->latency_histogram_ms(dimension_hist_name(dimension))
+        .observe(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+  }
+  return out;
 }
 
 std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,

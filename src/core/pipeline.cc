@@ -1,12 +1,35 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <unordered_map>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace smash::core {
 
 namespace {
+
+// Stage timing into the configured registry (no-op on null). Stage spans
+// are emitted separately at the call sites via SMASH_SPAN.
+class StageClock {
+ public:
+  explicit StageClock(obs::Registry* metrics) : metrics_(metrics) {}
+  void lap(const char* histogram_name) {
+    const auto now = std::chrono::steady_clock::now();
+    if (metrics_ != nullptr) {
+      metrics_->latency_histogram_ms(histogram_name)
+          .observe(std::chrono::duration<double, std::milli>(now - last_).count());
+    }
+    last_ = now;
+  }
+
+ private:
+  obs::Registry* metrics_;
+  std::chrono::steady_clock::time_point last_ = std::chrono::steady_clock::now();
+};
 
 // Merge pruned groups that live in the same main-dimension herd (paper
 // §III-E: the main dimension captures the campaign's group connection
@@ -120,23 +143,47 @@ graph::LouvainStats SmashResult::louvain_stats() const noexcept {
 
 SmashResult SmashPipeline::run(const net::Trace& trace,
                                const whois::Registry& registry) const {
-  return run_preprocessed(preprocess(trace, config_), registry);
+  StageClock clock(config_.metrics);
+  PreprocessResult pre;
+  {
+    SMASH_SPAN("pipeline.preprocess");
+    pre = preprocess(trace, config_);
+  }
+  clock.lap("pipeline.preprocess_ms");
+  return run_preprocessed(std::move(pre), registry);
 }
 
 SmashResult SmashPipeline::run_preprocessed(PreprocessResult pre,
                                             const whois::Registry& registry) const {
+  StageClock clock(config_.metrics);
   SmashResult result{std::move(pre), {}, {}, {}, {}};
-  result.dims = mine_all_dimensions(result.pre, registry, config_);
-  result.correlation = correlate(result.pre, result.dims, config_);
-  result.pruned = prune(result.pre, result.correlation.groups, config_);
-
-  const auto& main = result.dims[static_cast<int>(Dimension::kClient)];
-  for (auto& members : merge_by_main_herd(result.pruned.groups, main)) {
-    Campaign campaign;
-    campaign.involved_clients = involved_clients_of(result.pre, members);
-    campaign.servers = std::move(members);
-    result.campaigns.push_back(std::move(campaign));
+  {
+    SMASH_SPAN("pipeline.mine");
+    result.dims = mine_all_dimensions(result.pre, registry, config_);
   }
+  clock.lap("pipeline.mine_ms");
+  {
+    SMASH_SPAN("pipeline.correlate");
+    result.correlation = correlate(result.pre, result.dims, config_);
+  }
+  clock.lap("pipeline.correlate_ms");
+  {
+    SMASH_SPAN("pipeline.prune");
+    result.pruned = prune(result.pre, result.correlation.groups, config_);
+  }
+  clock.lap("pipeline.prune_ms");
+
+  {
+    SMASH_SPAN("pipeline.campaigns");
+    const auto& main = result.dims[static_cast<int>(Dimension::kClient)];
+    for (auto& members : merge_by_main_herd(result.pruned.groups, main)) {
+      Campaign campaign;
+      campaign.involved_clients = involved_clients_of(result.pre, members);
+      campaign.servers = std::move(members);
+      result.campaigns.push_back(std::move(campaign));
+    }
+  }
+  clock.lap("pipeline.campaigns_ms");
   return result;
 }
 

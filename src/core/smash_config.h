@@ -10,6 +10,10 @@
 
 #include "graph/louvain.h"
 
+namespace smash::obs {
+class Registry;
+}  // namespace smash::obs
+
 namespace smash::core {
 
 struct SmashConfig {
@@ -112,6 +116,15 @@ struct SmashConfig {
   // requests carry that Referer; a group is a referrer group if every
   // member shares the same dominant referrer.
   double referrer_dominance = 0.8;
+
+  // Optional metrics sink (not owned; may be null = no metrics). When
+  // set, each pipeline run records per-stage and per-dimension duration
+  // histograms into it (catalog in docs/OBSERVABILITY.md). The streaming
+  // engine points this at its own registry so batch re-mines and stream
+  // metrics land on one surface; batch callers can pass
+  // &obs::Registry::global() or any registry that outlives the pipeline.
+  // Mined output never depends on this pointer.
+  obs::Registry* metrics = nullptr;
 
   // Community-detection tunables, including the chunked-parallel local
   // moving knobs: louvain.num_threads == 0 (default) inherits this

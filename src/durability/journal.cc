@@ -1,8 +1,11 @@
 #include "durability/journal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 
 namespace smash::durability {
@@ -68,9 +71,22 @@ void DurableJournal::append_payload(std::string_view payload, bool is_seal) {
     writer_->append(payload);
     if (policy_ == FsyncPolicy::kEveryRecord ||
         (is_seal && policy_ == FsyncPolicy::kOnSeal)) {
+      // Spanned only at seals: per-record fsync (kEveryRecord) would flood
+      // the trace ring; the histogram still times every fsync.
+      obs::Span fsync_span(is_seal ? "wal.fsync" : nullptr);
+      const auto start = std::chrono::steady_clock::now();
       writer_->sync();
+      if (fsync_ms_metric_ != nullptr) {
+        fsync_ms_metric_->observe(std::chrono::duration<double, std::milli>(
+                                      std::chrono::steady_clock::now() - start)
+                                      .count());
+      }
     }
     ++records_logged_;
+    if (records_metric_ != nullptr) {
+      records_metric_->inc();
+      bytes_metric_->inc(payload.size());
+    }
     if (is_seal) {
       writer_->close();
       writer_.reset();
@@ -106,11 +122,18 @@ void DurableJournal::seal_epoch(stream::EpochId epoch) {
 void DurableJournal::write_checkpoint(CheckpointState state) {
   if (refuse_if_dead()) return;
   try {
+    SMASH_SPAN("ckpt.install");
+    const auto start = std::chrono::steady_clock::now();
     const WalPosition pos = position();
     state.replay_segment = pos.segment;
     state.replay_offset = pos.offset;
     state.records_logged = records_logged_;
     write_checkpoint_file(dir_, state, policy_);
+    if (ckpt_install_ms_metric_ != nullptr) {
+      ckpt_install_ms_metric_->observe(std::chrono::duration<double, std::milli>(
+                                           std::chrono::steady_clock::now() - start)
+                                           .count());
+    }
 
     // Prune: newest two checkpoints stay; every older checkpoint goes, and
     // with them every segment below the oldest retained replay floor (no
@@ -143,6 +166,22 @@ void DurableJournal::write_checkpoint(CheckpointState state) {
     dead_ = true;
     throw;
   }
+}
+
+void DurableJournal::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    records_metric_ = nullptr;
+    bytes_metric_ = nullptr;
+    fsync_ms_metric_ = nullptr;
+    ckpt_install_ms_metric_ = nullptr;
+    return;
+  }
+  records_metric_ = &registry->counter("wal.records_total", "WAL records appended");
+  bytes_metric_ = &registry->counter("wal.bytes_total", "WAL payload bytes appended");
+  fsync_ms_metric_ =
+      &registry->latency_histogram_ms("wal.fsync_ms", "WAL fsync latency");
+  ckpt_install_ms_metric_ = &registry->latency_histogram_ms(
+      "ckpt.install_ms", "checkpoint build-to-installed latency");
 }
 
 WalPosition DurableJournal::position() const noexcept {

@@ -27,6 +27,12 @@
 #include "durability/options.h"
 #include "durability/wal.h"
 
+namespace smash::obs {
+class Counter;
+class Histogram;
+class Registry;
+}  // namespace smash::obs
+
 namespace smash::durability {
 
 // Exact WAL position: `offset` bytes into segment `segment`.
@@ -89,6 +95,14 @@ class DurableJournal {
   // True when dead_ came from a util::SimulatedCrash.
   bool crashed() const noexcept { return crashed_; }
 
+  // Points the journal's WAL/checkpoint metrics (wal.records_total,
+  // wal.bytes_total, wal.fsync_ms, ckpt.install_ms) at `registry`; null
+  // detaches (no metrics, the default). The registry must outlive the
+  // journal — the StreamEngine owns both and calls this right after
+  // construction. Not thread-safe against concurrent appends; call before
+  // ingest starts.
+  void set_metrics(obs::Registry* registry);
+
  private:
   void append_payload(std::string_view payload, bool is_seal);
   void ensure_writer();
@@ -109,6 +123,12 @@ class DurableJournal {
   bool resume_segment_ = false;
   bool dead_ = false;
   bool crashed_ = false;
+
+  // Metric handles (all null until set_metrics; see docs/OBSERVABILITY.md).
+  obs::Counter* records_metric_ = nullptr;
+  obs::Counter* bytes_metric_ = nullptr;
+  obs::Histogram* fsync_ms_metric_ = nullptr;
+  obs::Histogram* ckpt_install_ms_metric_ = nullptr;
 };
 
 }  // namespace smash::durability

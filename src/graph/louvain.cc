@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace smash::graph {
@@ -110,6 +111,7 @@ void serial_sweeps(const Graph& g, const LouvainOptions& options,
   scratch.reset(n);
 
   for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    SMASH_SPAN("louvain.sweep", "serial");
     ++stats.sweeps;
     bool moved_this_sweep = false;
     for (std::uint32_t v = 0; v < n; ++v) {
@@ -174,6 +176,7 @@ void chunked_sweeps(const Graph& g, const LouvainOptions& options,
   std::uint64_t epoch = 0;
 
   for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    SMASH_SPAN("louvain.sweep", "chunked");
     ++stats.sweeps;
     bool moved_this_sweep = false;
 

@@ -1,0 +1,59 @@
+#include "obs/logger.h"
+
+#include <filesystem>
+
+namespace smash::obs {
+
+MetricsLogger::MetricsLogger(std::shared_ptr<Registry> registry,
+                             std::string path,
+                             std::chrono::milliseconds interval)
+    : registry_(std::move(registry)), path_(std::move(path)),
+      interval_(interval) {
+  const auto parent = std::filesystem::path(path_).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  out_.open(path_, std::ios::app);
+  thread_ = std::thread([this] { loop(); });
+}
+
+MetricsLogger::~MetricsLogger() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  write_line();  // final snapshot: short-lived engines still leave one line
+}
+
+void MetricsLogger::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) return;
+    lock.unlock();
+    write_line();
+    lock.lock();
+  }
+}
+
+void MetricsLogger::write_line() {
+  const auto ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  // Render outside the lock: snapshotting sums every shard and must not
+  // serialize against the interval thread's wakeup.
+  const std::string metrics = registry_->render_json();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) return;
+  out_ << "{\"ts_unix_ms\":" << ts_ms << ",\"metrics\":" << metrics << "}\n";
+  out_.flush();
+  ++lines_;
+}
+
+void MetricsLogger::flush_now() { write_line(); }
+
+std::uint64_t MetricsLogger::lines_written() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+}  // namespace smash::obs

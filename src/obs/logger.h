@@ -1,0 +1,56 @@
+// MetricsLogger: periodically appends a one-line JSON snapshot of a
+// Registry to a JSONL file, so a live engine leaves a machine-readable
+// metrics trail (StreamConfig::metrics_dir -> <dir>/metrics.jsonl) without
+// any scrape infrastructure. Each line is
+//   {"ts_unix_ms":<wall clock>,"metrics":<render_json(registry)>}
+// The destructor writes one final line, so even a run shorter than the
+// interval leaves a complete snapshot behind.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace smash::obs {
+
+class MetricsLogger {
+ public:
+  // Appends to `path` (parent directories are created). The registry is
+  // shared: it must simply exist; writers may keep updating it.
+  MetricsLogger(std::shared_ptr<Registry> registry, std::string path,
+                std::chrono::milliseconds interval);
+  // Stops the thread and writes a final snapshot line.
+  ~MetricsLogger();
+
+  MetricsLogger(const MetricsLogger&) = delete;
+  MetricsLogger& operator=(const MetricsLogger&) = delete;
+
+  // Writes one snapshot line now (any thread).
+  void flush_now();
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t lines_written() const noexcept;
+
+ private:
+  void loop();
+  void write_line();
+
+  std::shared_ptr<Registry> registry_;
+  std::string path_;
+  std::chrono::milliseconds interval_;
+
+  mutable std::mutex mutex_;  // guards out_, lines_, stop_
+  std::condition_variable cv_;
+  std::ofstream out_;
+  std::uint64_t lines_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace smash::obs

@@ -1,0 +1,110 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace smash::obs {
+
+namespace {
+
+// Small dense per-thread id for the Chrome "tid" field (std::thread::id
+// hashes are neither small nor stable across runs).
+std::uint32_t current_tid() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+void Tracer::enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  ring_ = std::vector<Slot>(capacity);
+  head_.store(1, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  for (auto& slot : ring_) slot.seq.store(0, std::memory_order_relaxed);
+  head_.store(1, std::memory_order_relaxed);
+}
+
+void Tracer::record(const char* name, const char* detail,
+                    std::uint64_t start_ns, std::uint64_t end_ns) noexcept {
+  if (!enabled() || ring_.empty()) return;
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring_[seq % ring_.size()];
+  // Mark the slot in-progress so a concurrent reader skips it, fill the
+  // payload, then publish the sequence number.
+  slot.seq.store(0, std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.detail.store(detail, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(end_ns >= start_ns ? end_ns - start_ns : 0,
+                    std::memory_order_relaxed);
+  slot.tid.store(current_tid(), std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  const std::uint64_t total = recorded();
+  return total > ring_.size() ? total - ring_.size() : 0;
+}
+
+std::vector<SpanRecord> Tracer::events() const {
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (const auto& slot : ring_) {
+    const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before == 0) continue;  // empty or mid-write
+    SpanRecord record;
+    record.name = slot.name.load(std::memory_order_relaxed);
+    record.detail = slot.detail.load(std::memory_order_relaxed);
+    record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    record.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    record.tid = slot.tid.load(std::memory_order_relaxed);
+    record.seq = seq_before;
+    if (slot.seq.load(std::memory_order_acquire) != seq_before) continue;
+    out.push_back(record);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string Tracer::dump_chrome_json() const {
+  const auto spans = events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& s = spans[i];
+    if (i > 0) out.push_back(',');
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"smash\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                  s.name, s.tid,
+                  static_cast<double>(s.start_ns) / 1000.0,
+                  static_cast<double>(s.dur_ns) / 1000.0);
+    out += buf;
+    if (s.detail != nullptr) {
+      out += ",\"args\":{\"detail\":\"";
+      out += s.detail;
+      out += "\"}";
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace smash::obs

@@ -1,0 +1,141 @@
+// Flight-recorder tracing: SMASH_SPAN("stream.mine") records a completed
+// span (name, thread, start, duration) into a fixed-size lock-free ring,
+// dumpable as Chrome trace-event JSON that loads directly in
+// chrome://tracing or Perfetto — one epoch's whole dataflow (ingest, epoch
+// seal, WAL fsync, preshard merge, per-dimension joins, Louvain sweeps,
+// snapshot build, RCU publish) on a single timeline.
+//
+// Cost model: tracing is OFF by default. A span on a disabled tracer is
+// one relaxed atomic load; an enabled span is two steady_clock reads plus
+// a handful of relaxed atomic stores into a pre-allocated slot — no locks,
+// no allocation, writers never block. The ring holds the newest `capacity`
+// spans (older ones are overwritten; dropped() counts them), so tracing is
+// safe to leave on in production as a crash-scene flight recorder.
+//
+// Concurrency: record() claims a slot with a relaxed fetch_add and writes
+// every field through atomics, publishing the slot's sequence number with
+// release order last; readers (events()/dump_chrome_json(), any thread)
+// validate the sequence before and after reading a slot and skip slots
+// being overwritten mid-read. enable()/disable()/clear() are NOT safe
+// concurrent with in-flight spans — flip tracing only while the traced
+// subsystems are quiescent.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// slots store the pointer, not a copy. The optional `detail` literal lands
+// in the Chrome event's args ({"args":{"detail":"client"}}) — used for
+// per-dimension labels.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smash::obs {
+
+// One completed span, as read back out of the ring.
+struct SpanRecord {
+  const char* name = nullptr;
+  const char* detail = nullptr;  // optional; nullptr when absent
+  std::uint64_t start_ns = 0;    // since Tracer::enable()
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  // small per-thread id, stable within the process
+  std::uint64_t seq = 0;  // global record order (1-based)
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  // (Re)allocates the ring and starts recording; the time origin resets to
+  // now. Call only while no spans are in flight.
+  void enable(std::size_t capacity = 1 << 16);
+  // Stops recording (in-flight spans land in the still-allocated ring).
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  // Drops all recorded spans, keeps the ring and enabled state.
+  void clear();
+
+  // Nanoseconds since enable().
+  std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  void record(const char* name, const char* detail, std::uint64_t start_ns,
+              std::uint64_t end_ns) noexcept;
+
+  // Spans recorded ever / overwritten by ring wrap.
+  std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed) - 1;
+  }
+  std::uint64_t dropped() const noexcept;
+
+  // Valid spans currently in the ring, sorted by start time.
+  std::vector<SpanRecord> events() const;
+
+  // Chrome trace-event JSON ("X" complete events, ts/dur in microseconds),
+  // sorted by timestamp. Load via chrome://tracing or https://ui.perfetto.dev.
+  std::string dump_chrome_json() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 = empty / being written
+    std::atomic<const char*> name{nullptr};
+    std::atomic<const char*> detail{nullptr};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+    std::atomic<std::uint32_t> tid{0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> head_{1};  // next sequence number to claim
+  std::vector<Slot> ring_;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+// RAII span: captures the start time at construction (if the global tracer
+// is enabled) and records on destruction. A nullptr name is an inert span
+// (used for sampling hot paths).
+class Span {
+ public:
+  explicit Span(const char* name, const char* detail = nullptr) noexcept {
+    if (name != nullptr && Tracer::global().enabled()) {
+      name_ = name;
+      detail_ = detail;
+      start_ns_ = Tracer::global().now_ns();
+    }
+  }
+  ~Span() { finish(); }
+
+  // Records the span now instead of at scope exit (idempotent).
+  void finish() noexcept {
+    if (name_ != nullptr) {
+      auto& tracer = Tracer::global();
+      tracer.record(name_, detail_, start_ns_, tracer.now_ns());
+      name_ = nullptr;
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* detail_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+#define SMASH_SPAN_CONCAT_INNER(a, b) a##b
+#define SMASH_SPAN_CONCAT(a, b) SMASH_SPAN_CONCAT_INNER(a, b)
+// SMASH_SPAN("name") / SMASH_SPAN("name", "detail"): scoped span on the
+// global tracer. Arguments must be string literals.
+#define SMASH_SPAN(...) \
+  ::smash::obs::Span SMASH_SPAN_CONCAT(smash_span_, __LINE__)(__VA_ARGS__)
+
+}  // namespace smash::obs

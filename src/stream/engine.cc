@@ -11,6 +11,9 @@
 #include "durability/file.h"
 #include "durability/journal.h"
 #include "durability/recover.h"
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace smash::stream {
@@ -31,15 +34,70 @@ durability::FsyncPolicy fsync_policy_of(const StreamConfig& config) {
 
 }  // namespace
 
+std::shared_ptr<obs::Registry> StreamEngine::init_metrics() {
+  if (!config_.metrics_enabled) {
+    config_.smash.metrics = nullptr;
+    return nullptr;
+  }
+  auto reg = config_.metrics ? config_.metrics
+                             : std::make_shared<obs::Registry>();
+  config_.smash.metrics = reg.get();
+  return reg;
+}
+
+void StreamEngine::bind_metrics() {
+  if (!metrics_registry_) return;
+  auto& r = *metrics_registry_;
+  metrics_.events = &r.counter("stream.events_total", "events ingested");
+  metrics_.epoch_closes =
+      &r.counter("stream.epoch_closes_total", "epochs closed");
+  metrics_.windows_coalesced =
+      &r.counter("stream.windows_coalesced_total",
+                 "pending mining jobs replaced by a newer window");
+  metrics_.snapshots = &r.counter("stream.snapshots_published_total",
+                                  "detection snapshots published");
+  metrics_.close_to_publish_ms = &r.latency_histogram_ms(
+      "stream.close_to_publish_ms", "epoch close to snapshot visible");
+  metrics_.assemble_ms = &r.latency_histogram_ms(
+      "stream.assemble_ms", "window assembly (preshard merge or trace concat)");
+  metrics_.mine_ms =
+      &r.latency_histogram_ms("stream.mine_ms", "SmashPipeline window re-mine");
+  metrics_.snapshot_build_ms = &r.latency_histogram_ms(
+      "stream.snapshot_build_ms", "DetectionSnapshot build and publish");
+  metrics_.mine_queue_wait_ms = &r.latency_histogram_ms(
+      "stream.mine_queue_wait_ms", "epoch close to mine start");
+  metrics_.mine_queue_depth =
+      &r.gauge("stream.mine_queue_depth", "mining jobs in flight or pending");
+  r.gauge_callback(
+      "stream.snapshot_age_ms",
+      [this] {
+        const auto last = last_publish_ns_.load(std::memory_order_relaxed);
+        if (last < 0) return -1.0;
+        const auto now = std::chrono::steady_clock::now().time_since_epoch();
+        const auto now_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+        return static_cast<double>(now_ns - last) / 1e6;
+      },
+      "ms since the last snapshot publish (-1 before the first)");
+  if (!config_.metrics_dir.empty()) {
+    metrics_logger_ = std::make_unique<obs::MetricsLogger>(
+        metrics_registry_, config_.metrics_dir + "/metrics.jsonl",
+        std::chrono::milliseconds(config_.metrics_interval_ms));
+  }
+}
+
 StreamEngine::StreamEngine(StreamConfig config, const whois::Registry& registry)
-    : config_(std::move(config)), registry_(registry), pipeline_(config_.smash),
+    : config_(std::move(config)), registry_(registry),
+      metrics_registry_(init_metrics()), pipeline_(config_.smash),
       ingestor_(config_) {
+  bind_metrics();
   if (!config_.durability_dir.empty()) {
     SMASH_CHECK(!durability::DurableJournal::dir_has_state(config_.durability_dir),
                 "StreamEngine: durability_dir already holds WAL/checkpoint "
                 "state; use StreamEngine::recover()");
     journal_ = std::make_unique<durability::DurableJournal>(
         config_.durability_dir, fsync_policy_of(config_));
+    journal_->set_metrics(metrics_registry_.get());
   }
   if (config_.async_mining) {
     miner_ = std::make_unique<util::ThreadPool>(1);
@@ -50,9 +108,12 @@ StreamEngine::StreamEngine(RecoveredTag, StreamConfig config,
                            const whois::Registry& registry, StreamIngestor ingestor,
                            std::unique_ptr<durability::DurableJournal> journal,
                            std::uint64_t closes_total, RecoveryStats recovery_stats)
-    : config_(std::move(config)), registry_(registry), pipeline_(config_.smash),
+    : config_(std::move(config)), registry_(registry),
+      metrics_registry_(init_metrics()), pipeline_(config_.smash),
       ingestor_(std::move(ingestor)), journal_(std::move(journal)),
       recovery_stats_(recovery_stats), closes_total_(closes_total) {
+  bind_metrics();
+  if (journal_) journal_->set_metrics(metrics_registry_.get());
   if (config_.async_mining) {
     miner_ = std::make_unique<util::ThreadPool>(1);
   }
@@ -68,21 +129,34 @@ StreamEngine::~StreamEngine() {
   } catch (...) {
     std::fprintf(stderr, "StreamEngine: async mine failed at teardown\n");
   }
+  // Final metrics line, then detach the snapshot-age provider before the
+  // members it reads die (the registry may be shared and outlive us).
+  metrics_logger_.reset();
+  if (metrics_registry_) metrics_registry_->remove("stream.snapshot_age_ms");
 }
 
 void StreamEngine::ingest(const RequestEvent& event) {
+  // Per-event spans would flood the trace ring (and cost two clock reads
+  // per event), so the ingest span is 1/1024-sampled; the events counter
+  // still counts every event.
+  obs::Span span(++ingest_sample_ % 1024 == 1 ? "stream.ingest" : nullptr);
+  if (metrics_.events != nullptr) metrics_.events->inc();
   durable_prepare(event.time_s);
   if (journal_) journal_->append(event);
   on_epochs_closed(ingestor_.ingest(event).epochs_closed);
 }
 
 void StreamEngine::ingest(const ResolutionEvent& event) {
+  obs::Span span(++ingest_sample_ % 1024 == 1 ? "stream.ingest" : nullptr);
+  if (metrics_.events != nullptr) metrics_.events->inc();
   durable_prepare(event.time_s);
   if (journal_) journal_->append(event);
   on_epochs_closed(ingestor_.ingest(event).epochs_closed);
 }
 
 void StreamEngine::ingest(const RedirectEvent& event) {
+  obs::Span span(++ingest_sample_ % 1024 == 1 ? "stream.ingest" : nullptr);
+  if (metrics_.events != nullptr) metrics_.events->inc();
   durable_prepare(event.time_s);
   if (journal_) journal_->append(event);
   on_epochs_closed(ingestor_.ingest(event).epochs_closed);
@@ -120,6 +194,7 @@ void StreamEngine::wait_for_mining() {
 
 void StreamEngine::on_epochs_closed(std::uint32_t closed) {
   if (closed == 0) return;
+  if (metrics_.epoch_closes != nullptr) metrics_.epoch_closes->inc(closed);
   closes_total_ += closed;
   maybe_checkpoint(closed);
   if (ingestor_.window().empty()) return;
@@ -185,11 +260,18 @@ void StreamEngine::submit_or_coalesce() {
     if (mine_in_flight_) {
       // Skip-to-newest: replace any job still waiting — the miner only ever
       // sees the latest window, and sequence accounting records the skip.
-      if (pending_) windows_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      if (pending_) {
+        windows_coalesced_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_.windows_coalesced != nullptr) {
+          metrics_.windows_coalesced->inc();
+        }
+      }
       pending_ = std::move(job);
+      if (metrics_.mine_queue_depth != nullptr) metrics_.mine_queue_depth->set(2.0);
       return;
     }
     mine_in_flight_ = true;
+    if (metrics_.mine_queue_depth != nullptr) metrics_.mine_queue_depth->set(1.0);
   }
   miner_->submit(
       [this, job = std::move(job)]() mutable { mining_loop(std::move(job)); });
@@ -208,6 +290,7 @@ void StreamEngine::mining_loop(MiningJob job) {
       mine_error_ = std::current_exception();
       pending_.reset();
       mine_in_flight_ = false;
+      if (metrics_.mine_queue_depth != nullptr) metrics_.mine_queue_depth->set(0.0);
       mine_cv_.notify_all();
       return;
     }
@@ -215,9 +298,11 @@ void StreamEngine::mining_loop(MiningJob job) {
     if (pending_) {
       job = std::move(*pending_);
       pending_.reset();
+      if (metrics_.mine_queue_depth != nullptr) metrics_.mine_queue_depth->set(1.0);
       continue;
     }
     mine_in_flight_ = false;
+    if (metrics_.mine_queue_depth != nullptr) metrics_.mine_queue_depth->set(0.0);
     mine_cv_.notify_all();
     return;
   }
@@ -231,6 +316,11 @@ void StreamEngine::mine_and_publish(
   EpochCloseRecord record;
   record.last_epoch = shards.back()->id();
   record.window_epochs = static_cast<std::uint32_t>(shards.size());
+  // Time from epoch close to mine start: ~0 in sync mode, queue/coalesce
+  // wait in async mode.
+  if (metrics_.mine_queue_wait_ms != nullptr) {
+    metrics_.mine_queue_wait_ms->observe(ms_since(closed_at));
+  }
 
   // The sync path reads the ingestor's live incremental aggregates; the
   // async path rebuilds identical per-2LD stats from the captured immutable
@@ -248,29 +338,39 @@ void StreamEngine::mine_and_publish(
   const util::Interner* ip_names = nullptr;
   std::size_t window_requests = 0;
   if (config_.reuse_shard_preprocess) {
+    obs::Span assemble_span("stream.assemble", "preshard-merge");
     std::vector<core::ShardPreRef> refs;
     refs.reserve(shards.size());
     for (const auto& shard : shards) {
       refs.push_back({&shard->trace(), &shard->pre()});
     }
     auto window_pre = core::merge_shard_pres(refs, config_.smash);
+    assemble_span.finish();
     record.assemble_ms = ms_since(prepare_start);
     merged_ips = std::move(window_pre.ips);
     ip_names = &merged_ips;
     window_requests = window_pre.pre.total_requests;
 
     const auto mine_start = std::chrono::steady_clock::now();
-    result = pipeline_.run_preprocessed(std::move(window_pre.pre), registry_);
+    {
+      SMASH_SPAN("stream.mine");
+      result = pipeline_.run_preprocessed(std::move(window_pre.pre), registry_);
+    }
     record.mine_ms = ms_since(mine_start);
   } else {
+    obs::Span assemble_span("stream.assemble", "trace-concat");
     for (const auto& shard : shards) window_trace.merge_from(shard->trace());
     window_trace.finalize();
+    assemble_span.finish();
     record.assemble_ms = ms_since(prepare_start);
     ip_names = &window_trace.ips();
     window_requests = window_trace.num_requests();
 
     const auto mine_start = std::chrono::steady_clock::now();
-    result = pipeline_.run(window_trace, registry_);
+    {
+      SMASH_SPAN("stream.mine");
+      result = pipeline_.run(window_trace, registry_);
+    }
     record.mine_ms = ms_since(mine_start);
   }
   record.window_requests = window_requests;
@@ -282,6 +382,7 @@ void StreamEngine::mine_and_publish(
   if (config_.mine_test_hook) config_.mine_test_hook();
 
   const auto snapshot_start = std::chrono::steady_clock::now();
+  obs::Span publish_span("stream.publish");
   auto snapshot = DetectionSnapshot::build(
       result, *ip_names, window_requests, *live_aggregates, ingest_stats,
       shards.front()->id(), shards.back()->id(), closes_upto, recovery_stats_,
@@ -291,8 +392,21 @@ void StreamEngine::mine_and_publish(
   record.malicious_servers = snapshot->num_malicious_servers();
   record.postings_budget_exceeded = snapshot->postings_budget_exceeded();
   slot_.publish(std::move(snapshot));
+  publish_span.finish();
   record.snapshot_ms = ms_since(snapshot_start);
   record.total_ms = ms_since(closed_at);
+  last_publish_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  if (metrics_.snapshots != nullptr) {
+    metrics_.snapshots->inc();
+    metrics_.assemble_ms->observe(record.assemble_ms);
+    metrics_.mine_ms->observe(record.mine_ms);
+    metrics_.snapshot_build_ms->observe(record.snapshot_ms);
+    metrics_.close_to_publish_ms->observe(record.total_ms);
+  }
 
   {
     const std::lock_guard<std::mutex> lock(records_mutex_);

@@ -57,6 +57,14 @@ class DurableJournal;
 struct CheckpointState;
 }  // namespace smash::durability
 
+namespace smash::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsLogger;
+class Registry;
+}  // namespace smash::obs
+
 namespace smash::stream {
 
 // RCU-style publication point: the writer stores a new immutable snapshot,
@@ -160,6 +168,15 @@ class StreamEngine {
   // all-zero for a fresh engine. Also carried on every published snapshot.
   const RecoveryStats& recovery_stats() const noexcept { return recovery_stats_; }
 
+  // The engine's metrics registry (docs/OBSERVABILITY.md has the catalog):
+  // the one from StreamConfig::metrics, or the engine-private registry
+  // created when that was null. Null when config.metrics_enabled is false.
+  // Callable from any thread; render via registry->render_prometheus() /
+  // render_json().
+  std::shared_ptr<obs::Registry> metrics() const noexcept {
+    return metrics_registry_;
+  }
+
   // Snapshots actually published. Callable from any thread.
   std::uint64_t snapshots_published() const noexcept {
     return snapshots_published_.load(std::memory_order_acquire);
@@ -198,6 +215,32 @@ class StreamEngine {
     std::chrono::steady_clock::time_point closed_at{};
   };
 
+  // Resolves the metrics registry from config_ (shared, private, or null
+  // per StreamConfig::metrics_enabled/metrics) and points
+  // config_.smash.metrics at it so pipeline re-mines record into the same
+  // surface. Runs in the member-initializer list, before pipeline_.
+  std::shared_ptr<obs::Registry> init_metrics();
+  // Acquires the metric handles below and registers the snapshot-age
+  // callback gauge; starts the MetricsLogger when metrics_dir is set.
+  void bind_metrics();
+
+  // Raw handles into metrics_registry_ (all null when metrics are off) so
+  // the hot paths pay one null check + relaxed increment, never a name
+  // lookup. The registry owns the metrics; references stay valid for its
+  // lifetime.
+  struct MetricHandles {
+    obs::Counter* events = nullptr;
+    obs::Counter* epoch_closes = nullptr;
+    obs::Counter* windows_coalesced = nullptr;
+    obs::Counter* snapshots = nullptr;
+    obs::Histogram* close_to_publish_ms = nullptr;
+    obs::Histogram* assemble_ms = nullptr;
+    obs::Histogram* mine_ms = nullptr;
+    obs::Histogram* snapshot_build_ms = nullptr;
+    obs::Histogram* mine_queue_wait_ms = nullptr;
+    obs::Gauge* mine_queue_depth = nullptr;
+  };
+
   // Write-ahead step run before an event is journaled or ingested: when
   // the event's epoch is past the open one, logs the seal marker for the
   // open epoch (segment rotation point). No-op without durability.
@@ -227,6 +270,15 @@ class StreamEngine {
 
   StreamConfig config_;
   const whois::Registry& registry_;
+  // Declared before pipeline_: init_metrics() sets config_.smash.metrics,
+  // which pipeline_'s constructor copies.
+  std::shared_ptr<obs::Registry> metrics_registry_;
+  MetricHandles metrics_{};
+  // steady_clock nanoseconds of the last publish (-1 before the first);
+  // feeds the stream.snapshot_age_ms callback gauge.
+  std::atomic<std::int64_t> last_publish_ns_{-1};
+  // Writer-thread sampling counter for the stream.ingest span (1/1024).
+  std::uint32_t ingest_sample_ = 0;
   core::SmashPipeline pipeline_;
   StreamIngestor ingestor_;
   SnapshotSlot slot_;
@@ -252,6 +304,9 @@ class StreamEngine {
   // Exception that escaped an async mine, rethrown by wait_for_mining() on
   // the writer thread. Guarded by mine_mutex_.
   std::exception_ptr mine_error_;
+  // Periodic JSONL metrics writer (null unless metrics_dir is set). Holds
+  // a shared_ptr to the registry, so member order is not load-bearing.
+  std::unique_ptr<obs::MetricsLogger> metrics_logger_;
   // Single-thread pool running mining_loop; last member so it is destroyed
   // (joined) before any state the loop touches.
   std::unique_ptr<util::ThreadPool> miner_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dns/domain.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace smash::stream {
@@ -194,6 +195,10 @@ IngestResult StreamIngestor::ingest(const RedirectEvent& event) {
 
 void StreamIngestor::close_epoch() {
   if (!started_) return;
+  // Covers the seal (finalize + ShardPre build) and the window/aggregates
+  // rotation — the ingest-side half of an epoch close on the trace
+  // timeline; the mining half is stream.assemble/stream.mine.
+  SMASH_SPAN("stream.epoch_seal");
   open_shard_.seal();
   window_.push_back(
       std::make_shared<const EpochShard>(std::move(open_shard_)));

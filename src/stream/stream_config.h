@@ -8,9 +8,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "core/smash_config.h"
+
+namespace smash::obs {
+class Registry;
+}  // namespace smash::obs
 
 namespace smash::stream {
 
@@ -116,6 +121,30 @@ struct StreamConfig {
   // replay after a crash, more checkpoint I/O. Must be >= 1 when
   // durability is on (validate()).
   std::uint32_t checkpoint_every_epochs = 8;
+
+  // --- observability ---------------------------------------------------------
+
+  // Master switch for the engine's metrics registry (docs/OBSERVABILITY.md
+  // has the catalog). On (default), the engine maintains counters, gauges
+  // and latency histograms for ingest, mining, publication, the WAL and
+  // the verdict path; the cost is a few relaxed atomic increments per
+  // event (measured <= 2% of ingest+mine in bench/perf_stream.cc). Off,
+  // every metrics handle is null and the hot paths skip the updates
+  // entirely. Detection output never depends on this switch.
+  bool metrics_enabled = true;
+
+  // Registry the engine records into. Null (default) = the engine creates
+  // a private registry (inspect via StreamEngine::metrics()); set it to
+  // share one surface across engines or with the process-wide
+  // obs::Registry::global(). Ignored when metrics_enabled is false.
+  std::shared_ptr<obs::Registry> metrics;
+
+  // When non-empty (and metrics are enabled), a background MetricsLogger
+  // appends one JSON line of the full registry every metrics_interval_ms
+  // to `<metrics_dir>/metrics.jsonl` (tools/smash_stats.cc pretty-prints
+  // it). Empty (default) = no periodic logging.
+  std::string metrics_dir;
+  std::uint32_t metrics_interval_ms = 10000;
 
   // Pipeline tunables for each window re-mine. smash.num_threads sizes
   // the mining fan-out AND the parallel shard-preprocess merge

@@ -2,9 +2,21 @@
 
 namespace smash::stream {
 
+namespace {
+
+// 1-in-64 sampling of lookup latency: hot lookups stay two relaxed
+// increments; the sampled ones add two steady_clock reads. Thread-local so
+// concurrent readers never contend on the sampling state.
+bool sample_lookup() noexcept {
+  thread_local std::uint32_t n = 0;
+  return ++n % 64 == 1;
+}
+
+}  // namespace
+
 VerdictAnswer VerdictService::answer(const ServerVerdict* verdict,
                                      const DetectionSnapshot* snapshot) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  lookups_->inc();
   VerdictAnswer out;
   if (snapshot != nullptr) {
     out.snapshot_available = true;
@@ -14,32 +26,54 @@ VerdictAnswer VerdictService::answer(const ServerVerdict* verdict,
   if (verdict != nullptr) {
     out.malicious = true;
     out.verdict = *verdict;
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_->inc();
   }
   return out;
 }
 
 VerdictAnswer VerdictService::lookup(std::string_view host) const {
+  const bool timed = sample_lookup();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   const auto snapshot = slot_.acquire();
-  if (!snapshot) return answer(nullptr, nullptr);
-  return answer(snapshot->find_host(host), snapshot.get());
+  VerdictAnswer out = snapshot ? answer(snapshot->find_host(host), snapshot.get())
+                               : answer(nullptr, nullptr);
+  if (timed) {
+    lookup_ns_->observe(std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+  }
+  return out;
 }
 
 VerdictAnswer VerdictService::lookup_request(std::string_view host,
                                              std::string_view server_ip) const {
+  const bool timed = sample_lookup();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  VerdictAnswer out;
   const auto snapshot = slot_.acquire();
-  if (!snapshot) return answer(nullptr, nullptr);
-  const ServerVerdict* verdict = snapshot->find_host(host);
-  if (verdict == nullptr && !server_ip.empty()) {
-    verdict = snapshot->find_ip(server_ip);
+  if (!snapshot) {
+    out = answer(nullptr, nullptr);
+  } else {
+    const ServerVerdict* verdict = snapshot->find_host(host);
+    if (verdict == nullptr && !server_ip.empty()) {
+      verdict = snapshot->find_ip(server_ip);
+    }
+    out = answer(verdict, snapshot.get());
   }
-  return answer(verdict, snapshot.get());
+  if (timed) {
+    lookup_ns_->observe(std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+  }
+  return out;
 }
 
 VerdictServiceStats VerdictService::stats() const {
   VerdictServiceStats out;
-  out.queries = queries_.load(std::memory_order_relaxed);
-  out.hits = hits_.load(std::memory_order_relaxed);
+  out.queries = lookups_->value();
+  out.hits = hits_->value();
   out.hit_rate = out.queries == 0
                      ? 0.0
                      : static_cast<double>(out.hits) /

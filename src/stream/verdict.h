@@ -5,11 +5,12 @@
 // publication guarantee.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
+#include "obs/metrics.h"
 #include "stream/engine.h"
 #include "stream/snapshot.h"
 
@@ -38,8 +39,26 @@ struct VerdictServiceStats {
 class VerdictService {
  public:
   // `slot` must outlive the service (it lives in the StreamEngine).
-  explicit VerdictService(const SnapshotSlot& slot)
-      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  //
+  // Lookup accounting lives on an obs::Registry (verdict.lookups_total,
+  // verdict.hits_total, verdict.lookup_ns — docs/OBSERVABILITY.md) instead
+  // of bespoke per-service atomics. `metrics` selects the registry: null
+  // (default) = a service-private one, so stats() keeps its per-instance
+  // meaning; pass engine.metrics() to land lookups on the engine's surface
+  // (then services sharing a registry share the counters, and stats()
+  // reports the combined totals).
+  explicit VerdictService(const SnapshotSlot& slot,
+                          std::shared_ptr<obs::Registry> metrics = nullptr)
+      : slot_(slot), start_(std::chrono::steady_clock::now()),
+        metrics_(metrics ? std::move(metrics)
+                         : std::make_shared<obs::Registry>()),
+        lookups_(&metrics_->counter("verdict.lookups_total",
+                                    "verdict lookups answered")),
+        hits_(&metrics_->counter("verdict.hits_total",
+                                 "lookups answered malicious")),
+        lookup_ns_(&metrics_->histogram("verdict.lookup_ns",
+                                        obs::latency_buckets_ns(),
+                                        "sampled (1/64) lookup latency")) {}
 
   // Verdict for a hostname (aggregated to its effective 2LD).
   VerdictAnswer lookup(std::string_view host) const;
@@ -57,8 +76,12 @@ class VerdictService {
 
   const SnapshotSlot& slot_;
   std::chrono::steady_clock::time_point start_;
-  mutable std::atomic<std::uint64_t> queries_{0};
-  mutable std::atomic<std::uint64_t> hits_{0};
+  // Shared so a caller-supplied registry outlives every handle below even
+  // if the caller drops their reference first.
+  std::shared_ptr<obs::Registry> metrics_;
+  obs::Counter* lookups_;
+  obs::Counter* hits_;
+  obs::Histogram* lookup_ns_;
 };
 
 }  // namespace smash::stream

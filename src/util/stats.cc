@@ -64,6 +64,11 @@ Histogram::Histogram(double lo_, double hi_, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (x < lo) {
+    ++underflow;
+  } else if (x >= hi) {
+    ++overflow;
+  }
   const double t = (x - lo) / (hi - lo);
   auto bin = static_cast<std::int64_t>(t * static_cast<double>(counts.size()));
   bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts.size()) - 1);
@@ -89,6 +94,11 @@ std::string Histogram::ascii(int width, int label_decimals) const {
            format_fixed(left + bin_width, label_decimals) + ") ";
     out.append(static_cast<std::size_t>(bar_len), '#');
     out += " " + std::to_string(counts[i]) + "\n";
+  }
+  if (underflow > 0 || overflow > 0) {
+    out += "clamped: " + std::to_string(underflow) + " below " +
+           format_fixed(lo, label_decimals) + ", " + std::to_string(overflow) +
+           " at/above " + format_fixed(hi, label_decimals) + "\n";
   }
   return out;
 }

@@ -28,14 +28,19 @@ std::vector<CdfPoint> empirical_cdf(std::vector<double> samples);
 double cdf_at(const std::vector<CdfPoint>& cdf, double x);
 
 // Fixed-width histogram over [lo, hi) with `bins` buckets; samples outside
-// the range are clamped into the first/last bucket.
+// the range are clamped into the first/last bucket AND counted in
+// underflow/overflow, so a latency histogram can never silently hide tail
+// outliers inside an edge bucket.
 struct Histogram {
   double lo = 0.0;
   double hi = 1.0;
   std::vector<std::uint64_t> counts;
+  std::uint64_t underflow = 0;  // samples < lo (clamped into the first bucket)
+  std::uint64_t overflow = 0;   // samples >= hi (clamped into the last bucket)
 
   Histogram(double lo_, double hi_, std::size_t bins);
   void add(double x);
+  // Total samples, including the clamped under/overflowing ones.
   std::uint64_t total() const;
   // Render as an ASCII bar chart, `width` columns for the largest bucket.
   std::string ascii(int width = 50, int label_decimals = 0) const;

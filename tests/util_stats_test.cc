@@ -53,6 +53,29 @@ TEST(HistogramTest, BucketsAndClamping) {
   EXPECT_FALSE(h.ascii().empty());
 }
 
+TEST(HistogramTest, CountsUnderflowAndOverflowExplicitly) {
+  Histogram h(0, 10, 5);
+  EXPECT_EQ(h.underflow, 0u);
+  EXPECT_EQ(h.overflow, 0u);
+  h.add(-3);    // below lo: clamped AND counted
+  h.add(-0.01);
+  h.add(0.0);   // exactly lo: in range
+  h.add(10.0);  // exactly hi: overflow (range is [lo, hi))
+  h.add(200);
+  h.add(5.0);
+  EXPECT_EQ(h.underflow, 2u);
+  EXPECT_EQ(h.overflow, 2u);
+  // total() still includes the clamped samples — nothing is dropped.
+  EXPECT_EQ(h.total(), 6u);
+  // The ascii rendering surfaces the clamp counts so a latency histogram
+  // can never silently hide tail outliers inside an edge bucket.
+  EXPECT_NE(h.ascii().find("clamped: 2 below"), std::string::npos);
+
+  Histogram clean(0, 10, 5);
+  clean.add(5.0);
+  EXPECT_EQ(clean.ascii().find("clamped"), std::string::npos);
+}
+
 TEST(HistogramTest, RejectsBadArguments) {
   EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
   EXPECT_THROW(Histogram(5, 5, 3), std::invalid_argument);

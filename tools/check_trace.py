@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file dumped by the obs tracer.
+
+Checks (see docs/OBSERVABILITY.md):
+  - the file is valid JSON with a ``traceEvents`` list and a
+    ``displayTimeUnit``;
+  - every event is well-formed: name/cat/ph/pid/tid/ts present, numeric
+    timestamps, non-negative duration;
+  - span timestamps are monotonic: the dump is sorted by start time, and
+    every span ends at or after it starts;
+  - no unclosed spans: the tracer only emits complete ("X") events, so any
+    begin/end ("B"/"E") event means a span was recorded half-open;
+  - optionally (--require-span, repeatable) that named spans are present —
+    CI uses this to assert the smoke trace shows the whole pipeline
+    dataflow (ingest, seal, join, Louvain, publish, WAL fsync).
+
+Exits non-zero with a message on the first violation.
+
+Usage: check_trace.py TRACE.json [--require-span NAME]...
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+
+def fail(message):
+    print(f"check_trace: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a span with this exact name is present (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except OSError as error:
+        fail(f"cannot read {args.trace}: {error}")
+    except json.JSONDecodeError as error:
+        fail(f"{args.trace} is not valid JSON: {error}")
+
+    if not isinstance(trace, dict):
+        fail("top level is not an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing or non-list "traceEvents"')
+    if "displayTimeUnit" not in trace:
+        fail('missing "displayTimeUnit"')
+
+    required_fields = ("name", "cat", "ph", "pid", "tid", "ts")
+    seen_names = set()
+    previous_ts = None
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"event #{index} is not an object")
+        for field in required_fields:
+            if field not in event:
+                fail(f'event #{index} has no "{field}"')
+        name, phase, ts = event["name"], event["ph"], event["ts"]
+        if not isinstance(ts, numbers.Real):
+            fail(f"event #{index} ({name}): non-numeric ts {ts!r}")
+        if phase in ("B", "E"):
+            fail(
+                f"event #{index} ({name}): half-open '{phase}' event — "
+                "an unclosed span leaked into the dump"
+            )
+        if phase != "X":
+            fail(f"event #{index} ({name}): unexpected phase {phase!r}")
+        duration = event.get("dur")
+        if not isinstance(duration, numbers.Real) or duration < 0:
+            fail(f"event #{index} ({name}): bad duration {duration!r}")
+        if previous_ts is not None and ts < previous_ts:
+            fail(
+                f"event #{index} ({name}): ts {ts} < previous {previous_ts} — "
+                "dump is not sorted by span start"
+            )
+        previous_ts = ts
+        seen_names.add(name)
+
+    missing = [name for name in args.require_span if name not in seen_names]
+    if missing:
+        fail(
+            f"required spans missing from trace: {', '.join(missing)} "
+            f"({len(events)} events, {len(seen_names)} distinct names)"
+        )
+
+    print(
+        f"check_trace: OK — {len(events)} events, "
+        f"{len(seen_names)} distinct span names"
+    )
+
+
+if __name__ == "__main__":
+    main()
