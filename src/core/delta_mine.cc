@@ -1,0 +1,389 @@
+#include "core/delta_mine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/louvain.h"
+#include "graph/similarity_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace smash::core {
+
+namespace {
+
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+
+struct EdgeOrder {
+  bool operator()(const graph::Edge& x, const graph::Edge& y) const noexcept {
+    return x.u != y.u ? x.u < y.u : x.v < y.v;
+  }
+};
+
+bool same_edge(const graph::Edge& x, const graph::Edge& y) noexcept {
+  return x.u == y.u && x.v == y.v && x.weight == y.weight;
+}
+
+// Ashes (size >= 2 communities + densities) from a precomputed partition —
+// the warm-start analogue of the louvain_refined tail the full path runs
+// (extract_canonical_ashes).
+DimensionAshes ashes_from_partition(Dimension dimension, const graph::Graph& g,
+                                    const graph::LouvainResult& partition) {
+  DimensionAshes out;
+  out.dimension = dimension;
+  out.graph_edges = g.num_edges();
+  out.modularity = partition.modularity;
+  out.louvain_stats = partition.stats;
+  out.ash_of.assign(g.num_nodes(), -1);
+  for (auto& group : partition.groups()) {
+    if (group.size() < 2) continue;
+    Ash ash;
+    ash.members = std::move(group);
+    ash.density = graph::subset_density(g, ash.members);
+    const auto ash_index = static_cast<std::int32_t>(out.ashes.size());
+    for (auto member : ash.members) out.ash_of[member] = ash_index;
+    out.ashes.push_back(std::move(ash));
+  }
+  return out;
+}
+
+}  // namespace
+
+void DeltaMiner::reset() {
+  valid_ = false;
+  prev_names_.clear();
+  dims_.clear();
+}
+
+std::vector<DimensionAshes> DeltaMiner::mine(
+    const PreprocessResult& pre, const whois::Registry& registry,
+    const util::Interner& window_clients, const util::Interner& window_ips,
+    const WindowDelta& delta, const SmashConfig& config, DeltaStats& stats) {
+  const int dimensions =
+      config.enable_param_dimension ? kNumDimensions + 1 : kNumDimensions;
+  stats = DeltaStats{};
+  stats.enabled = true;
+  stats.epochs_added = delta.epochs_added;
+  stats.epochs_evicted = delta.epochs_evicted;
+  const bool have_state = valid_ && !delta.unknown &&
+                          dims_.size() == static_cast<std::size_t>(dimensions);
+  stats.attempted = have_state;
+
+  const auto canon = canonical_mining_order(pre);
+  const std::size_t n = canon.size();
+  std::vector<std::string_view> cur_names;
+  cur_names.reserve(n);
+  for (const auto k : canon) {
+    cur_names.push_back(pre.agg.server_name(pre.kept[k]));
+  }
+
+  // prev <-> cur canonical index maps: one two-pointer pass over the two
+  // name-sorted orders. Both maps are monotonic, which is what keeps the
+  // carried edge lists sorted after remapping.
+  std::vector<std::uint32_t> prev_of_cur(n, kNone);
+  std::vector<std::uint32_t> cur_of_prev(prev_names_.size(), kNone);
+  std::size_t matched = 0;
+  if (have_state) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < n && j < prev_names_.size()) {
+      const std::string_view prev_name = prev_names_[j];
+      if (cur_names[i] < prev_name) {
+        ++i;
+      } else if (prev_name < cur_names[i]) {
+        ++j;
+      } else {
+        prev_of_cur[i] = static_cast<std::uint32_t>(j);
+        cur_of_prev[j] = static_cast<std::uint32_t>(i);
+        ++matched;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  const bool same_node_set =
+      have_state && matched == n && prev_names_.size() == n;
+
+  const DimensionKeyNameSources sources{&window_clients, &window_ips};
+  const auto dim_configs =
+      per_dimension_mining_configs(pre, registry, config, dimensions);
+
+  std::vector<DimensionAshes> out(dimensions);
+  std::vector<DimCache> staged(dimensions);
+  std::vector<DeltaStats> dim_stats(dimensions);
+  auto mine_dim = [&](std::size_t d) {
+    out[d] = mine_one(static_cast<Dimension>(d), pre, registry, dim_configs[d],
+                      canon, cur_names, sources, delta, have_state,
+                      same_node_set, prev_of_cur, cur_of_prev, staged[d],
+                      dim_stats[d]);
+  };
+  if (config.num_threads > 1) {
+    // Same fan-out shape as mine_all_dimensions (each dimension reads
+    // shared state and writes only its own slots).
+    util::ThreadPool pool(std::min(config.num_threads - 1,
+                                   static_cast<unsigned>(dimensions - 1)));
+    util::parallel_for(pool, static_cast<std::size_t>(dimensions), mine_dim);
+  } else {
+    for (int d = 0; d < dimensions; ++d) mine_dim(static_cast<std::size_t>(d));
+  }
+
+  for (const auto& ds : dim_stats) {
+    stats.dims_delta += ds.dims_delta;
+    stats.dims_full += ds.dims_full;
+    stats.dims_partition_reused += ds.dims_partition_reused;
+    stats.changed_items += ds.changed_items;
+    stats.total_items += ds.total_items;
+    stats.probed_items += ds.probed_items;
+    stats.rescored_pairs += ds.rescored_pairs;
+    stats.reused_pairs += ds.reused_pairs;
+    stats.repaired_nodes += ds.repaired_nodes;
+    stats.repair_sweeps += ds.repair_sweeps;
+    stats.fallback_no_state += ds.fallback_no_state;
+    stats.fallback_changed_fraction += ds.fallback_changed_fraction;
+    stats.fallback_cap_change += ds.fallback_cap_change;
+    stats.fallback_budget += ds.fallback_budget;
+  }
+
+  // Two-phase commit: nothing above mutated the live cache, so an exception
+  // in any dimension leaves the previous state intact.
+  dims_ = std::move(staged);
+  prev_names_.assign(cur_names.begin(), cur_names.end());
+  valid_ = true;
+  return out;
+}
+
+DimensionAshes DeltaMiner::mine_one(
+    Dimension dimension, const PreprocessResult& pre,
+    const whois::Registry& registry, const SmashConfig& config,
+    const std::vector<std::uint32_t>& canon,
+    const std::vector<std::string_view>& cur_names,
+    const DimensionKeyNameSources& sources, const WindowDelta& delta,
+    bool have_state, bool same_node_set,
+    const std::vector<std::uint32_t>& prev_of_cur,
+    const std::vector<std::uint32_t>& cur_of_prev, DimCache& staged,
+    DeltaStats& stats) {
+  SMASH_SPAN(dimension_mine_span_name(dimension));
+  const auto start = std::chrono::steady_clock::now();
+  auto finish = [&](DimensionAshes ashes) {
+    if (config.metrics != nullptr) {
+      config.metrics
+          ->latency_histogram_ms(dimension_mine_histogram_name(dimension))
+          .observe(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count());
+    }
+    return ashes;
+  };
+
+  auto input = build_dimension_join_input(
+      dimension, pre, registry, config, canon,
+      dimension_join_threads(dimension, config), &sources);
+  const std::size_t n = input.canon_to_kept.size();
+  stats.total_items += n;
+  util::Interner& stable = stable_[static_cast<int>(dimension)];
+  const DimCache* prev =
+      have_state && dims_[static_cast<int>(dimension)].valid
+          ? &dims_[static_cast<int>(dimension)]
+          : nullptr;
+
+  auto translate = [&](std::size_t c) {
+    std::vector<std::uint32_t> ids;
+    const auto& set = input.key_sets[c];
+    ids.reserve(set.size());
+    for (const auto k : set) {
+      if (k >= input.key_names.size()) {
+        throw std::logic_error("delta mine: key id outside the name table");
+      }
+      ids.push_back(stable.intern(input.key_names[k]));
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+
+  // The bounded-memory sharded join has no delta form (and its pass
+  // structure is part of the budget promise), so a configured budget runs
+  // the stock full path and skips cache maintenance entirely.
+  if (config.join_memory_budget_bytes > 0) {
+    stats.fallback_budget += 1;
+    stats.dims_full += 1;
+    staged.valid = false;
+    return finish(mine_joined_dimension(input, config));
+  }
+
+  // Postings length of every window key, and the stable ids of the keys the
+  // cap would skip. A carried pair's count is a sum over *eligible* shared
+  // keys, so the delta path is only sound while this set is unchanged.
+  std::vector<std::uint32_t> key_len(input.key_names.size(), 0);
+  for (const auto& set : input.key_sets) {
+    for (const auto k : set) {
+      if (k >= key_len.size()) {
+        throw std::logic_error("delta mine: key id outside the name table");
+      }
+      ++key_len[k];
+    }
+  }
+  std::vector<std::uint32_t> over_cap;
+  for (std::uint32_t k = 0; k < key_len.size(); ++k) {
+    if (key_len[k] > input.postings_cap) {
+      over_cap.push_back(stable.intern(input.key_names[k]));
+    }
+  }
+  std::sort(over_cap.begin(), over_cap.end());
+
+  auto full_mine_seeded = [&]() {
+    stats.dims_full += 1;
+    staged.skipped_keys = std::move(over_cap);
+    DimensionAshes kept = mine_joined_dimension(input, config, &staged.edges,
+                                                &staged.canonical);
+    staged.valid = true;
+    return finish(std::move(kept));
+  };
+
+  if (prev == nullptr) {
+    stats.fallback_no_state += 1;
+    staged.stable_keys.resize(n);
+    for (std::size_t c = 0; c < n; ++c) staged.stable_keys[c] = translate(c);
+    return full_mine_seeded();
+  }
+  if (over_cap != prev->skipped_keys) {
+    stats.fallback_cap_change += 1;
+    staged.stable_keys.resize(n);
+    for (std::size_t c = 0; c < n; ++c) staged.stable_keys[c] = translate(c);
+    return full_mine_seeded();
+  }
+
+  // Change detection. Profile-keyed dimensions can trust the changed-2LD
+  // hint (see WindowDelta); the file and whois dimensions always diff.
+  const bool hint_ok = dimension == Dimension::kClient ||
+                       dimension == Dimension::kIp ||
+                       dimension == Dimension::kParam;
+  std::vector<char> changed(n, 0);
+  std::vector<std::uint32_t> probe;
+  staged.stable_keys.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto p = prev_of_cur[c];
+    if (p == kNone) {
+      changed[c] = 1;
+      probe.push_back(static_cast<std::uint32_t>(c));
+      staged.stable_keys[c] = translate(c);
+      continue;
+    }
+    if (hint_ok && !std::binary_search(delta.changed_2lds.begin(),
+                                       delta.changed_2lds.end(),
+                                       cur_names[c])) {
+      staged.stable_keys[c] = prev->stable_keys[p];
+      continue;
+    }
+    auto ids = translate(c);
+    if (ids != prev->stable_keys[p]) {
+      changed[c] = 1;
+      probe.push_back(static_cast<std::uint32_t>(c));
+    }
+    staged.stable_keys[c] = std::move(ids);
+  }
+  stats.changed_items += probe.size();
+
+  if (static_cast<double>(probe.size()) >
+      config.delta_max_changed_fraction * static_cast<double>(n)) {
+    stats.fallback_changed_fraction += 1;
+    return full_mine_seeded();
+  }
+
+  stats.dims_delta += 1;
+  stats.probed_items += probe.size();
+
+  graph::JoinOptions join_options;
+  join_options.max_postings_length = input.postings_cap;
+  graph::JoinStats join_stats;
+  obs::Span delta_join_span("mine.delta_join",
+                            dimension_name(dimension).data());
+  const auto pairs = graph::cooccurrence_join_delta(
+      input.key_sets, probe, input.min_shared, join_options,
+      input.join_threads, &join_stats);
+  delta_join_span.finish();
+  stats.rescored_pairs += pairs.size();
+  const auto probed_edges = weight_dimension_pairs(input, pairs);
+
+  // Carry the cached edges whose endpoints are both present and unchanged:
+  // their shared-key counts, set sizes, and therefore weights are identical
+  // by construction (the over-cap key set was just checked). Pairs with a
+  // changed endpoint were all re-emitted by the probe above, so the two
+  // lists are disjoint and their merge is exactly the full join's
+  // thresholded edge list.
+  std::vector<graph::Edge> carried;
+  carried.reserve(prev->edges.size());
+  for (const auto& e : prev->edges) {
+    const auto cu = cur_of_prev[e.u];
+    const auto cv = cur_of_prev[e.v];
+    if (cu == kNone || cv == kNone || changed[cu] != 0 || changed[cv] != 0) {
+      continue;
+    }
+    carried.push_back({cu, cv, e.weight});
+  }
+  stats.reused_pairs += carried.size();
+
+  std::vector<graph::Edge> merged;
+  merged.reserve(carried.size() + probed_edges.size());
+  std::merge(carried.begin(), carried.end(), probed_edges.begin(),
+             probed_edges.end(), std::back_inserter(merged), EdgeOrder{});
+
+  staged.skipped_keys = std::move(over_cap);
+  staged.edges = std::move(merged);
+
+  const bool same_graph =
+      same_node_set && staged.edges.size() == prev->edges.size() &&
+      std::equal(staged.edges.begin(), staged.edges.end(), prev->edges.begin(),
+                 same_edge);
+
+  obs::Span repair_span("louvain.repair", dimension_name(dimension).data());
+  if (same_graph) {
+    // Identical graph -> louvain_refined is deterministic -> the cached
+    // partition (and its stats) is bitwise what a re-run would produce.
+    stats.dims_partition_reused += 1;
+    staged.canonical = prev->canonical;
+  } else if (config.delta_approximate_louvain) {
+    // Opt-in approximate mode: repair the previous partition around the
+    // changed nodes instead of re-partitioning (see louvain_warm_start).
+    graph::GraphBuilder builder(static_cast<std::uint32_t>(n));
+    for (const auto& e : staged.edges) builder.add_edge(e.u, e.v, e.weight);
+    const graph::Graph g = std::move(builder).build();
+    // Seed: previous community where the node existed, a fresh singleton
+    // label otherwise. ash_of == -1 always means "singleton community"
+    // (only size >= 2 groups become ashes), so this reconstruction of the
+    // cached partition is exact.
+    const auto num_prev_ashes =
+        static_cast<std::uint32_t>(prev->canonical.ashes.size());
+    std::vector<std::uint32_t> seed(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const auto p = prev_of_cur[c];
+      const std::int32_t a =
+          p == kNone ? -1 : prev->canonical.ash_of[p];
+      seed[c] = a >= 0 ? static_cast<std::uint32_t>(a) : num_prev_ashes + c;
+    }
+    graph::LouvainOptions louvain_options = config.louvain;
+    if (louvain_options.num_threads == 0) {
+      louvain_options.num_threads = std::max(1u, config.num_threads);
+    }
+    const auto warm = graph::louvain_warm_start(
+        g, seed, probe, config.delta_max_changed_fraction, louvain_options);
+    stats.repaired_nodes += warm.repaired_nodes;
+    stats.repair_sweeps += warm.repair_sweeps;
+    staged.canonical = ashes_from_partition(dimension, g, warm.result);
+  } else {
+    staged.canonical = extract_canonical_ashes(input, staged.edges, config);
+  }
+  repair_span.finish();
+
+  staged.canonical.join_stats = join_stats;
+  staged.valid = true;
+  DimensionAshes canonical_copy = staged.canonical;
+  return finish(
+      remap_ashes_to_kept(std::move(canonical_copy), input.canon_to_kept));
+}
+
+}  // namespace smash::core

@@ -1,0 +1,169 @@
+// Incremental ("delta") re-mining across stream closes (ROADMAP item #1).
+//
+// The stream engine re-mines the whole window on every epoch close, yet a
+// close changes only the epoch that arrived and — on a slide — the epochs
+// that fell out. The DeltaMiner keeps per-dimension state from the previous
+// close and recomputes only what changed:
+//
+//   stream close ── WindowDelta (epochs added/evicted, changed-2LD hint)
+//        │
+//        ▼  per dimension (canonical name-sorted node order)
+//   change detection: translate window keys to *stable* ids that survive
+//        │            window re-interning, diff against the cached sets
+//        │            (the hint skips translation for untouched 2LDs)
+//        ▼
+//   delta join: probe only the changed nodes against the window's postings
+//        │      index (graph::cooccurrence_join_delta)
+//        ▼
+//   edge merge: cached edges whose endpoints are both unchanged are carried
+//        │      over verbatim; probed pairs are re-weighted and merged in
+//        ▼
+//   partition: the cached Louvain partition is reused iff the merged graph
+//              is bitwise identical to the cached one; otherwise
+//              louvain_refined re-runs (or, opt-in, warm-start repair)
+//
+// Identity contract: with SmashConfig::delta_approximate_louvain off, the
+// mined ashes and every identity-relevant stat (louvain_stats, the
+// postings-cap skip counters) are byte-identical to a from-scratch mine of
+// the same window, for every thread count — enforced by the
+// incremental-vs-full differential tests and the stream fuzzer. Full-mine
+// fallbacks (first close, post-recovery, postings-cap eligibility change,
+// changed fraction above SmashConfig::delta_max_changed_fraction,
+// bounded-memory join budget) are decided per dimension and reported in
+// DeltaStats, never silent.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dimensions.h"
+#include "core/preprocess.h"
+#include "core/smash_config.h"
+#include "graph/graph.h"
+#include "util/interner.h"
+#include "whois/whois.h"
+
+namespace smash::core {
+
+// Counters of one incremental mine, surfaced through SmashResult onto every
+// DetectionSnapshot (like Join/LouvainStats). Excluded from the snapshot
+// digest and from the incremental-vs-full identity comparison — the two
+// paths legitimately differ here; that is the point of the counters.
+struct DeltaStats {
+  bool enabled = false;    // result came from SmashPipeline::run_incremental
+  bool attempted = false;  // caches from a previously mined window existed
+  std::uint32_t epochs_added = 0;    // epochs new since the last mined window
+  std::uint32_t epochs_evicted = 0;  // epochs slid out since the last mined window
+  std::uint32_t dims_delta = 0;      // dimensions mined via the delta join
+  std::uint32_t dims_full = 0;       // dimensions fully re-mined
+  std::uint32_t dims_partition_reused = 0;  // cached Louvain partitions reused
+  std::size_t changed_items = 0;   // changed canonical nodes, summed over dims
+  std::size_t total_items = 0;     // canonical nodes, summed over dims
+  std::size_t probed_items = 0;    // nodes probed by the delta joins
+  std::size_t rescored_pairs = 0;  // pairs re-counted by the delta joins
+  std::size_t reused_pairs = 0;    // cached edges carried over un-probed
+  std::size_t repaired_nodes = 0;  // warm-start Louvain: nodes moved (approx mode)
+  std::size_t repair_sweeps = 0;   // warm-start Louvain: repair rounds (approx mode)
+  // Full-mine fallback reasons, counted per dimension:
+  std::uint32_t fallback_no_state = 0;  // no cache (first close, post-recovery)
+  std::uint32_t fallback_changed_fraction = 0;  // over delta_max_changed_fraction
+  std::uint32_t fallback_cap_change = 0;  // a key crossed the postings cap
+  std::uint32_t fallback_budget = 0;      // bounded-memory join configured
+
+  std::uint32_t full_fallbacks() const noexcept {
+    return fallback_no_state + fallback_changed_fraction + fallback_cap_change +
+           fallback_budget;
+  }
+
+  friend bool operator==(const DeltaStats&, const DeltaStats&) = default;
+};
+
+// What the stream engine knows changed between the previously *mined*
+// window and the one being closed now (not necessarily adjacent windows:
+// coalesced async closes skip intermediate ones).
+struct WindowDelta {
+  std::uint32_t epochs_added = 0;
+  std::uint32_t epochs_evicted = 0;
+  // Sorted unique 2LD names seen in the added/evicted epochs: a sound
+  // over-approximation of the servers whose *window profiles* changed — a
+  // 2LD absent from every added/evicted epoch contributed byte-identical
+  // events to both windows, so its client/ip/param key sets are unchanged.
+  // Dimensions whose keys couple servers to each other (file classes: one
+  // server's new file can merge another server's classes) or to
+  // out-of-window state (whois records) ignore the hint and always diff
+  // their translated keys.
+  std::vector<std::string> changed_2lds;
+  // No previously mined window to diff against: every node counts as
+  // changed and no cache exists, so every dimension full-mines.
+  bool unknown = true;
+};
+
+// Stateful incremental miner. One instance per mining context — the stream
+// engine owns one and calls it from whichever thread mines (the ingest
+// thread in sync mode, the miner thread in async mode); it is not
+// internally synchronized.
+class DeltaMiner {
+ public:
+  // Mines every dimension of `pre` (kept-space results, same shape and —
+  // approximate mode aside — same bytes as mine_all_dimensions) using the
+  // cached state where the delta allows. `window_clients` / `window_ips`
+  // are the window interners the profiles' key ids refer to. The cache is
+  // committed only after every dimension succeeded, so a throw leaves the
+  // previous state intact — but callers should reset() on error anyway:
+  // the window that failed to mine is gone, and the stale cache would
+  // disagree with the caller's notion of the last mined window.
+  std::vector<DimensionAshes> mine(const PreprocessResult& pre,
+                                   const whois::Registry& registry,
+                                   const util::Interner& window_clients,
+                                   const util::Interner& window_ips,
+                                   const WindowDelta& delta,
+                                   const SmashConfig& config,
+                                   DeltaStats& stats);
+
+  // Drops all cached state (recovery, error paths): the next mine()
+  // transparently full-mines every dimension and rebuilds the caches.
+  void reset();
+
+ private:
+  struct DimCache {
+    bool valid = false;
+    // Per canonical node: its window keys translated to stable ids, sorted.
+    std::vector<std::vector<std::uint32_t>> stable_keys;
+    // Stable ids of keys whose postings exceeded the cap, sorted. Carried
+    // pair counts depend on key *eligibility*, so any change here forces a
+    // full re-mine (fallback_cap_change).
+    std::vector<std::uint32_t> skipped_keys;
+    // Thresholded similarity edges, canonical space, ascending (u, v).
+    std::vector<graph::Edge> edges;
+    // Canonical-space partition + stats (before the kept-space remap).
+    DimensionAshes canonical;
+  };
+
+  DimensionAshes mine_one(Dimension dimension, const PreprocessResult& pre,
+                          const whois::Registry& registry,
+                          const SmashConfig& config,
+                          const std::vector<std::uint32_t>& canon,
+                          const std::vector<std::string_view>& cur_names,
+                          const DimensionKeyNameSources& sources,
+                          const WindowDelta& delta, bool have_state,
+                          bool same_node_set,
+                          const std::vector<std::uint32_t>& prev_of_cur,
+                          const std::vector<std::uint32_t>& cur_of_prev,
+                          DimCache& staged, DeltaStats& stats);
+
+  bool valid_ = false;
+  // Canonical (name-sorted) server names of the last mined window; the
+  // per-dimension caches are all indexed in this order.
+  std::vector<std::string> prev_names_;
+  std::vector<DimCache> dims_;
+  // Append-only stable key-id interners, one per dimension. They survive
+  // reset(): ids only accumulate, and a stable id is a pure function of the
+  // key's canonical name, so stale entries are harmless.
+  std::array<util::Interner, kNumDimensions + 1> stable_;
+};
+
+}  // namespace smash::core

@@ -17,31 +17,6 @@ namespace smash::core {
 
 namespace {
 
-// Span and histogram names must be string literals (trace slots store the
-// pointer, registry keys are stable), hence switches instead of
-// concatenating dimension_name().
-const char* dimension_span_name(Dimension d) noexcept {
-  switch (d) {
-    case Dimension::kClient: return "mine.client";
-    case Dimension::kFile: return "mine.uri_file";
-    case Dimension::kIp: return "mine.ip_set";
-    case Dimension::kWhois: return "mine.whois";
-    case Dimension::kParam: return "mine.param";
-  }
-  return "mine.unknown";
-}
-
-const char* dimension_hist_name(Dimension d) noexcept {
-  switch (d) {
-    case Dimension::kClient: return "pipeline.mine_ms.client";
-    case Dimension::kFile: return "pipeline.mine_ms.uri_file";
-    case Dimension::kIp: return "pipeline.mine_ms.ip_set";
-    case Dimension::kWhois: return "pipeline.mine_ms.whois";
-    case Dimension::kParam: return "pipeline.mine_ms.param";
-  }
-  return "pipeline.mine_ms.unknown";
-}
-
 // Shared tail of every dimension builder: threshold edges -> graph ->
 // Louvain -> size >= 2 communities with their densities.
 DimensionAshes extract_ashes(Dimension dimension, graph::GraphBuilder builder,
@@ -101,139 +76,6 @@ std::vector<graph::CooccurrencePair> dimension_join(
                                              &stats);
   }
   return graph::cooccurrence_join(key_sets, min_shared, join_options, &stats);
-}
-
-// Main / IP / file dimensions all reduce to the bidirectional-importance
-// similarity over per-server key sets.
-DimensionAshes mine_keyset_dimension(Dimension dimension,
-                                     std::vector<util::IdSet> key_sets,
-                                     double edge_threshold,
-                                     std::uint32_t postings_cap,
-                                     const SmashConfig& config,
-                                     unsigned join_threads = 1) {
-  graph::JoinOptions join_options;
-  join_options.max_postings_length = postings_cap;
-  graph::JoinStats stats;
-  obs::Span join_span("mine.join", dimension_name(dimension).data());
-  const auto pairs =
-      dimension_join(key_sets, 1, join_options, config, join_threads, stats);
-  join_span.finish();
-
-  graph::GraphBuilder builder(static_cast<std::uint32_t>(key_sets.size()));
-  for (const auto& pair : pairs) {
-    const double sim = graph::bidirectional_similarity(
-        pair.shared_keys, key_sets[pair.a].size(), key_sets[pair.b].size());
-    if (sim >= edge_threshold) builder.add_edge(pair.a, pair.b, sim);
-  }
-  DimensionAshes out = extract_ashes(dimension, std::move(builder), config);
-  out.join_stats = stats;
-  return out;
-}
-
-DimensionAshes mine_client_dimension(const PreprocessResult& pre,
-                                     const SmashConfig& config) {
-  std::vector<util::IdSet> clients;
-  clients.reserve(pre.kept.size());
-  for (auto server : pre.kept) clients.push_back(pre.agg.profile(server).clients);
-  return mine_keyset_dimension(Dimension::kClient, std::move(clients),
-                               config.client_edge_threshold,
-                               config.join_postings_cap, config,
-                               config.num_threads);
-}
-
-DimensionAshes mine_ip_dimension(const PreprocessResult& pre,
-                                 const SmashConfig& config) {
-  std::vector<util::IdSet> ips;
-  ips.reserve(pre.kept.size());
-  for (auto server : pre.kept) ips.push_back(pre.agg.profile(server).ips);
-  return mine_keyset_dimension(Dimension::kIp, std::move(ips),
-                               config.ip_edge_threshold,
-                               config.join_postings_cap, config);
-}
-
-DimensionAshes mine_file_dimension(const PreprocessResult& pre,
-                                   const SmashConfig& config) {
-  const FileClassifier classifier(pre.agg.files(), config.filename_len_threshold,
-                                  config.filename_cosine_threshold);
-  std::vector<util::IdSet> classes;
-  classes.reserve(pre.kept.size());
-  util::IdSet set;
-  for (auto server : pre.kept) {
-    const auto& files = pre.agg.profile(server).files;
-    set.reserve(files.size());
-    for (auto file : files) set.insert(classifier.class_of(file));
-    set.normalize();
-    classes.push_back(util::IdSet::from_sorted_unique(set.release()));
-  }
-  // Sharded like the client join: stop-file classes give this join the
-  // longest postings lists after the client dimension's.
-  return mine_keyset_dimension(Dimension::kFile, std::move(classes),
-                               config.file_edge_threshold,
-                               config.file_postings_cap, config,
-                               config.num_threads);
-}
-
-DimensionAshes mine_param_dimension(const PreprocessResult& pre,
-                                    const SmashConfig& config) {
-  util::Interner patterns;
-  std::vector<util::IdSet> sets;
-  sets.reserve(pre.kept.size());
-  util::IdSet set;
-  for (auto server : pre.kept) {
-    const auto& raw = pre.agg.profile(server).param_patterns;
-    set.reserve(raw.size());
-    for (const auto& pattern : raw) set.insert(patterns.intern(pattern));
-    set.normalize();
-    sets.push_back(util::IdSet::from_sorted_unique(set.release()));
-  }
-  return mine_keyset_dimension(Dimension::kParam, std::move(sets),
-                               config.param_edge_threshold,
-                               config.param_postings_cap, config);
-}
-
-DimensionAshes mine_whois_dimension(const PreprocessResult& pre,
-                                    const whois::Registry& registry,
-                                    const SmashConfig& config) {
-  // Candidate pairs share at least `whois_min_shared_fields` field values;
-  // each (field, value) is interned so the co-occurrence count *is* the
-  // number of shared fields. Proxy values are skipped up front.
-  util::Interner values;
-  std::vector<util::IdSet> field_sets(pre.kept.size());
-  for (std::uint32_t i = 0; i < pre.kept.size(); ++i) {
-    const whois::Record* rec = registry.find(pre.agg.server_name(pre.kept[i]));
-    if (rec == nullptr) continue;
-    field_sets[i].reserve(whois::kNumFields);
-    for (int f = 0; f < whois::kNumFields; ++f) {
-      const auto& value = rec->value(static_cast<whois::Field>(f));
-      if (value.empty() || registry.is_proxy_value(value)) continue;
-      field_sets[i].insert(
-          values.intern(std::string(whois::field_name(static_cast<whois::Field>(f))) +
-                        "\x1f" + value));
-    }
-    field_sets[i].normalize();
-  }
-
-  graph::JoinOptions join_options;
-  join_options.max_postings_length = config.join_postings_cap;
-  graph::JoinStats stats;
-  obs::Span join_span("mine.join", dimension_name(Dimension::kWhois).data());
-  const auto pairs = dimension_join(
-      field_sets, static_cast<std::uint32_t>(config.whois_min_shared_fields),
-      join_options, config, config.num_threads, stats);
-  join_span.finish();
-
-  graph::GraphBuilder builder(static_cast<std::uint32_t>(pre.kept.size()));
-  for (const auto& pair : pairs) {
-    const auto shared = pair.shared_keys;
-    const auto unioned = static_cast<std::uint32_t>(
-        field_sets[pair.a].size() + field_sets[pair.b].size() - shared);
-    if (unioned == 0) continue;
-    builder.add_edge(pair.a, pair.b,
-                     static_cast<double>(shared) / static_cast<double>(unioned));
-  }
-  DimensionAshes out = extract_ashes(Dimension::kWhois, std::move(builder), config);
-  out.join_stats = stats;
-  return out;
 }
 
 // Estimated postings entries of each dimension's join, from the aggregate
@@ -317,28 +159,287 @@ std::string_view dimension_name(Dimension d) noexcept {
   return "?";
 }
 
+const char* dimension_mine_span_name(Dimension d) noexcept {
+  switch (d) {
+    case Dimension::kClient: return "mine.client";
+    case Dimension::kFile: return "mine.uri_file";
+    case Dimension::kIp: return "mine.ip_set";
+    case Dimension::kWhois: return "mine.whois";
+    case Dimension::kParam: return "mine.param";
+  }
+  return "mine.unknown";
+}
+
+const char* dimension_mine_histogram_name(Dimension d) noexcept {
+  switch (d) {
+    case Dimension::kClient: return "pipeline.mine_ms.client";
+    case Dimension::kFile: return "pipeline.mine_ms.uri_file";
+    case Dimension::kIp: return "pipeline.mine_ms.ip_set";
+    case Dimension::kWhois: return "pipeline.mine_ms.whois";
+    case Dimension::kParam: return "pipeline.mine_ms.param";
+  }
+  return "pipeline.mine_ms.unknown";
+}
+
+unsigned dimension_join_threads(Dimension dimension,
+                                const SmashConfig& config) noexcept {
+  switch (dimension) {
+    case Dimension::kClient:
+    case Dimension::kFile:
+    case Dimension::kWhois:
+      return config.num_threads;
+    default:
+      return 1;
+  }
+}
+
+std::vector<SmashConfig> per_dimension_mining_configs(
+    const PreprocessResult& pre, const whois::Registry& registry,
+    const SmashConfig& config, int dimensions) {
+  std::vector<SmashConfig> out(dimensions, config);
+  if (config.num_threads <= 1) return out;
+  const auto other_dimensions = static_cast<unsigned>(dimensions - 1);
+  for (int d = 0; d < dimensions; ++d) {
+    out[d].num_threads =
+        static_cast<Dimension>(d) == Dimension::kClient
+            ? (config.num_threads > other_dimensions
+                   ? config.num_threads - other_dimensions
+                   : 1)
+            : 1;
+  }
+  if (config.join_memory_budget_bytes > 0) {
+    const auto slices = split_join_budget(pre, registry, dimensions, config);
+    for (int d = 0; d < dimensions; ++d) {
+      out[d].join_memory_budget_bytes = slices[d];
+    }
+  }
+  return out;
+}
+
 std::size_t DimensionAshes::num_herded_servers() const {
   std::size_t count = 0;
   for (const auto& ash : ashes) count += ash.members.size();
   return count;
 }
 
+std::vector<std::uint32_t> canonical_mining_order(const PreprocessResult& pre) {
+  std::vector<std::uint32_t> order(pre.kept.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&pre](std::uint32_t a, std::uint32_t b) {
+              return pre.agg.server_name(pre.kept[a]) <
+                     pre.agg.server_name(pre.kept[b]);
+            });
+  return order;
+}
+
+DimensionJoinInput build_dimension_join_input(
+    Dimension dimension, const PreprocessResult& pre,
+    const whois::Registry& registry, const SmashConfig& config,
+    std::vector<std::uint32_t> canon_to_kept, unsigned join_threads,
+    const DimensionKeyNameSources* names) {
+  DimensionJoinInput input;
+  input.dimension = dimension;
+  input.canon_to_kept = std::move(canon_to_kept);
+  input.join_threads = join_threads;
+  const std::size_t n = input.canon_to_kept.size();
+  input.canon_names.reserve(n);
+  for (const auto k : input.canon_to_kept) {
+    input.canon_names.push_back(pre.agg.server_name(pre.kept[k]));
+  }
+  input.key_sets.reserve(n);
+
+  switch (dimension) {
+    case Dimension::kClient:
+      for (const auto k : input.canon_to_kept) {
+        input.key_sets.push_back(pre.agg.profile(pre.kept[k]).clients);
+      }
+      input.edge_threshold = config.client_edge_threshold;
+      input.postings_cap = config.join_postings_cap;
+      if (names != nullptr && names->clients != nullptr) {
+        const auto& client_names = names->clients->names();
+        input.key_names.assign(client_names.begin(), client_names.end());
+      }
+      break;
+
+    case Dimension::kIp:
+      for (const auto k : input.canon_to_kept) {
+        input.key_sets.push_back(pre.agg.profile(pre.kept[k]).ips);
+      }
+      input.edge_threshold = config.ip_edge_threshold;
+      input.postings_cap = config.join_postings_cap;
+      if (names != nullptr && names->ips != nullptr) {
+        const auto& ip_names = names->ips->names();
+        input.key_names.assign(ip_names.begin(), ip_names.end());
+      }
+      break;
+
+    case Dimension::kFile: {
+      const FileClassifier classifier(pre.agg.files(),
+                                      config.filename_len_threshold,
+                                      config.filename_cosine_threshold);
+      util::IdSet set;
+      for (const auto k : input.canon_to_kept) {
+        const auto& files = pre.agg.profile(pre.kept[k]).files;
+        set.reserve(files.size());
+        for (auto file : files) set.insert(classifier.class_of(file));
+        set.normalize();
+        input.key_sets.push_back(util::IdSet::from_sorted_unique(set.release()));
+      }
+      input.edge_threshold = config.file_edge_threshold;
+      input.postings_cap = config.file_postings_cap;
+      if (names != nullptr) {
+        // A class's canonical name is its lexicographically smallest member
+        // filename — a pure function of the class's membership, so any
+        // classifier merge or split (including ones caused by *other*
+        // servers' files) shows up as a changed key name.
+        std::vector<const std::string*> rep(classifier.num_classes(), nullptr);
+        const auto& files = pre.agg.files();
+        for (std::uint32_t f = 0; f < files.size(); ++f) {
+          const std::string& file_name = files.name(f);
+          auto& slot = rep[classifier.class_of(f)];
+          if (slot == nullptr || file_name < *slot) slot = &file_name;
+        }
+        input.key_names.reserve(rep.size());
+        for (const auto* p : rep) {
+          input.key_names.push_back(p != nullptr ? *p : std::string());
+        }
+      }
+      break;
+    }
+
+    case Dimension::kParam: {
+      util::Interner patterns;
+      util::IdSet set;
+      for (const auto k : input.canon_to_kept) {
+        const auto& raw = pre.agg.profile(pre.kept[k]).param_patterns;
+        set.reserve(raw.size());
+        for (const auto& pattern : raw) set.insert(patterns.intern(pattern));
+        set.normalize();
+        input.key_sets.push_back(util::IdSet::from_sorted_unique(set.release()));
+      }
+      input.edge_threshold = config.param_edge_threshold;
+      input.postings_cap = config.param_postings_cap;
+      if (names != nullptr) input.key_names = patterns.names();
+      break;
+    }
+
+    case Dimension::kWhois: {
+      // Candidate pairs share at least `whois_min_shared_fields` field
+      // values; each (field, value) is interned so the co-occurrence count
+      // *is* the number of shared fields. Proxy values are skipped up
+      // front.
+      util::Interner values;
+      input.key_sets.resize(n);
+      for (std::size_t c = 0; c < n; ++c) {
+        const whois::Record* rec = registry.find(input.canon_names[c]);
+        if (rec == nullptr) continue;
+        auto& fields = input.key_sets[c];
+        fields.reserve(whois::kNumFields);
+        for (int f = 0; f < whois::kNumFields; ++f) {
+          const auto& value = rec->value(static_cast<whois::Field>(f));
+          if (value.empty() || registry.is_proxy_value(value)) continue;
+          fields.insert(values.intern(
+              std::string(whois::field_name(static_cast<whois::Field>(f))) +
+              "\x1f" + value));
+        }
+        fields.normalize();
+      }
+      input.min_shared =
+          static_cast<std::uint32_t>(config.whois_min_shared_fields);
+      input.union_weight = true;
+      input.postings_cap = config.join_postings_cap;
+      if (names != nullptr) input.key_names = values.names();
+      break;
+    }
+  }
+  return input;
+}
+
+std::vector<graph::Edge> weight_dimension_pairs(
+    const DimensionJoinInput& input,
+    std::span<const graph::CooccurrencePair> pairs) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(pairs.size());
+  if (input.union_weight) {
+    for (const auto& pair : pairs) {
+      const auto shared = pair.shared_keys;
+      const auto unioned = static_cast<std::uint32_t>(
+          input.key_sets[pair.a].size() + input.key_sets[pair.b].size() -
+          shared);
+      if (unioned == 0) continue;
+      edges.push_back({pair.a, pair.b,
+                       static_cast<double>(shared) /
+                           static_cast<double>(unioned)});
+    }
+  } else {
+    for (const auto& pair : pairs) {
+      const double sim = graph::bidirectional_similarity(
+          pair.shared_keys, input.key_sets[pair.a].size(),
+          input.key_sets[pair.b].size());
+      if (sim >= input.edge_threshold) edges.push_back({pair.a, pair.b, sim});
+    }
+  }
+  return edges;
+}
+
+DimensionAshes extract_canonical_ashes(const DimensionJoinInput& input,
+                                       std::span<const graph::Edge> edges,
+                                       const SmashConfig& config) {
+  graph::GraphBuilder builder(
+      static_cast<std::uint32_t>(input.key_sets.size()));
+  for (const auto& edge : edges) builder.add_edge(edge.u, edge.v, edge.weight);
+  return extract_ashes(input.dimension, std::move(builder), config);
+}
+
+DimensionAshes remap_ashes_to_kept(DimensionAshes canonical,
+                                   std::span<const std::uint32_t> canon_to_kept) {
+  DimensionAshes out = std::move(canonical);
+  std::vector<std::int32_t> ash_of(canon_to_kept.size(), -1);
+  for (std::size_t c = 0; c < out.ash_of.size(); ++c) {
+    ash_of[canon_to_kept[c]] = out.ash_of[c];
+  }
+  out.ash_of = std::move(ash_of);
+  for (auto& ash : out.ashes) {
+    for (auto& member : ash.members) member = canon_to_kept[member];
+    std::sort(ash.members.begin(), ash.members.end());
+  }
+  return out;
+}
+
+DimensionAshes mine_joined_dimension(const DimensionJoinInput& input,
+                                     const SmashConfig& config,
+                                     std::vector<graph::Edge>* canon_edges_out,
+                                     DimensionAshes* canonical_out) {
+  graph::JoinOptions join_options;
+  join_options.max_postings_length = input.postings_cap;
+  graph::JoinStats stats;
+  obs::Span join_span("mine.join", dimension_name(input.dimension).data());
+  const auto pairs = dimension_join(input.key_sets, input.min_shared,
+                                    join_options, config, input.join_threads,
+                                    stats);
+  join_span.finish();
+
+  auto edges = weight_dimension_pairs(input, pairs);
+  DimensionAshes out = extract_canonical_ashes(input, edges, config);
+  out.join_stats = stats;
+  if (canonical_out != nullptr) *canonical_out = out;
+  if (canon_edges_out != nullptr) *canon_edges_out = std::move(edges);
+  return remap_ashes_to_kept(std::move(out), input.canon_to_kept);
+}
+
 DimensionAshes mine_dimension(Dimension dimension, const PreprocessResult& pre,
                               const whois::Registry& registry,
                               const SmashConfig& config) {
-  SMASH_SPAN(dimension_span_name(dimension));
+  SMASH_SPAN(dimension_mine_span_name(dimension));
   const auto start = std::chrono::steady_clock::now();
-  DimensionAshes out;
-  switch (dimension) {
-    case Dimension::kClient: out = mine_client_dimension(pre, config); break;
-    case Dimension::kFile: out = mine_file_dimension(pre, config); break;
-    case Dimension::kIp: out = mine_ip_dimension(pre, config); break;
-    case Dimension::kWhois: out = mine_whois_dimension(pre, registry, config); break;
-    case Dimension::kParam: out = mine_param_dimension(pre, config); break;
-    default: throw std::invalid_argument("mine_dimension: bad dimension");
-  }
+  DimensionAshes out = mine_joined_dimension(
+      build_dimension_join_input(dimension, pre, registry, config,
+                                 canonical_mining_order(pre),
+                                 dimension_join_threads(dimension, config)),
+      config);
   if (config.metrics != nullptr) {
-    config.metrics->latency_histogram_ms(dimension_hist_name(dimension))
+    config.metrics->latency_histogram_ms(dimension_mine_histogram_name(dimension))
         .observe(std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - start)
                      .count());
@@ -366,13 +467,7 @@ std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,
   // active threads stays within config.num_threads (three concurrent
   // sharded joins would otherwise each spawn a leftover-sized pool). Their
   // sharding still engages when a dimension is mined on its own.
-  SmashConfig inner = config;
-  inner.num_threads = 1;
-  SmashConfig client_inner = config;
-  const auto other_dimensions = static_cast<unsigned>(dimensions - 1);
-  client_inner.num_threads = config.num_threads > other_dimensions
-                                 ? config.num_threads - other_dimensions
-                                 : 1;
+  //
   // Budget-aware fan-out: dimensions mined concurrently hold postings
   // indexes at the same time, so each gets a slice of the join memory
   // budget — cardinality-weighted by default, even otherwise (see
@@ -381,23 +476,20 @@ std::vector<DimensionAshes> mine_all_dimensions(const PreprocessResult& pre,
   // planner then picks its own pass count from that slice and its observed
   // key cardinalities; the serial path above runs dimensions one at a
   // time, so each gets the full budget there.) The split never changes
-  // mined output, only pass counts.
-  std::vector<std::size_t> budget_slices;
-  if (config.join_memory_budget_bytes > 0) {
-    budget_slices = split_join_budget(pre, registry, dimensions, config);
-  }
+  // mined output, only pass counts. Both rules live in
+  // per_dimension_mining_configs so the incremental miner can reproduce
+  // them exactly.
+  const auto dim_configs =
+      per_dimension_mining_configs(pre, registry, config, dimensions);
   // parallel_for drains on the calling thread as well as the pool workers,
   // so size the pool one short of the budget.
-  util::ThreadPool pool(std::min(config.num_threads - 1, other_dimensions));
-  util::parallel_for(pool, static_cast<std::size_t>(dimensions), [&](std::size_t d) {
-    const auto dimension = static_cast<Dimension>(d);
-    SmashConfig dim_config =
-        dimension == Dimension::kClient ? client_inner : inner;
-    if (!budget_slices.empty()) {
-      dim_config.join_memory_budget_bytes = budget_slices[d];
-    }
-    out[d] = mine_dimension(dimension, pre, registry, dim_config);
-  });
+  util::ThreadPool pool(std::min(config.num_threads - 1,
+                                 static_cast<unsigned>(dimensions - 1)));
+  util::parallel_for(pool, static_cast<std::size_t>(dimensions),
+                     [&](std::size_t d) {
+                       out[d] = mine_dimension(static_cast<Dimension>(d), pre,
+                                               registry, dim_configs[d]);
+                     });
   return out;
 }
 

@@ -4,13 +4,16 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/preprocess.h"
 #include "core/smash_config.h"
 #include "graph/graph.h"
 #include "graph/similarity_join.h"
+#include "util/interner.h"
 #include "whois/whois.h"
 
 namespace smash::core {
@@ -31,6 +34,30 @@ inline constexpr int kNumDimensions = 4;  // the paper's configuration
 inline constexpr int kNumSecondaryDimensions = 3;
 
 std::string_view dimension_name(Dimension d) noexcept;
+
+// Span / latency-histogram names of one dimension's mine (string literals —
+// trace slots store the pointer, registry keys must be stable).
+const char* dimension_mine_span_name(Dimension d) noexcept;
+const char* dimension_mine_histogram_name(Dimension d) noexcept;
+
+// Per-dimension probe-thread budget of a mining path: the client, file and
+// whois joins are the large ones and get the configured threads; ip and
+// param stay serial.
+unsigned dimension_join_threads(Dimension dimension,
+                                const SmashConfig& config) noexcept;
+
+// The effective per-dimension configs of mine_all_dimensions: identity
+// copies of `config` on the serial path (num_threads <= 1); on the
+// concurrent fan-out every dimension but the client one is pinned to one
+// thread, the client dimension gets the leftover threads, and a non-zero
+// join_memory_budget_bytes is split across the slots (weighted by estimated
+// postings cardinality by default). Exposed so the incremental miner runs
+// each dimension under the exact config the full path would — Louvain
+// chunk/stale counters depend on the effective thread budget, and the
+// incremental-vs-full differential compares them.
+std::vector<SmashConfig> per_dimension_mining_configs(
+    const PreprocessResult& pre, const whois::Registry& registry,
+    const SmashConfig& config, int dimensions);
 
 struct Ash {
   std::vector<std::uint32_t> members;  // kept-indices, ascending
@@ -69,6 +96,78 @@ struct DimensionAshes {
     return join_stats.skipped_keys > 0;
   }
 };
+
+// Canonical mining order: indices into pre.kept sorted by server name
+// (unique within a window). Every dimension graph is built and partitioned
+// in this order — stable across window slides for unchanged content, which
+// is what lets the incremental miner reuse cached edges and Louvain
+// partitions — and the ashes are remapped back to kept-index space at the
+// end. The batch and streaming paths share this, so their outputs stay
+// byte-identical.
+std::vector<std::uint32_t> canonical_mining_order(const PreprocessResult& pre);
+
+// Name sources for the incremental miner's stable-id change detection:
+// resolve window-local key ids to canonical names that survive window
+// re-interning. Only the streaming delta path supplies this; the batch
+// path leaves it null and skips the (small) name materialization.
+struct DimensionKeyNameSources {
+  const util::Interner* clients = nullptr;  // window client interner
+  const util::Interner* ips = nullptr;      // window ip interner
+};
+
+// One dimension's join-stage input, factored out of the mining paths so
+// the full and incremental pipelines are guaranteed to join identical key
+// sets. Nodes are in canonical (name-sorted) order; key ids are
+// window-local (dense, re-interned per window).
+struct DimensionJoinInput {
+  Dimension dimension = Dimension::kClient;
+  // canon_to_kept[c] = index into pre.kept of canonical node c; ascending
+  // by server name.
+  std::vector<std::uint32_t> canon_to_kept;
+  std::vector<std::string_view> canon_names;  // aligned; backed by pre.agg
+  std::vector<util::IdSet> key_sets;          // per canonical node
+  std::uint32_t min_shared = 1;
+  double edge_threshold = 0.0;  // unused by the union-weight (whois) form
+  std::uint32_t postings_cap = 0;
+  bool union_weight = false;    // whois: w = shared / union, no threshold
+  unsigned join_threads = 1;
+  // Window key id -> canonical key name (client/ip names, lexicographically
+  // smallest member filename of a file class, the param/whois key string).
+  // Filled only when a DimensionKeyNameSources was supplied.
+  std::vector<std::string> key_names;
+};
+
+DimensionJoinInput build_dimension_join_input(
+    Dimension dimension, const PreprocessResult& pre,
+    const whois::Registry& registry, const SmashConfig& config,
+    std::vector<std::uint32_t> canon_to_kept, unsigned join_threads,
+    const DimensionKeyNameSources* names = nullptr);
+
+// Thresholded similarity edges (canonical space, ascending (u, v)) from
+// the join's co-occurrence pairs, under this dimension's weight form.
+std::vector<graph::Edge> weight_dimension_pairs(
+    const DimensionJoinInput& input,
+    std::span<const graph::CooccurrencePair> pairs);
+
+// Louvain + herd extraction over canonical-space edges. The result is in
+// canonical space (members / ash_of indexed by canonical node);
+// join_stats is left default.
+DimensionAshes extract_canonical_ashes(const DimensionJoinInput& input,
+                                       std::span<const graph::Edge> edges,
+                                       const SmashConfig& config);
+
+// Remaps a canonical-space result to kept-index space (members ascending).
+DimensionAshes remap_ashes_to_kept(DimensionAshes canonical,
+                                   std::span<const std::uint32_t> canon_to_kept);
+
+// Full join + weighting + Louvain over a built input — the tail every
+// full-mine path runs. When the incremental miner needs to seed its cache
+// it passes `canon_edges_out` / `canonical_out` to capture the
+// canonical-space edges and (pre-remap) ashes.
+DimensionAshes mine_joined_dimension(
+    const DimensionJoinInput& input, const SmashConfig& config,
+    std::vector<graph::Edge>* canon_edges_out = nullptr,
+    DimensionAshes* canonical_out = nullptr);
 
 // Builds the similarity graph for `dimension` over pre.kept and extracts
 // ASHs. `registry` is only used by the Whois dimension. Honors

@@ -1,0 +1,140 @@
+// cooccurrence_join_delta: the probe-side incremental join the DeltaMiner
+// re-scores changed items with. The contract under test: every pair with a
+// probed endpoint is emitted with the exact count the full join would give
+// it (cap and min_shared included), pairs between two un-probed items are
+// never enumerated, and the probed + carried union reconstructs the full
+// join byte-for-byte.
+#include "graph/similarity_join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace smash::graph {
+namespace {
+
+using util::IdSet;
+
+std::vector<IdSet> random_items(util::Rng& rng, std::uint32_t num_items,
+                                std::uint32_t key_space) {
+  std::vector<IdSet> items(num_items);
+  for (auto& item : items) {
+    const std::uint64_t keys = rng.uniform(8);
+    for (std::uint64_t k = 0; k < keys; ++k) {
+      item.insert(static_cast<std::uint32_t>(rng.uniform(key_space)));
+    }
+    item.normalize();
+  }
+  return items;
+}
+
+// Pairs of `full` with at least one endpoint in `probe` — what the delta
+// join must emit, nothing more, nothing less.
+std::vector<CooccurrencePair> probed_subset(
+    const std::vector<CooccurrencePair>& full,
+    const std::vector<std::uint32_t>& probe) {
+  std::vector<CooccurrencePair> out;
+  for (const auto& pair : full) {
+    if (std::binary_search(probe.begin(), probe.end(), pair.a) ||
+        std::binary_search(probe.begin(), probe.end(), pair.b)) {
+      out.push_back(pair);
+    }
+  }
+  return out;
+}
+
+TEST(DeltaJoin, AllItemsProbedEqualsFullJoin) {
+  util::Rng rng(7);
+  const auto items = random_items(rng, 40, 30);
+  std::vector<std::uint32_t> all(items.size());
+  for (std::uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  JoinStats full_stats;
+  const auto full = cooccurrence_join(items, 2, {}, &full_stats);
+  JoinStats delta_stats;
+  const auto delta =
+      cooccurrence_join_delta(items, all, 2, {}, /*num_threads=*/1, &delta_stats);
+  EXPECT_EQ(delta, full);
+  // The delta join indexes the whole window; its index-shape stats must
+  // describe the same single-pass index the full join built.
+  EXPECT_EQ(delta_stats.num_keys, full_stats.num_keys);
+  EXPECT_EQ(delta_stats.postings_entries, full_stats.postings_entries);
+  EXPECT_EQ(delta_stats.skipped_keys, full_stats.skipped_keys);
+  EXPECT_EQ(delta_stats.shard_passes, 1u);
+}
+
+TEST(DeltaJoin, RandomProbeSubsetsMatchFullJoinRestriction) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    util::Rng rng(seed);
+    const auto items = random_items(rng, 50, 25);
+    const auto full = cooccurrence_join(items, 1);
+
+    std::vector<std::uint32_t> probe;
+    for (std::uint32_t i = 0; i < items.size(); ++i) {
+      if (rng.bernoulli(0.3)) probe.push_back(i);
+    }
+    const auto delta = cooccurrence_join_delta(items, probe, 1, {}, 1);
+    EXPECT_EQ(delta, probed_subset(full, probe));
+  }
+}
+
+TEST(DeltaJoin, CapAppliesToFullPostingsLength) {
+  // Key 7 is shared by every item; with a cap of 3 the FULL postings
+  // length (5) disqualifies it even though only 2 items are probed —
+  // counts must match the capped full join, not a capped probe view.
+  std::vector<IdSet> items;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    items.emplace_back(std::vector<std::uint32_t>{7, 100 + i, 100 + (i + 1) % 5});
+  }
+  JoinOptions options;
+  options.max_postings_length = 3;
+  const auto full = cooccurrence_join(items, 1, options);
+  const std::vector<std::uint32_t> probe{0, 1};
+  const auto delta = cooccurrence_join_delta(items, probe, 1, options, 1);
+  EXPECT_EQ(delta, probed_subset(full, probe));
+}
+
+TEST(DeltaJoin, EmptyProbeEmitsNothing) {
+  util::Rng rng(11);
+  const auto items = random_items(rng, 20, 10);
+  JoinStats stats;
+  const auto delta = cooccurrence_join_delta(items, {}, 1, {}, 1, &stats);
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(stats.emitted_pairs, 0u);
+  // The index is still built (its shape stats feed JoinStats reporting).
+  EXPECT_EQ(stats.shard_passes, 1u);
+}
+
+TEST(DeltaJoin, ParallelMatchesSerial) {
+  util::Rng rng(13);
+  const auto items = random_items(rng, 400, 60);
+  std::vector<std::uint32_t> probe;
+  for (std::uint32_t i = 0; i < items.size(); ++i) {
+    if (rng.bernoulli(0.4)) probe.push_back(i);
+  }
+  const auto serial = cooccurrence_join_delta(items, probe, 1, {}, 1);
+  const auto parallel = cooccurrence_join_delta(items, probe, 1, {}, 4);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(DeltaJoin, ValidatesArguments) {
+  std::vector<IdSet> items(3);
+  for (auto& item : items) item.normalize();
+  const std::vector<std::uint32_t> first{0};
+  EXPECT_THROW(cooccurrence_join_delta(items, first, 0, {}, 1),
+               std::invalid_argument);  // min_shared == 0
+  const std::vector<std::uint32_t> descending{2, 1};
+  EXPECT_THROW(cooccurrence_join_delta(items, descending, 1, {}, 1),
+               std::invalid_argument);  // not ascending
+  const std::vector<std::uint32_t> out_of_range{3};
+  EXPECT_THROW(cooccurrence_join_delta(items, out_of_range, 1, {}, 1),
+               std::invalid_argument);  // item id past the end
+}
+
+}  // namespace
+}  // namespace smash::graph

@@ -307,6 +307,95 @@ TEST(FuzzStreamEquivalence, FinalSyncSnapshotMatchesBatchMineOfWindow) {
   }
 }
 
+// --- incremental vs full delta re-mining -------------------------------------
+//
+// Random schedules (late events, multi-epoch gaps, window slides) through a
+// full-mine engine and an incremental one: every published snapshot must be
+// byte-identical — the delta caches, the changed-2LD hint, the carried-edge
+// merge and the partition reuse may only change wall-clock, never output.
+// schedule_config varies threads {1, 4}, window sizes, and late-event
+// policy across seeds.
+
+TEST(FuzzIncrementalStream, RandomSchedulesIncrementalVsFullEveryClose) {
+  std::size_t delta_mined_closes = 0;
+  std::size_t fallback_closes = 0;
+  std::size_t evicting_closes = 0;
+  for (const auto seed : fuzz_seeds(12)) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " (rerun with SMASH_FUZZ_SEED=" + std::to_string(seed) + ")");
+    const auto events = random_schedule(seed);
+    const whois::Registry registry;
+    const auto full_config = schedule_config(seed, /*async=*/false);
+    auto incremental_config = full_config;
+    incremental_config.incremental_mining = true;
+
+    stream::StreamEngine full(full_config, registry);
+    stream::StreamEngine incremental(incremental_config, registry);
+    std::uint64_t seen = 0;
+    const auto compare_published = [&] {
+      ASSERT_EQ(full.snapshots_published(), incremental.snapshots_published());
+      if (incremental.snapshots_published() == seen) return;
+      seen = incremental.snapshots_published();
+      const auto a = full.snapshot();
+      const auto b = incremental.snapshot();
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      expect_identical_snapshots(*a, *b);
+      EXPECT_TRUE(b->delta_stats().enabled);
+      if (b->delta_stats().dims_delta > 0) ++delta_mined_closes;
+      if (b->delta_stats().full_fallbacks() > 0) ++fallback_closes;
+      if (b->delta_stats().epochs_evicted > 0) ++evicting_closes;
+    };
+    for (const auto& event : events) {
+      synth::ingest_event(full, event);
+      synth::ingest_event(incremental, event);
+      compare_published();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    full.finish();
+    incremental.finish();
+    compare_published();
+  }
+  // The sweep must exercise both sides of the cache decision and real
+  // window slides (a pinned seed may legitimately see only one).
+  if (!test::fuzz_seed_pinned()) {
+    EXPECT_GT(delta_mined_closes, 0u);
+    EXPECT_GT(fallback_closes, 0u);
+    EXPECT_GT(evicting_closes, 0u);
+  }
+}
+
+TEST(FuzzIncrementalStream, RandomSchedulesIncrementalAsyncMatchesFullSync) {
+  // Async coalescing skips intermediate windows, so the incremental path
+  // sees multi-epoch deltas between mined windows; the final snapshot must
+  // still match a full-mine sync engine's.
+  for (const auto seed : fuzz_seeds(8)) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " (rerun with SMASH_FUZZ_SEED=" + std::to_string(seed) + ")");
+    const auto events = random_schedule(seed);
+    const whois::Registry registry;
+
+    stream::StreamEngine full(schedule_config(seed, /*async=*/false), registry);
+    for (const auto& event : events) synth::ingest_event(full, event);
+    full.finish();
+
+    auto incremental_config = schedule_config(seed, /*async=*/true);
+    incremental_config.incremental_mining = true;
+    // Throttle mines so closes pile up and coalesce deterministically often.
+    incremental_config.mine_throttle_ms = seed % 2 == 0 ? 2 : 0;
+    stream::StreamEngine incremental(incremental_config, registry);
+    for (const auto& event : events) synth::ingest_event(incremental, event);
+    incremental.finish();
+
+    EXPECT_EQ(full.epochs_closed_total(), incremental.epochs_closed_total());
+    const auto a = full.snapshot();
+    const auto b = incremental.snapshot();
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    expect_identical_snapshots(*a, *b);
+  }
+}
+
 // --- seeded WAL/checkpoint corruption fuzzer ---------------------------------
 //
 // The durability contract under random damage: recovery either (a) fails

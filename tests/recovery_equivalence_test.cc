@@ -70,6 +70,12 @@ stream::StreamConfig matrix_config(const std::string& dir, unsigned threads,
   config.durability_dir = dir;
   config.fsync_policy = policy;
   config.checkpoint_every_epochs = 2;
+  // The durable (crashing) and recovered engines mine incrementally; the
+  // uninterrupted reference below strips this along with durability_dir.
+  // Every matrix cell thus proves recovery correctness AND the
+  // incremental-vs-full identity in one comparison — including that a
+  // recovered engine's empty delta caches transparently full-mine first.
+  config.incremental_mining = true;
   return config;
 }
 
@@ -153,6 +159,7 @@ TEST_F(RecoveryMatrixTest, RecoveredSnapshotsMatchUninterruptedRun) {
             [&] {
               auto c = config;
               c.durability_dir.clear();
+              c.incremental_mining = false;  // full-mine oracle
               return c;
             }(),
             registry);
@@ -204,6 +211,7 @@ TEST_F(RecoveryMatrixTest, AsyncRecoveredEngineConvergesToSameFinalSnapshot) {
   auto reference_config = config;
   reference_config.durability_dir.clear();
   reference_config.async_mining = false;
+  reference_config.incremental_mining = false;  // full-mine oracle
   stream::StreamEngine reference(reference_config, registry);
   for (const auto& event : events) synth::ingest_event(reference, event);
   reference.finish();

@@ -1,0 +1,359 @@
+// Incremental delta re-mining through the stream engine (core/delta_mine.h):
+// paired full-vs-incremental engines must publish byte-identical snapshots
+// at EVERY close — across thread counts, window slides (eviction), async
+// coalescing, and crash recovery — while DeltaStats report the cache
+// behavior (first-close fallback, delta-mined dimensions, evicted epochs)
+// honestly on each snapshot.
+#include "stream/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "stream/snapshot.h"
+#include "stream_fuzz_helpers.h"
+#include "synth/stream_gen.h"
+#include "whois/whois.h"
+
+namespace smash::stream {
+namespace {
+
+using test::expect_identical_snapshots;
+
+RequestEvent req(std::uint64_t time_s, std::string client, std::string host,
+                 std::string path = "/x.html") {
+  RequestEvent e;
+  e.time_s = time_s;
+  e.client = std::move(client);
+  e.host = std::move(host);
+  e.path = std::move(path);
+  e.user_agent = "UA";
+  return e;
+}
+
+ResolutionEvent res(std::uint64_t time_s, std::string host, std::string ip) {
+  ResolutionEvent e;
+  e.time_s = time_s;
+  e.host = std::move(host);
+  e.ip = std::move(ip);
+  return e;
+}
+
+constexpr std::uint32_t kEpochSeconds = 100;
+
+StreamConfig incremental_config(unsigned threads, std::uint32_t window = 3) {
+  StreamConfig config;
+  config.epoch_seconds = kEpochSeconds;
+  config.window_epochs = window;
+  config.smash.idf_threshold = 50;
+  config.smash.num_threads = threads;
+  config.incremental_mining = true;
+  return config;
+}
+
+// Campaign polling + benign browsing inside epoch `epoch`. `campaign`
+// toggles the malicious traffic; the benign background always runs so the
+// window never goes empty. `site_salt` varies which benign sites the epoch
+// touches, keeping per-epoch deltas small (most 2LDs unchanged).
+void fill_epoch(std::vector<synth::StreamEvent>& events, std::uint64_t epoch,
+                bool campaign, std::uint32_t site_salt) {
+  const std::uint64_t base = epoch * kEpochSeconds;
+  for (std::uint32_t s = 0; s < 12; ++s) {
+    const std::string host = "site" + std::to_string(s) + ".org";
+    events.push_back(req(base + 1 + s % 7, "user" + std::to_string((s + site_salt) % 9),
+                         host, "/page" + std::to_string(s % 4) + ".html"));
+    events.push_back(res(base + 2 + s % 7, host, "192.168.1." + std::to_string(s)));
+  }
+  // A couple of epoch-specific 2LDs so every epoch genuinely adds nodes.
+  const std::string fresh =
+      "fresh" + std::to_string(epoch) + "-" + std::to_string(site_salt) + ".org";
+  events.push_back(req(base + 10, "user1", fresh));
+  if (!campaign) return;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    const std::string host = "evil" + std::to_string(s) + ".test";
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      events.push_back(
+          req(base + 20 + s, "bot" + std::to_string(b), host, "/beacon.exe"));
+    }
+    events.push_back(res(base + 30 + s, host, "10.9.0.1"));
+  }
+}
+
+// Whois records tying the campaign servers to one registrant. Together with
+// the shared payload, bots, and IP this gives the campaign three
+// secondary-dimension correlation terms — comfortably above the score
+// threshold, so detection assertions don't sit on the knife's edge.
+whois::Registry campaign_registry() {
+  whois::Registry registry;
+  whois::Record record;
+  record.registrant = "actor0";
+  record.email = "actor0@mail.test";
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    registry.add("evil" + std::to_string(s) + ".test", record);
+  }
+  return registry;
+}
+
+// Feeds `events` to a full-mine and an incremental engine in lockstep and
+// deep-compares the published snapshots after every event (sync engines
+// publish during ingest, so the counts always agree). Returns the
+// incremental engine's per-publication delta stats for assertions.
+std::vector<core::DeltaStats> run_paired(
+    const std::vector<synth::StreamEvent>& events, const StreamConfig& config,
+    const whois::Registry& registry) {
+  StreamConfig full_config = config;
+  full_config.incremental_mining = false;
+  StreamEngine full(full_config, registry);
+  StreamEngine incremental(config, registry);
+
+  std::vector<core::DeltaStats> stats;
+  std::uint64_t seen = 0;
+  const auto compare_published = [&] {
+    ASSERT_EQ(full.snapshots_published(), incremental.snapshots_published());
+    if (incremental.snapshots_published() == seen) return;
+    seen = incremental.snapshots_published();
+    const auto a = full.snapshot();
+    const auto b = incremental.snapshot();
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    expect_identical_snapshots(*a, *b);
+    EXPECT_FALSE(a->delta_stats().enabled);
+    EXPECT_TRUE(b->delta_stats().enabled);
+    stats.push_back(b->delta_stats());
+  };
+
+  for (const auto& event : events) {
+    synth::ingest_event(full, event);
+    synth::ingest_event(incremental, event);
+    compare_published();
+    if (::testing::Test::HasFatalFailure()) return stats;
+  }
+  full.finish();
+  incremental.finish();
+  compare_published();
+  return stats;
+}
+
+TEST(StreamIncremental, GrowingWindowPublishesIdenticalSnapshots) {
+  const whois::Registry registry = campaign_registry();
+  std::vector<synth::StreamEvent> events;
+  for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    fill_epoch(events, epoch, /*campaign=*/true, /*site_salt=*/0);
+  }
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto stats = run_paired(events, incremental_config(threads), registry);
+    ASSERT_GE(stats.size(), 3u);
+    // First close: no cache — every dimension full-mines, loudly.
+    EXPECT_FALSE(stats[0].attempted);
+    EXPECT_EQ(stats[0].fallback_no_state, stats[0].dims_full);
+    EXPECT_GT(stats[0].dims_full, 0u);
+    EXPECT_EQ(stats[0].dims_delta, 0u);
+    // Later closes: caches exist and the small per-epoch delta keeps at
+    // least some dimensions on the delta path.
+    bool delta_mined = false;
+    for (std::size_t i = 1; i < stats.size(); ++i) {
+      EXPECT_TRUE(stats[i].attempted);
+      EXPECT_GE(stats[i].epochs_added, 1u);
+      if (stats[i].dims_delta > 0) delta_mined = true;
+    }
+    EXPECT_TRUE(delta_mined);
+  }
+}
+
+TEST(StreamIncremental, SlidingWindowEvictionPurgesCachedCampaignState) {
+  // Campaign only in epochs 0-1; window of 2 slides past it. Stale cached
+  // postings or partitions for the evicted evil* 2LDs would keep scoring
+  // their pairs — the per-close identity comparison against the full
+  // engine catches any residue, and the verdicts must actually disappear.
+  const whois::Registry registry = campaign_registry();
+  std::vector<synth::StreamEvent> events;
+  fill_epoch(events, 0, /*campaign=*/true, 0);
+  fill_epoch(events, 1, /*campaign=*/true, 1);
+  fill_epoch(events, 2, /*campaign=*/false, 0);
+  fill_epoch(events, 3, /*campaign=*/false, 1);
+  fill_epoch(events, 4, /*campaign=*/false, 2);
+
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    StreamConfig config = incremental_config(threads, /*window=*/2);
+    StreamConfig full_config = config;
+    full_config.incremental_mining = false;
+    StreamEngine full(full_config, registry);
+    StreamEngine incremental(config, registry);
+
+    bool saw_campaign = false;
+    bool saw_eviction = false;
+    std::uint64_t seen = 0;
+    for (const auto& event : events) {
+      synth::ingest_event(full, event);
+      synth::ingest_event(incremental, event);
+      ASSERT_EQ(full.snapshots_published(), incremental.snapshots_published());
+      if (incremental.snapshots_published() == seen) continue;
+      seen = incremental.snapshots_published();
+      const auto a = full.snapshot();
+      const auto b = incremental.snapshot();
+      ASSERT_NE(b, nullptr);
+      expect_identical_snapshots(*a, *b);
+      if (b->num_malicious_servers() > 0) saw_campaign = true;
+      if (b->delta_stats().epochs_evicted > 0) saw_eviction = true;
+    }
+    full.finish();
+    incremental.finish();
+    const auto final_full = full.snapshot();
+    const auto final_inc = incremental.snapshot();
+    ASSERT_NE(final_inc, nullptr);
+    expect_identical_snapshots(*final_full, *final_inc);
+    EXPECT_TRUE(saw_campaign);   // the campaign was detected while in-window
+    EXPECT_TRUE(saw_eviction);   // the slide actually exercised eviction
+    // After the window slid past the campaign epochs no verdict survives.
+    EXPECT_EQ(final_inc->num_malicious_servers(), 0u);
+    EXPECT_EQ(final_inc->find_host("evil0.test"), nullptr);
+  }
+}
+
+TEST(StreamIncremental, AsyncIncrementalMatchesSyncFull) {
+  const whois::Registry registry = campaign_registry();
+  std::vector<synth::StreamEvent> events;
+  for (std::uint64_t epoch = 0; epoch < 4; ++epoch) {
+    fill_epoch(events, epoch, /*campaign=*/epoch < 3, epoch % 2);
+  }
+
+  StreamConfig sync_config = incremental_config(1);
+  sync_config.incremental_mining = false;
+  StreamEngine full(sync_config, registry);
+  for (const auto& event : events) synth::ingest_event(full, event);
+  full.finish();
+
+  StreamConfig async_config = incremental_config(1);
+  async_config.async_mining = true;
+  StreamEngine incremental(async_config, registry);
+  for (const auto& event : events) synth::ingest_event(incremental, event);
+  incremental.finish();
+
+  EXPECT_EQ(full.epochs_closed_total(), incremental.epochs_closed_total());
+  const auto a = full.snapshot();
+  const auto b = incremental.snapshot();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  expect_identical_snapshots(*a, *b);
+  EXPECT_TRUE(b->delta_stats().enabled);
+}
+
+TEST(StreamIncremental, RecoveredEngineFullMinesOnceThenMatchesUninterrupted) {
+  // Crash/recover with incremental mining on: the recovered engine's miner
+  // has no caches, so its republish transparently full-mines
+  // (fallback_no_state), then rebuilds the caches — and every snapshot it
+  // publishes stays byte-identical to an engine that never crashed.
+  const whois::Registry registry = campaign_registry();
+  std::vector<synth::StreamEvent> events;
+  for (std::uint64_t epoch = 0; epoch < 4; ++epoch) {
+    fill_epoch(events, epoch, /*campaign=*/true, epoch % 3);
+  }
+  const std::size_t cut = events.size() / 2;
+
+  StreamConfig config = incremental_config(1);
+  config.durability_dir =
+      (std::filesystem::temp_directory_path() / "smash_incremental_recovery")
+          .string();
+  config.fsync_policy = WalFsync::kOff;
+  std::filesystem::remove_all(config.durability_dir);
+
+  {  // Crash mid-stream: no finish(), like a hard kill.
+    StreamEngine engine(config, registry);
+    for (std::size_t i = 0; i < cut; ++i) synth::ingest_event(engine, events[i]);
+  }
+
+  auto recovered = StreamEngine::recover(config, registry);
+  const auto post_recovery = recovered->snapshot();
+  if (post_recovery != nullptr) {
+    // The recovery republish mined with an empty cache: all full, no delta.
+    EXPECT_TRUE(post_recovery->delta_stats().enabled);
+    EXPECT_GT(post_recovery->delta_stats().fallback_no_state, 0u);
+    EXPECT_EQ(post_recovery->delta_stats().dims_delta, 0u);
+  }
+  for (std::size_t i = cut; i < events.size(); ++i) {
+    synth::ingest_event(*recovered, events[i]);
+  }
+  recovered->finish();
+  const auto recovered_snapshot = recovered->snapshot();
+  ASSERT_NE(recovered_snapshot, nullptr);
+  // Post-recovery closes get back on the delta path once the cache exists.
+  EXPECT_GT(recovered_snapshot->delta_stats().dims_delta, 0u);
+
+  // Uninterrupted incremental reference over the whole schedule.
+  StreamConfig reference_config = incremental_config(1);
+  StreamEngine reference(reference_config, registry);
+  for (const auto& event : events) synth::ingest_event(reference, event);
+  reference.finish();
+  const auto reference_snapshot = reference.snapshot();
+  ASSERT_NE(reference_snapshot, nullptr);
+  EXPECT_EQ(recovered_snapshot->digest(), reference_snapshot->digest());
+
+  // And the full-mine engine agrees with both.
+  StreamConfig full_config = incremental_config(1);
+  full_config.incremental_mining = false;
+  StreamEngine full(full_config, registry);
+  for (const auto& event : events) synth::ingest_event(full, event);
+  full.finish();
+  ASSERT_NE(full.snapshot(), nullptr);
+  EXPECT_EQ(recovered_snapshot->digest(), full.snapshot()->digest());
+
+  std::filesystem::remove_all(config.durability_dir);
+}
+
+TEST(StreamIncremental, ApproximateLouvainModeStillDetectsCampaigns) {
+  // delta_approximate_louvain trades the byte-identity guarantee for
+  // warm-start partition repair; it must still run end-to-end and keep
+  // finding the (unambiguous) campaign structure.
+  const whois::Registry registry = campaign_registry();
+  std::vector<synth::StreamEvent> events;
+  for (std::uint64_t epoch = 0; epoch < 4; ++epoch) {
+    fill_epoch(events, epoch, /*campaign=*/true, epoch % 2);
+  }
+  StreamConfig config = incremental_config(1);
+  config.smash.delta_approximate_louvain = true;
+  StreamEngine engine(config, registry);
+  for (const auto& event : events) synth::ingest_event(engine, event);
+  engine.finish();
+  const auto snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_TRUE(snapshot->delta_stats().enabled);
+  EXPECT_GT(snapshot->num_malicious_servers(), 0u);
+  EXPECT_NE(snapshot->find_host("evil0.test"), nullptr);
+}
+
+TEST(StreamIncremental, DeltaMetricsFlowIntoTheRegistry) {
+  const whois::Registry registry = campaign_registry();
+  std::vector<synth::StreamEvent> events;
+  for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    fill_epoch(events, epoch, /*campaign=*/true, 0);
+  }
+  StreamEngine engine(incremental_config(1), registry);
+  for (const auto& event : events) synth::ingest_event(engine, event);
+  engine.finish();
+  ASSERT_NE(engine.metrics(), nullptr);
+  const auto rendered = engine.metrics()->render_prometheus();
+  EXPECT_NE(rendered.find("smash_pipeline_delta_changed_2lds_total"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("smash_pipeline_delta_full_fallbacks_total"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("smash_pipeline_delta_mine_ms"), std::string::npos);
+}
+
+TEST(StreamIncrementalDeath, ValidateRejectsIncrementalWithoutShardReuse) {
+  StreamConfig config = incremental_config(1);
+  config.reuse_shard_preprocess = false;
+  EXPECT_DEATH(config.validate(), "reuse_shard_preprocess");
+
+  StreamConfig bad_fraction = incremental_config(1);
+  bad_fraction.smash.delta_max_changed_fraction = 1.5;
+  EXPECT_DEATH(bad_fraction.validate(), "delta_max_changed_fraction");
+}
+
+}  // namespace
+}  // namespace smash::stream
