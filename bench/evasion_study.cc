@@ -1,26 +1,28 @@
 // Evasion study (paper §VI, "Evasions"): what happens when an attacker who
 // knows SMASH strips correlation signals one dimension at a time.
 //
-// We synthesize a family of otherwise-identical 12-server / 3-bot C&C
-// campaigns inside a fixed benign background, varying which secondary
-// dimensions the campaign exhibits, and measure whether SMASH still
-// detects it at each `thresh`. The paper's argument: evading one
-// secondary dimension is cheap, evading all of them simultaneously is
-// not — and the main dimension (shared bots) cannot be evaded without
-// buying more infrastructure.
+// The worlds are built with the shared scenario library
+// (src/synth/scenarios.h): a fixed benign background plus one 12-server /
+// 3-bot C&C campaign whose CampaignSpec signal profile varies per row —
+// the same generators the quality matrix tracks, so this study and the
+// tracked precision/recall trajectory can never drift apart. We measure
+// whether a batch SmashPipeline still detects the campaign at each
+// `thresh`. The paper's argument: evading one secondary dimension is
+// cheap, evading all of them simultaneously is not — and the main
+// dimension (shared bots) cannot be evaded without buying more
+// infrastructure.
 #include <cstdio>
 #include <set>
 #include <string>
 
 #include "bench_common.h"
-#include "dns/dga.h"
-#include "util/rng.h"
+#include "synth/scenarios.h"
 
 namespace {
 
 using namespace smash;
 
-struct Scenario {
+struct EvasionProfile {
   std::string name;
   bool share_files = false;
   bool share_ips = false;
@@ -29,82 +31,56 @@ struct Scenario {
 
 // Builds a small world: benign tail + one campaign with the given signal
 // profile. Returns the fraction of campaign servers detected.
-double detection_rate(const Scenario& scenario, double thresh,
+double detection_rate(const EvasionProfile& profile, double thresh,
                       std::uint64_t seed) {
-  util::Rng rng(seed);
-  net::Trace trace;
-  whois::Registry registry;
+  synth::ScenarioBuilder builder("evasion", seed, 86400);
 
-  // Benign background: 300 tail servers, 200 clients.
-  for (int s = 0; s < 300; ++s) {
-    const std::string host = dns::random_word_domain(rng) ;
-    const auto visitors = rng.sample_without_replacement(200, 1 + rng.uniform(3));
-    for (auto c : visitors) {
-      net::HttpRequest req;
-      req.client = trace.intern_client("c" + std::to_string(c));
-      req.server = trace.intern_server(host);
-      req.path = "/t" + std::to_string(s) + "/p" + std::to_string(rng.uniform(9)) +
-                 "s" + std::to_string(s) + ".html";
-      req.user_agent = "UA";
-      trace.add_request(std::move(req));
-    }
-    trace.add_resolution(trace.intern_server(host),
-                         trace.intern_ip(dns::random_ipv4(rng)));
-  }
+  synth::BenignSpec benign;
+  benign.servers = 300;
+  benign.clients = 200;
+  benign.visits = 700;
+  benign.subdomain_fraction = 0.0;
+  builder.add_benign_background(benign);
 
-  // The campaign: 12 servers, 3 dedicated bots.
-  dns::FluxIpPool flux(rng.fork("flux"), 4);
-  whois::Record shared_whois;
-  shared_whois.email = "herd@mail.example";
-  shared_whois.phone = "+1.202555";
-  shared_whois.name_servers = "ns1.bullet.example,ns2.bullet.example";
+  synth::CampaignSpec campaign;
+  campaign.label = "herd";
+  campaign.servers = 12;
+  campaign.bots = 3;
+  campaign.start_s = 0;
+  campaign.end_s = 86400;
+  campaign.poll_interval_s = 86400;  // one tick: each bot hits each server once
+  campaign.shared_filename = profile.share_files;
+  campaign.shared_ips = profile.share_ips;
+  campaign.shared_whois = profile.share_whois;
+  builder.add_campaign(campaign);
+
+  const synth::Scenario scenario = std::move(builder).build();
+  const net::Trace trace = synth::to_batch_trace(scenario);
+
   std::set<std::string> campaign_servers;
-  for (int s = 0; s < 12; ++s) {
-    const std::string host = dns::random_alnum_domain(rng, 10, "info");
-    campaign_servers.insert(host);
-    const std::string file = scenario.share_files
-                                 ? std::string("gate.php")
-                                 : "g" + std::to_string(s) + "x.php";
-    for (int b = 0; b < 3; ++b) {
-      net::HttpRequest req;
-      req.client = trace.intern_client("bot" + std::to_string(b));
-      req.server = trace.intern_server(host);
-      req.path = "/m/" + file + "?id=" + std::to_string(rng.next() % 10000);
-      req.user_agent = "BotUA";
-      trace.add_request(std::move(req));
-    }
-    if (scenario.share_ips) {
-      for (const auto& ip : flux.draw(2)) {
-        trace.add_resolution(trace.intern_server(host), trace.intern_ip(ip));
-      }
-    } else {
-      trace.add_resolution(trace.intern_server(host),
-                           trace.intern_ip(dns::random_ipv4(rng)));
-    }
-    if (scenario.share_whois) {
-      registry.add(host, shared_whois);
-    }
+  for (const auto& truth : scenario.truth.campaigns) {
+    campaign_servers.insert(truth.servers.begin(), truth.servers.end());
   }
-  trace.finalize();
 
   core::SmashConfig config;
   config.idf_threshold = 60;
   config = config.with_threshold(thresh);
-  const auto result = core::SmashPipeline(config).run(trace, registry);
+  const auto result = core::SmashPipeline(config).run(trace, scenario.whois);
 
   int detected = 0;
-  for (const auto& campaign : result.campaigns) {
-    for (auto member : campaign.servers) {
+  for (const auto& found : result.campaigns) {
+    for (auto member : found.servers) {
       detected += campaign_servers.count(result.server_name(member));
     }
   }
-  return static_cast<double>(detected) / static_cast<double>(campaign_servers.size());
+  return static_cast<double>(detected) /
+         static_cast<double>(campaign_servers.size());
 }
 
 }  // namespace
 
 int main() {
-  const Scenario scenarios[] = {
+  const EvasionProfile profiles[] = {
       {"all signals (files+ips+whois)", true, true, true},
       {"evade whois (privacy proxy)", true, true, false},
       {"evade IPs (disjoint hosting)", true, false, true},
@@ -121,11 +97,11 @@ int main() {
     header.push_back("thresh " + smash::util::format_fixed(t, 1));
   }
   table.set_header(header);
-  for (const auto& scenario : scenarios) {
-    std::vector<std::string> row{scenario.name};
+  for (const auto& profile : profiles) {
+    std::vector<std::string> row{profile.name};
     for (double thresh : smash::bench::kThresholds) {
       row.push_back(smash::util::format_fixed(
-          100.0 * detection_rate(scenario, thresh, 99), 0) + "%");
+          100.0 * detection_rate(profile, thresh, 99), 0) + "%");
     }
     table.add_row(row);
   }

@@ -38,18 +38,24 @@ struct RequestEvent {
   std::string referrer;
   net::Method method = net::Method::kGet;
   std::uint16_t status = 200;
+
+  bool operator==(const RequestEvent&) const = default;
 };
 
 struct ResolutionEvent {
   std::uint64_t time_s = 0;
   std::string host;
   std::string ip;
+
+  bool operator==(const ResolutionEvent&) const = default;
 };
 
 struct RedirectEvent {
   std::uint64_t time_s = 0;
   std::string from;
   std::string to;
+
+  bool operator==(const RedirectEvent&) const = default;
 };
 
 // --- per-epoch shard ---------------------------------------------------------

@@ -1,0 +1,504 @@
+#include "synth/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "dns/dga.h"
+#include "dns/domain.h"
+
+namespace smash::synth {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+StreamEvent request_at(std::uint64_t time_s, std::string client,
+                       std::string host, std::string path,
+                       std::string user_agent = "Mozilla/5.0",
+                       std::string referrer = "") {
+  stream::RequestEvent event;
+  event.time_s = time_s;
+  event.client = std::move(client);
+  event.host = std::move(host);
+  event.path = std::move(path);
+  event.user_agent = std::move(user_agent);
+  event.referrer = std::move(referrer);
+  return event;
+}
+
+StreamEvent resolution_at(std::uint64_t time_s, std::string host,
+                          std::string ip) {
+  stream::ResolutionEvent event;
+  event.time_s = time_s;
+  event.host = std::move(host);
+  event.ip = std::move(ip);
+  return event;
+}
+
+}  // namespace
+
+ScenarioBuilder::ScenarioBuilder(std::string name, std::uint64_t seed,
+                                 std::uint64_t duration_s)
+    : name_(std::move(name)), seed_(seed), duration_s_(std::max<std::uint64_t>(duration_s, 1)) {
+  scenario_.name = name_;
+  scenario_.truth.duration_s = duration_s_;
+}
+
+void ScenarioBuilder::enable_cloud_pool(std::uint32_t addresses) {
+  util::Rng rng = util::Rng(seed_).fork("cloud-pool");
+  cloud_pool_.clear();
+  for (std::uint32_t a = 0; a < std::max<std::uint32_t>(addresses, 1); ++a) {
+    cloud_pool_.push_back("198.18." + std::to_string(a / 250) + "." +
+                          std::to_string(a % 250));
+  }
+  // Deterministic but seed-dependent order, so which tenants share which
+  // address varies across seeds.
+  rng.shuffle(cloud_pool_);
+}
+
+std::uint64_t ScenarioBuilder::benign_time(util::Rng& rng,
+                                           Arrival arrival) const {
+  if (arrival == Arrival::kUniform) return rng.uniform(duration_s_);
+  // Diurnal curve: one day/night cycle per 86400 s (or per stream when the
+  // stream is shorter), weight peaking mid-cycle with a 0.15 night floor.
+  // Rejection sampling keeps the draw deterministic from the rng stream.
+  const double period =
+      static_cast<double>(std::min<std::uint64_t>(duration_s_, 86400));
+  for (;;) {
+    const std::uint64_t t = rng.uniform(duration_s_);
+    const double phase =
+        2.0 * kPi * std::fmod(static_cast<double>(t), period) / period;
+    const double weight = 0.15 + 0.85 * 0.5 * (1.0 - std::cos(phase));
+    if (rng.uniform01() < weight) return t;
+  }
+}
+
+void ScenarioBuilder::add_benign_background(const BenignSpec& spec) {
+  util::Rng rng = util::Rng(seed_).fork(
+      "benign-" + std::to_string(benign_ordinal_++) + "-" + spec.host_prefix);
+  // One resolution per server, early in the stream so the window always has
+  // it regardless of where the first request lands. Cloud-hosted servers
+  // resolve to shared pool addresses, everything else to a private one.
+  for (std::uint32_t s = 0; s < spec.servers; ++s) {
+    const std::string host = spec.host_prefix + std::to_string(s) + ".org";
+    benign_hosts_.push_back(host);
+    const bool on_cloud = !cloud_pool_.empty() &&
+                          rng.bernoulli(spec.cloud_fraction);
+    const std::string ip =
+        on_cloud ? cloud_pool_[rng.uniform(cloud_pool_.size())]
+                 : "203.0." + std::to_string(s / 250) + "." +
+                       std::to_string(s % 250);
+    scenario_.events.push_back(resolution_at(
+        rng.uniform(std::max<std::uint64_t>(duration_s_ / 8, 1)), host, ip));
+    if (s % 7 == 0) {
+      whois::Record record;
+      record.registrant = "owner-" + spec.host_prefix + std::to_string(s);
+      record.email = spec.host_prefix + std::to_string(s) + "@mail.test";
+      scenario_.whois.add(host, record);
+    }
+  }
+  for (std::uint32_t v = 0; v < spec.visits; ++v) {
+    const auto server = rng.uniform(std::max<std::uint32_t>(spec.servers, 1));
+    const std::string base = spec.host_prefix + std::to_string(server) + ".org";
+    const std::string host =
+        rng.bernoulli(spec.subdomain_fraction) ? "www." + base : base;
+    scenario_.events.push_back(request_at(
+        benign_time(rng, spec.arrival),
+        "user" + std::to_string(rng.uniform(std::max<std::uint32_t>(spec.clients, 1))),
+        host, "/page" + std::to_string(rng.uniform(6)) + ".html"));
+  }
+}
+
+void ScenarioBuilder::add_popular_head(std::uint32_t servers,
+                                       std::uint32_t clients) {
+  util::Rng rng = util::Rng(seed_).fork("popular-head");
+  for (std::uint32_t s = 0; s < servers; ++s) {
+    const std::string host = "cdn" + std::to_string(s) + ".com";
+    benign_hosts_.push_back(host);
+    scenario_.events.push_back(
+        resolution_at(rng.uniform(duration_s_ / 8 + 1), host,
+                      "198.51.100." + std::to_string(s)));
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      scenario_.events.push_back(request_at(
+          rng.uniform(duration_s_), "cdnuser" + std::to_string(c), host,
+          "/asset" + std::to_string(rng.uniform(8)) + ".js"));
+    }
+  }
+}
+
+void ScenarioBuilder::add_flash_crowd(const FlashCrowdSpec& spec) {
+  const std::uint32_t ordinal = flash_ordinal_++;
+  util::Rng rng = util::Rng(seed_).fork("flash-" + std::to_string(ordinal));
+  const std::uint64_t start = std::min(spec.start_s, duration_s_ - 1);
+  const std::uint64_t span = std::max<std::uint64_t>(spec.duration_s, 1);
+
+  std::vector<std::string> hosts;
+  for (std::uint32_t s = 0; s < spec.servers; ++s) {
+    const std::string host =
+        spec.host_prefix + std::to_string(ordinal) + "-" + std::to_string(s) +
+        ".live";
+    hosts.push_back(host);
+    benign_hosts_.push_back(host);
+    if (spec.shared_hosting) {
+      // One platform's pool: every event site resolves to two of three
+      // shared addresses, so the IP dimension associates the cluster.
+      for (std::uint32_t a = 0; a < 2; ++a) {
+        scenario_.events.push_back(resolution_at(
+            start, host,
+            "198.100." + std::to_string(ordinal % 250) + "." +
+                std::to_string((s + a) % 3)));
+      }
+    } else {
+      scenario_.events.push_back(resolution_at(
+          start, host,
+          "198.100." + std::to_string(ordinal % 250) + "." +
+              std::to_string(s)));
+    }
+  }
+  // Every spike client hits every event site within the spike interval;
+  // most arrive via the same portal referrer, which is exactly the benign
+  // structure the pruning stage exists to discard.
+  for (std::uint32_t c = 0; c < spec.clients; ++c) {
+    const std::string client =
+        "crowd" + std::to_string(ordinal) + "-" + std::to_string(c);
+    for (const auto& host : hosts) {
+      for (std::uint32_t v = 0; v < spec.visits_per_client; ++v) {
+        const std::uint64_t when =
+            std::min(start + rng.uniform(span), duration_s_ - 1);
+        const std::string referrer =
+            rng.bernoulli(spec.referred_fraction) ? "news.portal.example" : "";
+        scenario_.events.push_back(request_at(
+            when, client, host,
+            "/live/clip" + std::to_string(rng.uniform(4)) + ".html",
+            "Mozilla/5.0", referrer));
+      }
+    }
+  }
+}
+
+void ScenarioBuilder::add_campaign(const CampaignSpec& spec) {
+  const std::uint32_t ordinal = campaign_ordinal_++;
+  util::Rng rng = util::Rng(seed_).fork("campaign-" + std::to_string(ordinal) +
+                                        "-" + spec.label);
+  // Zero-duration campaigns emit nothing and leave no truth entry: an
+  // interval [t, t) contains no events, so it must not demand recall.
+  if (spec.start_s >= spec.end_s || spec.servers == 0 || spec.bots == 0) return;
+  const std::uint64_t end = std::min(spec.end_s, duration_s_);
+  if (spec.start_s >= end) return;
+
+  std::vector<std::string> hosts;
+  if (spec.naming == CampaignSpec::Naming::kDga) {
+    hosts = dns::zeus_style_family(rng, spec.servers);
+  } else {
+    for (std::uint32_t s = 0; s < spec.servers; ++s) {
+      hosts.push_back(spec.label + "-s" + std::to_string(s) + ".biz");
+    }
+  }
+
+  // Hosting profile: cloud pool (shared with benign tenants), campaign
+  // flux pool (shared among siblings only), or fully disjoint addresses.
+  std::vector<std::vector<std::string>> ips(hosts.size());
+  if (spec.cloud_fronted && !cloud_pool_.empty()) {
+    for (auto& server_ips : ips) {
+      server_ips.push_back(cloud_pool_[rng.uniform(cloud_pool_.size())]);
+      server_ips.push_back(cloud_pool_[rng.uniform(cloud_pool_.size())]);
+    }
+  } else if (spec.shared_ips) {
+    dns::FluxIpPool flux(rng.fork("flux"),
+                         std::max<std::size_t>(2, hosts.size() / 3));
+    for (auto& server_ips : ips) server_ips = flux.draw(2);
+  } else {
+    for (auto& server_ips : ips) server_ips.push_back(dns::random_ipv4(rng));
+  }
+
+  if (spec.shared_whois) {
+    whois::Record record;
+    record.registrant = "actor-" + spec.label;
+    record.email = spec.label + "@mail.test";
+    record.name_servers = "ns1." + spec.label + ".example,ns2." + spec.label +
+                          ".example";
+    for (const auto& host : hosts) scenario_.whois.add(host, record);
+  }
+
+  StreamCampaignTruth truth;
+  truth.bots = spec.bots;
+  truth.start_s = spec.start_s;
+  truth.end_s = end;
+  for (const auto& host : hosts) {
+    truth.servers.push_back(dns::effective_2ld(host));
+  }
+
+  // Each bot polls every campaign server on the configured cadence; servers
+  // are re-resolved every tick (bots re-query DNS) so any window overlapping
+  // the active interval sees the hosting signal, not just the activation
+  // window. Jitter never escapes [start_s, end_s).
+  const std::uint64_t poll = std::max<std::uint32_t>(spec.poll_interval_s, 1);
+  const std::uint64_t jitter = std::max<std::uint64_t>(spec.request_jitter_s, 1);
+  for (std::uint64_t t = spec.start_s; t < end; t += poll) {
+    for (std::size_t s = 0; s < hosts.size(); ++s) {
+      for (const auto& ip : ips[s]) {
+        scenario_.events.push_back(resolution_at(t, hosts[s], ip));
+      }
+    }
+    for (std::uint32_t b = 0; b < spec.bots; ++b) {
+      const std::string bot = "bot-" + spec.label + "-" + std::to_string(b);
+      for (std::size_t s = 0; s < hosts.size(); ++s) {
+        const auto when = std::min(t + rng.uniform(jitter), end - 1);
+        const std::string path =
+            spec.shared_filename
+                ? "/gate.php?id=" + std::to_string(b) + "&c=" +
+                      std::to_string(ordinal)
+                : "/g" + std::to_string(s) + "x.php?id=" + std::to_string(b);
+        scenario_.events.push_back(request_at(when, bot, hosts[s], path, "-"));
+      }
+    }
+  }
+  scenario_.truth.campaigns.push_back(std::move(truth));
+}
+
+Scenario ScenarioBuilder::build() && {
+  // Stable by time: events at the same second keep generation order, so the
+  // stream is fully deterministic.
+  std::stable_sort(scenario_.events.begin(), scenario_.events.end(),
+                   [](const StreamEvent& a, const StreamEvent& b) {
+                     return event_time(a) < event_time(b);
+                   });
+  std::set<std::string> campaign_2lds;
+  for (const auto& campaign : scenario_.truth.campaigns) {
+    campaign_2lds.insert(campaign.servers.begin(), campaign.servers.end());
+  }
+  std::set<std::string> benign;
+  for (const auto& host : benign_hosts_) {
+    const std::string label = dns::effective_2ld(host);
+    if (!campaign_2lds.count(label)) benign.insert(label);
+  }
+  scenario_.truth.benign_2lds.assign(benign.begin(), benign.end());
+  return std::move(scenario_);
+}
+
+// --- the matrix --------------------------------------------------------------
+
+namespace {
+
+struct MatrixShape {
+  std::uint64_t duration_s;
+  std::uint32_t epoch_seconds;
+  std::uint32_t window_epochs;
+  std::uint32_t idf_threshold;
+  BenignSpec benign;  // the shared background most scenarios start from
+};
+
+MatrixShape matrix_shape(bool smoke) {
+  MatrixShape shape;
+  if (smoke) {
+    shape.duration_s = 10800;  // 18 epochs of 600 s
+    shape.epoch_seconds = 600;
+    shape.window_epochs = 6;
+    shape.idf_threshold = 100;
+    shape.benign = BenignSpec{.servers = 150, .clients = 100, .visits = 2500};
+  } else {
+    shape.duration_s = 86400;  // one day, 24 epochs
+    shape.epoch_seconds = 3600;
+    shape.window_epochs = 24;
+    shape.idf_threshold = 200;
+    shape.benign = BenignSpec{.servers = 600, .clients = 400, .visits = 20000};
+  }
+  return shape;
+}
+
+}  // namespace
+
+std::vector<ScenarioCase> scenario_matrix(bool smoke, std::uint64_t seed) {
+  const MatrixShape shape = matrix_shape(smoke);
+  const std::uint64_t d = shape.duration_s;
+  const std::uint32_t epoch = shape.epoch_seconds;
+  std::vector<ScenarioCase> cases;
+
+  const auto make_case = [&](Scenario scenario) {
+    ScenarioCase c;
+    c.scenario = std::move(scenario);
+    c.epoch_seconds = shape.epoch_seconds;
+    c.window_epochs = shape.window_epochs;
+    c.idf_threshold = shape.idf_threshold;
+    return c;
+  };
+
+  // 1. Clean baseline: three staggered labeled C&C campaigns over uniform
+  // benign browsing plus a popular head that trips the IDF filter.
+  {
+    ScenarioBuilder b("staggered_campaigns", seed * 31 + 1, d);
+    b.add_benign_background(shape.benign);
+    b.add_popular_head(2, shape.idf_threshold + 50);
+    for (std::uint32_t k = 0; k < 3; ++k) {
+      CampaignSpec c;
+      c.label = "stag" + std::to_string(k);
+      c.servers = 5;
+      c.bots = 4;
+      c.start_s = (k + 1) * d / 5;
+      c.end_s = c.start_s + d * 35 / 100;
+      c.poll_interval_s = epoch / 2;
+      c.request_jitter_s = epoch / 8;
+      b.add_campaign(c);
+    }
+    cases.push_back(make_case(std::move(b).build()));
+  }
+
+  // 2. Slow burn straddling window eviction: one long-cadence campaign whose
+  // active interval outlives the (shortened) window, so detection must
+  // survive epochs of the campaign falling off the back of the window.
+  {
+    ScenarioBuilder b("slow_burn_window_straddle", seed * 31 + 2, d);
+    BenignSpec benign = shape.benign;
+    benign.visits = benign.visits / 2;
+    b.add_benign_background(benign);
+    CampaignSpec c;
+    c.label = "slowburn";
+    c.servers = 6;
+    c.bots = 5;
+    c.start_s = d / 10;
+    c.end_s = d * 9 / 10;
+    c.poll_interval_s = epoch * 3;  // one poll tick every third epoch
+    c.request_jitter_s = epoch;
+    b.add_campaign(c);
+    auto scenario_case = make_case(std::move(b).build());
+    scenario_case.window_epochs = smoke ? 6 : 12;  // window < active interval
+    cases.push_back(std::move(scenario_case));
+  }
+
+  // 3. CDN/cloud-fronted: campaigns resolve to the same shared cloud pool a
+  // third of the benign background lives on, so the IP dimension alone
+  // cannot separate them from benign tenants.
+  {
+    ScenarioBuilder b("cdn_cloud_fronted", seed * 31 + 3, d);
+    b.enable_cloud_pool(12);
+    BenignSpec benign = shape.benign;
+    benign.cloud_fraction = 0.35;
+    b.add_benign_background(benign);
+    for (std::uint32_t k = 0; k < 2; ++k) {
+      CampaignSpec c;
+      c.label = "cloud" + std::to_string(k);
+      c.servers = 5;
+      c.bots = 4;
+      c.start_s = (k == 0) ? d / 6 : d / 2;
+      c.end_s = c.start_s + d * 4 / 10;
+      c.poll_interval_s = epoch / 2;
+      c.request_jitter_s = epoch / 8;
+      c.cloud_fronted = true;
+      b.add_campaign(c);
+    }
+    cases.push_back(make_case(std::move(b).build()));
+  }
+
+  // 4. DGA burst: a short, dense burst of zeus-style sibling domains with
+  // flux hosting and a shared gate file but no registration signal.
+  {
+    ScenarioBuilder b("dga_burst", seed * 31 + 4, d);
+    b.add_benign_background(shape.benign);
+    CampaignSpec c;
+    c.label = "dga";
+    c.servers = 8;
+    c.bots = 5;
+    c.start_s = d * 4 / 10;
+    c.end_s = c.start_s + 2ull * epoch;
+    c.poll_interval_s = std::max<std::uint32_t>(epoch / 3, 1);
+    c.request_jitter_s = epoch / 10;
+    c.naming = CampaignSpec::Naming::kDga;
+    c.shared_whois = false;
+    b.add_campaign(c);
+    cases.push_back(make_case(std::move(b).build()));
+  }
+
+  // 5. Flash crowd, benign only: popularity spikes co-visited by herds of
+  // one-off clients below the IDF threshold. Anything flagged here is a
+  // false positive by construction.
+  {
+    ScenarioBuilder b("flash_crowd_benign", seed * 31 + 5, d);
+    b.add_benign_background(shape.benign);
+    FlashCrowdSpec crowd;
+    crowd.servers = 5;
+    crowd.clients = shape.idf_threshold - 20;
+    crowd.visits_per_client = 2;
+    crowd.start_s = d / 4;
+    crowd.duration_s = 2ull * epoch;
+    b.add_flash_crowd(crowd);
+    FlashCrowdSpec second = crowd;
+    second.start_s = d * 6 / 10;
+    second.servers = 4;
+    b.add_flash_crowd(second);
+    cases.push_back(make_case(std::move(b).build()));
+  }
+
+  // 6. Diurnal load + jittered polling: the benign curve concentrates load
+  // mid-day and campaign requests smear across whole poll intervals.
+  {
+    ScenarioBuilder b("diurnal_jitter", seed * 31 + 6, d);
+    BenignSpec benign = shape.benign;
+    benign.arrival = Arrival::kDiurnal;
+    b.add_benign_background(benign);
+    b.add_popular_head(2, shape.idf_threshold + 50);
+    for (std::uint32_t k = 0; k < 2; ++k) {
+      CampaignSpec c;
+      c.label = "diur" + std::to_string(k);
+      c.servers = 5;
+      c.bots = 4;
+      c.start_s = (k == 0) ? d * 2 / 10 : d * 55 / 100;
+      c.end_s = c.start_s + d * 35 / 100;
+      c.poll_interval_s = epoch / 2;
+      c.request_jitter_s = epoch / 2;  // full-interval smear
+      b.add_campaign(c);
+    }
+    cases.push_back(make_case(std::move(b).build()));
+  }
+
+  // 7. Combined stress: diurnal cloud-tenant background, a flash crowd, a
+  // DGA burst and a cloud-fronted slow burn in one stream.
+  {
+    ScenarioBuilder b("combined_stress", seed * 31 + 7, d);
+    b.enable_cloud_pool(12);
+    BenignSpec benign = shape.benign;
+    benign.arrival = Arrival::kDiurnal;
+    benign.cloud_fraction = 0.25;
+    b.add_benign_background(benign);
+    FlashCrowdSpec crowd;
+    crowd.servers = 4;
+    crowd.clients = shape.idf_threshold - 20;
+    crowd.start_s = d * 3 / 10;
+    crowd.duration_s = 2ull * epoch;
+    b.add_flash_crowd(crowd);
+    CampaignSpec dga;
+    dga.label = "burst";
+    dga.servers = 8;
+    dga.bots = 5;
+    dga.start_s = d / 2;
+    dga.end_s = dga.start_s + 2ull * epoch;
+    dga.poll_interval_s = std::max<std::uint32_t>(epoch / 3, 1);
+    dga.request_jitter_s = epoch / 10;
+    dga.naming = CampaignSpec::Naming::kDga;
+    dga.shared_whois = false;
+    b.add_campaign(dga);
+    CampaignSpec slow;
+    slow.label = "cloudburn";
+    slow.servers = 6;
+    slow.bots = 5;
+    slow.start_s = d / 10;
+    slow.end_s = d * 9 / 10;
+    slow.poll_interval_s = epoch * 3;
+    slow.request_jitter_s = epoch;
+    slow.cloud_fronted = true;
+    b.add_campaign(slow);
+    auto scenario_case = make_case(std::move(b).build());
+    scenario_case.window_epochs = smoke ? 6 : 12;
+    cases.push_back(std::move(scenario_case));
+  }
+
+  return cases;
+}
+
+net::Trace to_batch_trace(const Scenario& scenario) {
+  return events_to_trace(scenario.events, 0, scenario.truth.duration_s);
+}
+
+}  // namespace smash::synth

@@ -1,0 +1,174 @@
+// Scenario matrix for detection-quality tracking: composable generators on
+// top of stream_gen's event/truth model that produce the adversarial and
+// real-world traffic shapes the clean staggered-campaign world lacks —
+// slow-burn campaigns straddling window boundaries, CDN/cloud-fronted
+// campaigns sharing hosting with benign 2LDs, DGA bursts, flash-crowd
+// benign spikes (false-positive pressure), diurnal load curves, jittered
+// arrivals. Every scenario carries ScenarioTruth (per-campaign server sets
+// + active intervals + benign-only labels) so src/synth/quality.h can score
+// precision/recall/F1 and detection latency against it. Deterministic from
+// the seed, like every other generator in src/synth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/trace.h"
+#include "synth/stream_gen.h"
+#include "util/rng.h"
+#include "whois/whois.h"
+
+namespace smash::synth {
+
+// Ground truth of one generated scenario. Campaign server names are
+// effective 2LDs (what DetectionSnapshot campaigns list), benign_2lds the
+// sorted, deduplicated set of labels that must never be flagged.
+struct ScenarioTruth {
+  std::vector<StreamCampaignTruth> campaigns;
+  std::vector<std::string> benign_2lds;
+  std::uint64_t duration_s = 0;
+};
+
+struct Scenario {
+  std::string name;
+  std::vector<StreamEvent> events;  // nondecreasing time_s
+  whois::Registry whois;
+  ScenarioTruth truth;
+};
+
+// Arrival-time shaping for benign browsing.
+enum class Arrival : std::uint8_t {
+  kUniform,  // flat over the stream
+  kDiurnal,  // day/night load curve peaking mid-day (rejection-sampled)
+};
+
+struct BenignSpec {
+  std::uint32_t servers = 300;
+  std::uint32_t clients = 200;
+  std::uint32_t visits = 4000;  // total page visits across the stream
+  double subdomain_fraction = 0.3;
+  Arrival arrival = Arrival::kUniform;
+  // Fraction of benign servers hosted on the builder's shared cloud pool
+  // (enable_cloud_pool), so cloud-fronted campaigns share IPs with benign
+  // infrastructure. 0 = every benign server on its own address.
+  double cloud_fraction = 0.0;
+  std::string host_prefix = "site";  // hosts <prefix><N>.org
+};
+
+// A benign popularity spike: many distinct one-off clients co-visiting a
+// small set of event sites in a short interval, most arriving through the
+// same referrer (a news portal) — the classic false-positive pressure shape.
+// Keep `clients` below the consumer's IDF threshold or the spike is simply
+// filtered before it can pressure anything.
+struct FlashCrowdSpec {
+  std::uint64_t start_s = 0;
+  std::uint64_t duration_s = 3600;
+  std::uint32_t servers = 5;   // co-visited event 2LDs
+  std::uint32_t clients = 80;  // distinct clients in the spike
+  std::uint32_t visits_per_client = 2;  // visits to each event site
+  double referred_fraction = 0.9;       // share arriving via the portal
+  // Event sites live on one platform's small address pool (the usual shape
+  // of a one-event site cluster). Together with the shared clip filenames
+  // this pushes the cluster past the correlation threshold (eq. 9 needs
+  // two secondary dimensions to cross score_threshold at this herd size),
+  // so only referrer pruning stands between the crowd and a false
+  // positive — which is the point of the scenario.
+  bool shared_hosting = true;
+  std::string host_prefix = "event";    // hosts <prefix><N>.live
+};
+
+struct CampaignSpec {
+  std::string label;  // names hosts (<label>-s<N>.biz) and bot clients
+  std::uint32_t servers = 5;
+  std::uint32_t bots = 4;
+  std::uint64_t start_s = 0;  // active interval [start_s, end_s)
+  std::uint64_t end_s = 0;    // start_s >= end_s: dropped (zero-duration)
+  std::uint32_t poll_interval_s = 600;
+  // Per-request arrival jitter within a poll tick (clamped to the active
+  // interval). 0 = every bot request lands exactly on the tick.
+  std::uint64_t request_jitter_s = 0;
+
+  enum class Naming : std::uint8_t {
+    kLabeled,  // <label>-s<N>.biz
+    kDga,      // zeus-style siblings under one free zone (dns/dga.h)
+  };
+  Naming naming = Naming::kLabeled;
+
+  // Secondary-dimension signal profile (paper §VI: evading one is cheap,
+  // evading all is not).
+  bool shared_filename = true;  // common /gate.php vs per-server paths
+  bool shared_ips = true;       // per-campaign flux pool vs disjoint hosting
+  bool shared_whois = true;     // one registrant record vs none
+  // Draw server addresses from the builder's shared cloud pool instead of a
+  // campaign-private pool: the IP dimension then links the campaign to
+  // benign cloud tenants too. Requires enable_cloud_pool; overrides
+  // shared_ips.
+  bool cloud_fronted = false;
+};
+
+// Composes one scenario from benign background, popularity head, flash
+// crowds and campaigns. All randomness flows from the seed through named
+// util::Rng forks, so equal (name, seed, specs) rebuild byte-identical
+// scenarios regardless of call-site history.
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder(std::string name, std::uint64_t seed,
+                  std::uint64_t duration_s);
+
+  // Shared cloud/CDN hosting pool: one set of addresses that benign
+  // cloud-hosted servers (BenignSpec::cloud_fraction) and cloud-fronted
+  // campaigns both resolve to.
+  void enable_cloud_pool(std::uint32_t addresses);
+
+  void add_benign_background(const BenignSpec& spec);
+  // Servers contacted by more distinct clients than the consumer's IDF
+  // threshold, so the filter has real work.
+  void add_popular_head(std::uint32_t servers, std::uint32_t clients);
+  void add_flash_crowd(const FlashCrowdSpec& spec);
+  void add_campaign(const CampaignSpec& spec);
+
+  Scenario build() &&;
+
+ private:
+  std::uint64_t benign_time(util::Rng& rng, Arrival arrival) const;
+
+  std::string name_;
+  std::uint64_t seed_;
+  std::uint64_t duration_s_;
+  Scenario scenario_;
+  std::vector<std::string> cloud_pool_;
+  std::vector<std::string> benign_hosts_;
+  std::uint32_t campaign_ordinal_ = 0;
+  std::uint32_t flash_ordinal_ = 0;
+  std::uint32_t benign_ordinal_ = 0;
+};
+
+// --- the matrix --------------------------------------------------------------
+
+// One scenario plus the engine shape it is evaluated with. Floors live in
+// quality.h (floor_for) so metric definitions and pass/fail policy sit
+// together.
+struct ScenarioCase {
+  Scenario scenario;
+  std::uint32_t epoch_seconds = 3600;
+  std::uint32_t window_epochs = 24;
+  std::uint32_t idf_threshold = 200;
+};
+
+// The tracked scenario families (docs/QUALITY.md catalogs them):
+//   staggered_campaigns      clean baseline, three staggered C&C campaigns
+//   slow_burn_window_straddle long-cadence campaign outliving the window
+//   cdn_cloud_fronted        campaigns sharing cloud IPs with benign tenants
+//   dga_burst                zeus-style sibling burst, no whois signal
+//   flash_crowd_benign       benign-only spikes (false-positive pressure)
+//   diurnal_jitter           diurnal benign load + jittered campaign polling
+//   combined_stress          all of the above in one stream
+// `smoke` shrinks durations/populations to CI scale; the family list and
+// truth semantics are identical in both shapes.
+std::vector<ScenarioCase> scenario_matrix(bool smoke, std::uint64_t seed = 2015);
+
+// The trace a monolithic batch run would see over the whole scenario.
+net::Trace to_batch_trace(const Scenario& scenario);
+
+}  // namespace smash::synth

@@ -162,8 +162,13 @@ void feed(stream::StreamEngine& engine, const StreamScenario& scenario) {
 
 net::Trace batch_trace(const StreamScenario& scenario, std::uint64_t begin_s,
                        std::uint64_t end_s) {
+  return events_to_trace(scenario.events, begin_s, end_s);
+}
+
+net::Trace events_to_trace(const std::vector<StreamEvent>& events,
+                           std::uint64_t begin_s, std::uint64_t end_s) {
   net::Trace trace;
-  for (const auto& event : scenario.events) {
+  for (const auto& event : events) {
     const auto t = event_time(event);
     if (t < begin_s || t >= end_s) continue;
     if (const auto* e = std::get_if<stream::RequestEvent>(&event)) {

@@ -84,4 +84,8 @@ void feed(stream::StreamEngine& engine, const StreamScenario& scenario);
 net::Trace batch_trace(const StreamScenario& scenario, std::uint64_t begin_s,
                        std::uint64_t end_s);
 
+// Same conversion over a bare event vector (scenarios.h builds on this).
+net::Trace events_to_trace(const std::vector<StreamEvent>& events,
+                           std::uint64_t begin_s, std::uint64_t end_s);
+
 }  // namespace smash::synth

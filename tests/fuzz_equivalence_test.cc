@@ -27,6 +27,7 @@
 #include "durability/wal.h"
 #include "stream/engine.h"
 #include "stream_fuzz_helpers.h"
+#include "synth/scenarios.h"
 #include "synth/stream_gen.h"
 #include "test_helpers.h"
 #include "util/rng.h"
@@ -394,6 +395,119 @@ TEST(FuzzIncrementalStream, RandomSchedulesIncrementalAsyncMatchesFullSync) {
     ASSERT_NE(b, nullptr);
     expect_identical_snapshots(*a, *b);
   }
+}
+
+// --- randomized scenario-matrix configs --------------------------------------
+//
+// The scenario library (src/synth/scenarios.h) composes shapes the plain
+// random schedule never produces: shared cloud pools tying campaigns to
+// benign tenants, flash crowds, DGA bursts, diurnal load, jittered
+// long-cadence polling. Randomizing the builder's specs per seed and
+// running the stream through full-re-mine vs incremental engines extends
+// the byte-identical-snapshot contract to those shapes. Picked up by the
+// nightly 500-seed sweep via the *Fuzz* filter.
+
+synth::Scenario random_matrix_scenario(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x5ce7a210ULL);
+  const std::uint64_t duration =
+      (6 + rng.uniform(5)) * test::kFuzzEpochSeconds;
+  synth::ScenarioBuilder builder("fuzz-scenario", seed, duration);
+  const bool cloud = rng.bernoulli(0.5);
+  if (cloud) {
+    builder.enable_cloud_pool(4 + static_cast<std::uint32_t>(rng.uniform(6)));
+  }
+
+  synth::BenignSpec benign;
+  benign.servers = 20 + static_cast<std::uint32_t>(rng.uniform(25));
+  benign.clients = 15 + static_cast<std::uint32_t>(rng.uniform(20));
+  benign.visits = 250 + static_cast<std::uint32_t>(rng.uniform(350));
+  benign.arrival =
+      rng.bernoulli(0.5) ? synth::Arrival::kDiurnal : synth::Arrival::kUniform;
+  benign.cloud_fraction = cloud ? 0.3 : 0.0;
+  builder.add_benign_background(benign);
+
+  if (rng.bernoulli(0.3)) builder.add_popular_head(1, 80);
+  if (rng.bernoulli(0.4)) {
+    synth::FlashCrowdSpec crowd;
+    crowd.servers = 3 + static_cast<std::uint32_t>(rng.uniform(3));
+    // Below the idf_threshold of scenario_stream_config, or the spike is
+    // filtered before it pressures anything.
+    crowd.clients = 25 + static_cast<std::uint32_t>(rng.uniform(15));
+    crowd.start_s = rng.uniform(duration);
+    crowd.duration_s = test::kFuzzEpochSeconds * (1 + rng.uniform(2));
+    builder.add_flash_crowd(crowd);
+  }
+
+  const std::uint64_t campaigns = rng.uniform(3);  // 0..2 (0 = benign-only)
+  for (std::uint64_t k = 0; k < campaigns; ++k) {
+    synth::CampaignSpec campaign;
+    campaign.label = "fz" + std::to_string(k);
+    campaign.servers = 2 + static_cast<std::uint32_t>(rng.uniform(5));
+    campaign.bots = 2 + static_cast<std::uint32_t>(rng.uniform(4));
+    campaign.start_s = rng.uniform(duration);
+    // May land past the stream end: the builder clamps (or drops) it.
+    campaign.end_s = campaign.start_s + 1 + rng.uniform(duration);
+    campaign.poll_interval_s =
+        120 + static_cast<std::uint32_t>(rng.uniform(600));
+    campaign.request_jitter_s = rng.uniform(campaign.poll_interval_s);
+    if (rng.bernoulli(0.3)) {
+      campaign.naming = synth::CampaignSpec::Naming::kDga;
+    }
+    campaign.shared_filename = rng.bernoulli(0.7);
+    campaign.shared_ips = rng.bernoulli(0.7);
+    campaign.shared_whois = rng.bernoulli(0.5);
+    campaign.cloud_fronted = cloud && rng.bernoulli(0.3);
+    builder.add_campaign(campaign);
+  }
+  return std::move(builder).build();
+}
+
+stream::StreamConfig scenario_stream_config(std::uint64_t seed) {
+  stream::StreamConfig config;
+  config.epoch_seconds = test::kFuzzEpochSeconds;
+  config.window_epochs = 3 + static_cast<std::uint32_t>(seed % 3);
+  config.smash.idf_threshold = 60;
+  config.smash.num_threads = seed % 3 == 0 ? 4 : 1;
+  return config;
+}
+
+TEST(FuzzScenarioStream, RandomScenarioConfigsIncrementalMatchesFull) {
+  std::size_t snapshots_with_verdicts = 0;
+  for (const auto seed : fuzz_seeds(8)) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " (rerun with SMASH_FUZZ_SEED=" + std::to_string(seed) + ")");
+    const auto scenario = random_matrix_scenario(seed);
+    const auto full_config = scenario_stream_config(seed);
+    auto incremental_config = full_config;
+    incremental_config.incremental_mining = true;
+
+    stream::StreamEngine full(full_config, scenario.whois);
+    stream::StreamEngine incremental(incremental_config, scenario.whois);
+    std::uint64_t seen = 0;
+    const auto compare_published = [&] {
+      ASSERT_EQ(full.snapshots_published(), incremental.snapshots_published());
+      if (incremental.snapshots_published() == seen) return;
+      seen = incremental.snapshots_published();
+      const auto a = full.snapshot();
+      const auto b = incremental.snapshot();
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      expect_identical_snapshots(*a, *b);
+      if (a->num_malicious_servers() > 0) ++snapshots_with_verdicts;
+    };
+    for (const auto& event : scenario.events) {
+      synth::ingest_event(full, event);
+      synth::ingest_event(incremental, event);
+      compare_published();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    full.finish();
+    incremental.finish();
+    compare_published();
+  }
+  // The randomized scenarios must produce real verdicts for the identity
+  // gate to bite (over the full sweep; a pinned seed may be benign-only).
+  if (!test::fuzz_seed_pinned()) EXPECT_GT(snapshots_with_verdicts, 0u);
 }
 
 // --- seeded WAL/checkpoint corruption fuzzer ---------------------------------

@@ -1,0 +1,229 @@
+// Unit tests for the detection-quality evaluator (src/synth/quality.h):
+// precision/recall/F1/latency scored against hand-built observation trails
+// where every expected number is computable by inspection, the floor
+// machinery, and one small end-to-end scenario → StreamEngine → metrics run
+// with exact expected scores.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "stream/stream_config.h"
+#include "synth/quality.h"
+#include "synth/scenarios.h"
+
+namespace smash {
+namespace {
+
+synth::StreamCampaignTruth campaign(std::vector<std::string> servers,
+                                    std::uint64_t start_s,
+                                    std::uint64_t end_s) {
+  synth::StreamCampaignTruth truth;
+  truth.servers = std::move(servers);
+  truth.start_s = start_s;
+  truth.end_s = end_s;
+  truth.bots = 3;
+  return truth;
+}
+
+TEST(QualityEvaluator, HandBuiltTrailScoresExactly) {
+  // Two campaigns, three truth servers. Campaign A ({a.test, b.test})
+  // activates at epoch 2 and is first seen (a.test only) at epoch 5;
+  // campaign B ({c.test}) activates at epoch 7 and is seen the same epoch.
+  // b.test is never flagged; benign1.org is a false positive.
+  synth::ScenarioTruth truth;
+  truth.duration_s = 6000;
+  truth.campaigns.push_back(campaign({"a.test", "b.test"}, 1200, 4200));
+  truth.campaigns.push_back(campaign({"c.test"}, 4200, 6000));
+  truth.benign_2lds = {"benign1.org"};
+
+  const std::vector<synth::DetectionObservation> observations = {
+      {.last_epoch = 5, .flagged_2lds = {"a.test", "benign1.org"}},
+      {.last_epoch = 7, .flagged_2lds = {"a.test", "c.test"}},
+  };
+
+  const auto q = synth::evaluate_quality("hand", observations, truth, 600);
+  EXPECT_EQ(q.truth_servers, 3u);
+  EXPECT_EQ(q.flagged_2lds, 3u);
+  EXPECT_EQ(q.true_positives, 2u);
+  EXPECT_EQ(q.false_positives, 1u);
+  EXPECT_EQ(q.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(q.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(q.recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(q.f1, 2.0 / 3.0);  // p == r implies f1 == p
+  EXPECT_EQ(q.campaigns, 2u);
+  EXPECT_EQ(q.campaigns_detected, 2u);
+  // A: epoch 5 - activation 2 = 3; B: 7 - 7 = 0; mean 1.5, max 3.
+  EXPECT_DOUBLE_EQ(q.detection_latency_epochs_mean, 1.5);
+  EXPECT_DOUBLE_EQ(q.detection_latency_epochs_max, 3.0);
+}
+
+TEST(QualityEvaluator, DetectionBeforeActivationEpochClampsToZero) {
+  // A publication can flag a campaign in the very window that closes its
+  // activation epoch (or earlier when epochs are coarse); latency must
+  // clamp at zero rather than wrap.
+  synth::ScenarioTruth truth;
+  truth.duration_s = 6000;
+  truth.campaigns.push_back(campaign({"late.test"}, 4800, 6000));  // epoch 8
+  const std::vector<synth::DetectionObservation> observations = {
+      {.last_epoch = 7, .flagged_2lds = {"late.test"}},
+  };
+  const auto q = synth::evaluate_quality("clamp", observations, truth, 600);
+  EXPECT_EQ(q.campaigns_detected, 1u);
+  EXPECT_DOUBLE_EQ(q.detection_latency_epochs_mean, 0.0);
+  EXPECT_DOUBLE_EQ(q.detection_latency_epochs_max, 0.0);
+}
+
+TEST(QualityEvaluator, AllBenignNothingFlaggedIsPerfect) {
+  synth::ScenarioTruth truth;
+  truth.duration_s = 6000;
+  truth.benign_2lds = {"a.org", "b.org"};
+  const std::vector<synth::DetectionObservation> observations = {
+      {.last_epoch = 3, .flagged_2lds = {}},
+      {.last_epoch = 9, .flagged_2lds = {}},
+  };
+  const auto q = synth::evaluate_quality("benign", observations, truth, 600);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);  // vacuous: nothing flagged
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);     // vacuous: nothing to find
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+  EXPECT_EQ(q.false_positives, 0u);
+  EXPECT_EQ(q.campaigns, 0u);
+  EXPECT_DOUBLE_EQ(q.detection_latency_epochs_max, 0.0);
+  // This is exactly the flash-crowd floor shape: it must pass it.
+  EXPECT_TRUE(synth::meets_floor(q, synth::floor_for("flash_crowd_benign")));
+}
+
+TEST(QualityEvaluator, NeverDetectedCampaignZeroesRecallAndF1) {
+  synth::ScenarioTruth truth;
+  truth.duration_s = 6000;
+  truth.campaigns.push_back(campaign({"x.test", "y.test"}, 0, 6000));
+  const std::vector<synth::DetectionObservation> observations = {
+      {.last_epoch = 9, .flagged_2lds = {}},
+  };
+  const auto q = synth::evaluate_quality("missed", observations, truth, 600);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);  // vacuous
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.f1, 0.0);
+  EXPECT_EQ(q.false_negatives, 2u);
+  EXPECT_EQ(q.campaigns_detected, 0u);
+  EXPECT_DOUBLE_EQ(q.detection_latency_epochs_mean, 0.0);
+
+  synth::QualityFloor floor;
+  floor.min_recall = 1.0;
+  std::string why;
+  EXPECT_FALSE(synth::meets_floor(q, floor, &why));
+  EXPECT_NE(why.find("recall"), std::string::npos) << why;
+  EXPECT_NE(why.find("campaigns detected"), std::string::npos) << why;
+}
+
+TEST(QualityFloors, EveryViolationIsReported) {
+  synth::ScenarioQuality q;
+  q.scenario = "bad";
+  q.precision = 0.5;
+  q.recall = 0.5;
+  q.detection_latency_epochs_max = 4.0;
+  q.false_positives = 3;
+  q.campaigns = 2;
+  q.campaigns_detected = 1;
+
+  synth::QualityFloor floor;
+  floor.min_precision = 0.9;
+  floor.min_recall = 1.0;
+  floor.max_detection_latency_epochs = 2.0;
+  floor.max_false_positive_2lds = 1;
+
+  std::string why;
+  EXPECT_FALSE(synth::meets_floor(q, floor, &why));
+  for (const char* needle : {"precision", "recall", "detection latency",
+                             "false-positive 2LDs", "campaigns detected"}) {
+    EXPECT_NE(why.find(needle), std::string::npos) << "missing: " << needle
+                                                   << "\n" << why;
+  }
+
+  synth::ScenarioQuality good;
+  good.scenario = "good";
+  good.campaigns = good.campaigns_detected = 2;
+  std::string empty;
+  EXPECT_TRUE(synth::meets_floor(good, floor, &empty));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(QualityFloors, UnknownScenarioGetsPermissiveDefault) {
+  const auto floor = synth::floor_for("no_such_scenario");
+  synth::ScenarioQuality terrible;
+  terrible.scenario = "no_such_scenario";
+  terrible.precision = 0.0;
+  terrible.recall = 0.0;
+  terrible.false_positives = 1000;
+  terrible.detection_latency_epochs_max = 50.0;
+  terrible.campaigns = 3;
+  EXPECT_TRUE(synth::meets_floor(terrible, floor));
+  // Whereas the tracked families are not permissive.
+  EXPECT_GT(synth::floor_for("staggered_campaigns").min_recall, 0.0);
+  EXPECT_EQ(synth::floor_for("flash_crowd_benign").max_false_positive_2lds, 0u);
+}
+
+TEST(QualityEndToEnd, SmallScenarioThroughEngineScoresPerfectly) {
+  // One clean all-signals campaign over a benign background, sized so the
+  // exact scores are forced: precision/recall/F1 = 1, zero false positives.
+  synth::ScenarioBuilder builder("e2e", 21, 6000);
+  synth::BenignSpec benign;
+  benign.servers = 60;
+  benign.clients = 80;
+  benign.visits = 800;
+  builder.add_benign_background(benign);
+  synth::CampaignSpec campaign;
+  campaign.label = "e2e";
+  campaign.servers = 4;
+  campaign.bots = 4;
+  campaign.start_s = 1200;
+  campaign.end_s = 4800;
+  campaign.poll_interval_s = 200;
+  builder.add_campaign(campaign);
+  const auto scenario = std::move(builder).build();
+  ASSERT_EQ(scenario.truth.campaigns.size(), 1u);
+
+  stream::StreamConfig config;
+  config.epoch_seconds = 600;
+  config.window_epochs = 4;
+  config.smash.idf_threshold = 100;
+  const auto run = synth::run_scenario(scenario, config);
+  ASSERT_FALSE(run.observations.empty());
+
+  const auto q = synth::evaluate_quality(scenario.name, run.observations,
+                                         scenario.truth, config.epoch_seconds);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+  EXPECT_EQ(q.false_positives, 0u);
+  EXPECT_EQ(q.truth_servers, 4u);
+  EXPECT_EQ(q.campaigns_detected, 1u);
+
+  // Independently recompute the latency from the raw trail and require the
+  // evaluator to agree: first publication intersecting the campaign, minus
+  // the activation epoch (1200 / 600 = 2), clamped at zero.
+  const auto& truth = scenario.truth.campaigns[0];
+  double expected_latency = -1.0;
+  for (const auto& observation : run.observations) {
+    const bool hit = std::any_of(
+        truth.servers.begin(), truth.servers.end(),
+        [&](const std::string& server) {
+          return std::find(observation.flagged_2lds.begin(),
+                           observation.flagged_2lds.end(),
+                           server) != observation.flagged_2lds.end();
+        });
+    if (!hit) continue;
+    expected_latency =
+        observation.last_epoch > 2
+            ? static_cast<double>(observation.last_epoch - 2)
+            : 0.0;
+    break;
+  }
+  ASSERT_GE(expected_latency, 0.0) << "campaign never flagged";
+  EXPECT_DOUBLE_EQ(q.detection_latency_epochs_mean, expected_latency);
+  EXPECT_DOUBLE_EQ(q.detection_latency_epochs_max, expected_latency);
+}
+
+}  // namespace
+}  // namespace smash

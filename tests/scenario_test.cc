@@ -1,0 +1,241 @@
+// Scenario-matrix generator invariants (src/synth/scenarios.h): every
+// generator is deterministic from its seed, ground truth is consistent
+// with the emitted stream (campaign events only inside [start_s, end_s),
+// truth servers actually appear, benign labels never overlap campaign
+// labels), and the boundary shapes behave (zero-duration campaigns vanish,
+// campaigns that fall off the back of the sliding window are forgotten).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dns/domain.h"
+#include "stream/engine.h"
+#include "synth/quality.h"
+#include "synth/scenarios.h"
+
+namespace smash {
+namespace {
+
+// Hosts an event touches (redirects touch two).
+std::vector<std::string> hosts_of(const synth::StreamEvent& event) {
+  if (const auto* request = std::get_if<stream::RequestEvent>(&event)) {
+    return {request->host};
+  }
+  if (const auto* resolution = std::get_if<stream::ResolutionEvent>(&event)) {
+    return {resolution->host};
+  }
+  const auto& redirect = std::get<stream::RedirectEvent>(event);
+  return {redirect.from, redirect.to};
+}
+
+TEST(ScenarioMatrix, DeterministicFromSeed) {
+  const auto a = synth::scenario_matrix(/*smoke=*/true, 7);
+  const auto b = synth::scenario_matrix(/*smoke=*/true, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].scenario.name);
+    EXPECT_EQ(a[i].scenario.name, b[i].scenario.name);
+    EXPECT_EQ(a[i].epoch_seconds, b[i].epoch_seconds);
+    EXPECT_EQ(a[i].window_epochs, b[i].window_epochs);
+    ASSERT_EQ(a[i].scenario.events.size(), b[i].scenario.events.size());
+    // Event-for-event equality, not just counts: the defaulted operator==
+    // on the event structs compares every field.
+    for (std::size_t e = 0; e < a[i].scenario.events.size(); ++e) {
+      ASSERT_EQ(a[i].scenario.events[e], b[i].scenario.events[e])
+          << "event " << e;
+    }
+    const auto& ta = a[i].scenario.truth;
+    const auto& tb = b[i].scenario.truth;
+    EXPECT_EQ(ta.benign_2lds, tb.benign_2lds);
+    EXPECT_EQ(ta.duration_s, tb.duration_s);
+    ASSERT_EQ(ta.campaigns.size(), tb.campaigns.size());
+    for (std::size_t c = 0; c < ta.campaigns.size(); ++c) {
+      EXPECT_EQ(ta.campaigns[c].servers, tb.campaigns[c].servers);
+      EXPECT_EQ(ta.campaigns[c].start_s, tb.campaigns[c].start_s);
+      EXPECT_EQ(ta.campaigns[c].end_s, tb.campaigns[c].end_s);
+      EXPECT_EQ(ta.campaigns[c].bots, tb.campaigns[c].bots);
+    }
+  }
+}
+
+TEST(ScenarioMatrix, DifferentSeedsDiffer) {
+  const auto a = synth::scenario_matrix(/*smoke=*/true, 7);
+  const auto b = synth::scenario_matrix(/*smoke=*/true, 8);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size() && !any_difference; ++i) {
+    if (a[i].scenario.events.size() != b[i].scenario.events.size()) {
+      any_difference = true;
+      break;
+    }
+    for (std::size_t e = 0; e < a[i].scenario.events.size(); ++e) {
+      if (!(a[i].scenario.events[e] == b[i].scenario.events[e])) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ScenarioMatrix, TruthIsConsistentWithTheStream) {
+  for (const auto& scenario_case : synth::scenario_matrix(/*smoke=*/true)) {
+    const auto& scenario = scenario_case.scenario;
+    SCOPED_TRACE(scenario.name);
+    const auto& truth = scenario.truth;
+    ASSERT_GT(scenario.events.size(), 0u);
+    EXPECT_FALSE(truth.benign_2lds.empty());
+
+    // Events are sorted by time and never escape the stream duration.
+    for (std::size_t e = 1; e < scenario.events.size(); ++e) {
+      ASSERT_LE(synth::event_time(scenario.events[e - 1]),
+                synth::event_time(scenario.events[e]));
+    }
+    EXPECT_LT(synth::event_time(scenario.events.back()), truth.duration_s);
+
+    std::set<std::string> campaign_2lds;
+    for (const auto& campaign : truth.campaigns) {
+      EXPECT_LT(campaign.start_s, campaign.end_s);
+      EXPECT_LE(campaign.end_s, truth.duration_s);
+      EXPECT_GT(campaign.bots, 0u);
+      campaign_2lds.insert(campaign.servers.begin(), campaign.servers.end());
+    }
+
+    // Benign-only labels never overlap campaign labels.
+    for (const auto& label : truth.benign_2lds) {
+      EXPECT_FALSE(campaign_2lds.count(label)) << label;
+    }
+
+    // Campaign events stay inside their campaign's [start_s, end_s), and
+    // every truth server actually appears in the stream.
+    std::set<std::string> seen;
+    for (const auto& event : scenario.events) {
+      const auto when = synth::event_time(event);
+      for (const auto& host : hosts_of(event)) {
+        const std::string label = dns::effective_2ld(host);
+        if (!campaign_2lds.count(label)) continue;
+        seen.insert(label);
+        bool inside_some_campaign = false;
+        for (const auto& campaign : truth.campaigns) {
+          if (std::find(campaign.servers.begin(), campaign.servers.end(),
+                        label) == campaign.servers.end()) {
+            continue;
+          }
+          if (when >= campaign.start_s && when < campaign.end_s) {
+            inside_some_campaign = true;
+          }
+        }
+        EXPECT_TRUE(inside_some_campaign)
+            << label << " touched at t=" << when
+            << " outside its active interval";
+      }
+    }
+    EXPECT_EQ(seen.size(), campaign_2lds.size())
+        << "some truth servers never appear in the stream";
+  }
+}
+
+TEST(ScenarioBuilder, ZeroDurationCampaignLeavesNoTruthAndNoEvents) {
+  synth::ScenarioBuilder builder("zero", 11, 7200);
+  synth::BenignSpec benign;
+  benign.servers = 10;
+  benign.clients = 10;
+  benign.visits = 50;
+  builder.add_benign_background(benign);
+  synth::CampaignSpec campaign;
+  campaign.label = "ghost";
+  campaign.start_s = 3600;
+  campaign.end_s = 3600;  // [t, t) is empty
+  builder.add_campaign(campaign);
+  const auto scenario = std::move(builder).build();
+  EXPECT_TRUE(scenario.truth.campaigns.empty());
+  for (const auto& event : scenario.events) {
+    for (const auto& host : hosts_of(event)) {
+      EXPECT_EQ(host.find("ghost"), std::string::npos) << host;
+    }
+  }
+}
+
+TEST(ScenarioBuilder, CampaignBeyondStreamEndIsClampedToTruth) {
+  synth::ScenarioBuilder builder("clamp", 12, 7200);
+  synth::CampaignSpec campaign;
+  campaign.label = "tail";
+  campaign.start_s = 6000;
+  campaign.end_s = 1000000;  // far past the stream end
+  campaign.poll_interval_s = 300;
+  builder.add_campaign(campaign);
+  const auto scenario = std::move(builder).build();
+  ASSERT_EQ(scenario.truth.campaigns.size(), 1u);
+  EXPECT_EQ(scenario.truth.campaigns[0].end_s, 7200u);
+  EXPECT_LT(synth::event_time(scenario.events.back()), 7200u);
+}
+
+TEST(ScenarioBuilder, CampaignSpanningWindowEvictionIsForgotten) {
+  // A campaign active early in the stream must be flagged while its epochs
+  // are inside the sliding window and must vanish from the final snapshot
+  // once every active epoch has been evicted.
+  synth::ScenarioBuilder builder("evict", 13, 7200);
+  synth::BenignSpec benign;
+  benign.servers = 40;
+  benign.clients = 30;
+  benign.visits = 900;  // keeps every epoch non-empty so closes keep coming
+  builder.add_benign_background(benign);
+  synth::CampaignSpec campaign;
+  campaign.label = "early";
+  campaign.servers = 4;
+  campaign.bots = 4;
+  campaign.start_s = 600;
+  campaign.end_s = 1800;
+  campaign.poll_interval_s = 150;
+  builder.add_campaign(campaign);
+  const auto scenario = std::move(builder).build();
+  ASSERT_EQ(scenario.truth.campaigns.size(), 1u);
+  const auto& truth = scenario.truth.campaigns[0];
+
+  stream::StreamConfig config;
+  config.epoch_seconds = 600;
+  config.window_epochs = 2;
+  config.smash.idf_threshold = 100;
+  const auto run = synth::run_scenario(scenario, config);
+  ASSERT_FALSE(run.observations.empty());
+
+  const auto flags_campaign = [&](const synth::DetectionObservation& o) {
+    return std::any_of(truth.servers.begin(), truth.servers.end(),
+                       [&](const std::string& server) {
+                         return std::find(o.flagged_2lds.begin(),
+                                          o.flagged_2lds.end(),
+                                          server) != o.flagged_2lds.end();
+                       });
+  };
+  EXPECT_TRUE(std::any_of(run.observations.begin(), run.observations.end(),
+                          flags_campaign))
+      << "campaign never detected while inside the window";
+  EXPECT_FALSE(flags_campaign(run.observations.back()))
+      << "campaign still flagged after its epochs left the window";
+}
+
+TEST(ScenarioMatrix, FlashCrowdPressuresPruningNotJustCorrelation) {
+  // The benign-only flash crowd must form real correlated candidate groups
+  // (shared clients + shared files + shared hosting) that only referrer
+  // pruning discards — if this decays into "no group ever forms", the
+  // scenario stops guarding the pruning stage.
+  for (const auto& scenario_case : synth::scenario_matrix(/*smoke=*/true)) {
+    if (scenario_case.scenario.name != "flash_crowd_benign") continue;
+    const auto trace = synth::to_batch_trace(scenario_case.scenario);
+    core::SmashConfig config;
+    config.idf_threshold = scenario_case.idf_threshold;
+    const auto result =
+        core::SmashPipeline(config).run(trace, scenario_case.scenario.whois);
+    EXPECT_GT(result.correlation.groups.size(), 0u);
+    EXPECT_EQ(result.campaigns.size(), 0u);
+    return;
+  }
+  FAIL() << "flash_crowd_benign missing from the matrix";
+}
+
+}  // namespace
+}  // namespace smash
