@@ -356,6 +356,54 @@ int main(int argc, char** argv) {
   std::printf("stream  %zu lookups in %0.1f ms  (%0.0f lookups/s)\n", lookups,
               lookup_ms, qps);
 
+  // --- exporter-consistency gate: sampled latency vs lookup counter ---------
+  // verdict.lookup_ns times every kLookupSampleStride-th lookup per thread;
+  // verdict.lookups_total counts all of them. The two must agree — the gate
+  // hard-fails when the histogram's sample count drifts from
+  // lookups_total / stride, which is exactly what a broken sampling
+  // predicate (the old `% stride == 1`, which oversampled each thread's
+  // first lookup) produces.
+  {
+    const auto verdict_metrics = service.metrics()->snapshot();
+    const auto* lookups_total = verdict_metrics.counter("verdict.lookups_total");
+    const auto* lookup_ns = verdict_metrics.histogram("verdict.lookup_ns");
+    if (lookups_total == nullptr || lookup_ns == nullptr) {
+      std::fprintf(stderr, "sampling gate: verdict metrics missing\n");
+      return 1;
+    }
+    constexpr std::uint64_t stride =
+        smash::stream::VerdictService::kLookupSampleStride;
+    const std::uint64_t expected = lookups_total->value / stride;
+    // The stride counter is thread_local and shared across services, so a
+    // thread can be mid-stride at either boundary: one sample of slack per
+    // thread that looked anything up (this bench: the main thread).
+    constexpr std::uint64_t slack = 2;
+    const std::uint64_t diff = lookup_ns->count > expected
+                                   ? lookup_ns->count - expected
+                                   : expected - lookup_ns->count;
+    if (diff > slack) {
+      std::fprintf(stderr,
+                   "sampling gate: verdict.lookup_ns count %llu vs "
+                   "lookups_total %llu / stride %llu = %llu expected "
+                   "(tolerance %llu)\n",
+                   static_cast<unsigned long long>(lookup_ns->count),
+                   static_cast<unsigned long long>(lookups_total->value),
+                   static_cast<unsigned long long>(stride),
+                   static_cast<unsigned long long>(expected),
+                   static_cast<unsigned long long>(slack));
+      return 1;
+    }
+    report.add("stream/verdict_sampling_gate",
+               static_cast<double>(lookup_ns->count),
+               {{"lookups_total", static_cast<double>(lookups_total->value)},
+                {"sampled", static_cast<double>(lookup_ns->count)},
+                {"stride", static_cast<double>(stride)}});
+    std::printf("stream  sampling gate: %llu of %llu lookups timed (1/%llu)\n",
+                static_cast<unsigned long long>(lookup_ns->count),
+                static_cast<unsigned long long>(lookups_total->value),
+                static_cast<unsigned long long>(stride));
+  }
+
   // --- durability: WAL ingest tax per fsync policy, recovery wall-time ------
   const std::pair<const char*, smash::stream::WalFsync> policies[] = {
       {"off", smash::stream::WalFsync::kOff},

@@ -106,7 +106,9 @@ int main(int argc, char** argv) {
     const bool floored = synth::meets_floor(quality, floor, &why);
     if (!floored) {
       ok = false;
-      std::fprintf(stderr, "FAIL below floor:\n%s\n", why.c_str());
+      std::fprintf(stderr, "FAIL below floor:\n%s\nactual vs floor:\n%s",
+                   why.c_str(),
+                   synth::describe_vs_floor(quality, floor).c_str());
     }
 
     table.add_row(

@@ -1,0 +1,99 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace smash::serve {
+
+BlockingClient::BlockingClient(const std::string& address, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("BlockingClient: bad address " + address);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    throw std::runtime_error("connect: " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+BlockingClient::~BlockingClient() { close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_)) {}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void BlockingClient::send(const RequestFrame& request) {
+  std::string bytes;
+  encode_request(bytes, request);
+  send_raw(bytes);
+}
+
+void BlockingClient::send_raw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<ResponseFrame> BlockingClient::receive() {
+  std::string payload;
+  while (!decoder_.next(payload)) {
+    if (decoder_.failed()) {
+      throw std::runtime_error("BlockingClient: " + decoder_.error());
+    }
+    char buf[16 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) return std::nullopt;  // server hung up
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The server resets connections it rejected or that broke framing;
+      // surface that as EOF, not an exception — callers treat both as
+      // "this connection is done".
+      if (errno == ECONNRESET) return std::nullopt;
+      throw std::runtime_error(std::string("read: ") + std::strerror(errno));
+    }
+    decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+  std::string error;
+  auto response = decode_response(payload, &error);
+  if (!response) {
+    throw std::runtime_error("BlockingClient: malformed response: " + error);
+  }
+  return response;
+}
+
+std::optional<ResponseFrame> BlockingClient::call(const RequestFrame& request) {
+  send(request);
+  return receive();
+}
+
+}  // namespace smash::serve

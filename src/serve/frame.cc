@@ -1,0 +1,171 @@
+#include "serve/frame.h"
+
+#include "util/binary.h"
+#include "util/check.h"
+
+namespace smash::serve {
+
+namespace {
+
+void fail(std::string* error, std::string_view what) {
+  if (error != nullptr) error->assign(what);
+}
+
+}  // namespace
+
+void encode_request(std::string& out, const RequestFrame& request) {
+  SMASH_CHECK(!request.lookups.empty(), "encode_request: empty lookup batch");
+  SMASH_CHECK(request.lookups.size() <= kMaxBatchLookups,
+              "encode_request: batch exceeds kMaxBatchLookups");
+  std::string payload;
+  util::put_u8(payload, static_cast<std::uint8_t>(request.type));
+  util::put_u64(payload, request.request_id);
+  util::put_u16(payload, static_cast<std::uint16_t>(request.lookups.size()));
+  for (const auto& key : request.lookups) {
+    util::put_bytes(payload, key.host);
+    util::put_bytes(payload, key.server_ip);
+  }
+  SMASH_CHECK(payload.size() <= kMaxFramePayloadBytes,
+              "encode_request: frame exceeds kMaxFramePayloadBytes");
+  util::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+}
+
+void encode_response(std::string& out, const ResponseFrame& response) {
+  std::string payload;
+  util::put_u8(payload, static_cast<std::uint8_t>(response.type));
+  util::put_u64(payload, response.request_id);
+  util::put_u8(payload, static_cast<std::uint8_t>(response.status));
+  util::put_u64(payload, response.snapshot_sequence);
+  util::put_u32(payload, response.snapshot_age_ms);
+  util::put_u16(payload, static_cast<std::uint16_t>(response.answers.size()));
+  for (const auto& answer : response.answers) {
+    util::put_u8(payload, answer.malicious ? 1 : 0);
+    util::put_u32(payload, answer.campaign);
+    util::put_u32(payload, answer.campaign_servers);
+    util::put_u64(payload, answer.window_requests);
+    util::put_u32(payload, answer.active_epochs);
+  }
+  SMASH_CHECK(payload.size() <= kMaxFramePayloadBytes,
+              "encode_response: frame exceeds kMaxFramePayloadBytes");
+  util::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+}
+
+std::optional<RequestFrame> decode_request(std::string_view payload,
+                                           std::string* error) {
+  util::BinaryReader reader(payload);
+  RequestFrame request;
+  std::uint8_t type = 0;
+  std::uint16_t count = 0;
+  if (!reader.u8(type) || !reader.u64(request.request_id) ||
+      !reader.u16(count)) {
+    fail(error, "request header truncated");
+    return std::nullopt;
+  }
+  if (type != static_cast<std::uint8_t>(FrameType::kLookup) &&
+      type != static_cast<std::uint8_t>(FrameType::kBatch)) {
+    fail(error, "unknown request type");
+    return std::nullopt;
+  }
+  request.type = static_cast<FrameType>(type);
+  if (count == 0 || count > kMaxBatchLookups ||
+      (request.type == FrameType::kLookup && count != 1)) {
+    fail(error, "request lookup count out of bounds");
+    return std::nullopt;
+  }
+  request.lookups.resize(count);
+  for (auto& key : request.lookups) {
+    if (!reader.str(key.host) || !reader.str(key.server_ip)) {
+      fail(error, "request lookup entry truncated");
+      return std::nullopt;
+    }
+  }
+  if (!reader.done()) {
+    fail(error, "request has trailing bytes");
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::optional<ResponseFrame> decode_response(std::string_view payload,
+                                             std::string* error) {
+  util::BinaryReader reader(payload);
+  ResponseFrame response;
+  std::uint8_t type = 0;
+  std::uint8_t status = 0;
+  std::uint16_t answered = 0;
+  if (!reader.u8(type) || !reader.u64(response.request_id) ||
+      !reader.u8(status) || !reader.u64(response.snapshot_sequence) ||
+      !reader.u32(response.snapshot_age_ms) || !reader.u16(answered)) {
+    fail(error, "response header truncated");
+    return std::nullopt;
+  }
+  if (type != static_cast<std::uint8_t>(FrameType::kLookup) &&
+      type != static_cast<std::uint8_t>(FrameType::kBatch)) {
+    fail(error, "unknown response type");
+    return std::nullopt;
+  }
+  if (status > static_cast<std::uint8_t>(FrameStatus::kRejected)) {
+    fail(error, "unknown response status");
+    return std::nullopt;
+  }
+  response.type = static_cast<FrameType>(type);
+  response.status = static_cast<FrameStatus>(status);
+  if (answered > kMaxBatchLookups) {
+    fail(error, "response answer count out of bounds");
+    return std::nullopt;
+  }
+  response.answers.resize(answered);
+  for (auto& answer : response.answers) {
+    std::uint8_t malicious = 0;
+    if (!reader.u8(malicious) || !reader.u32(answer.campaign) ||
+        !reader.u32(answer.campaign_servers) ||
+        !reader.u64(answer.window_requests) ||
+        !reader.u32(answer.active_epochs)) {
+      fail(error, "response answer entry truncated");
+      return std::nullopt;
+    }
+    answer.malicious = malicious != 0;
+  }
+  if (!reader.done()) {
+    fail(error, "response has trailing bytes");
+    return std::nullopt;
+  }
+  return response;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (failed_) return;
+  // Compact lazily: only when the dead prefix dominates, so steady-state
+  // feeding is an append, not a shuffle.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+bool FrameDecoder::next(std::string& payload) {
+  if (failed_) return false;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return false;
+  util::BinaryReader reader(
+      std::string_view(buffer_).substr(consumed_, available));
+  std::uint32_t length = 0;
+  reader.u32(length);  // cannot fail: available >= 4
+  if (length > kMaxFramePayloadBytes) {
+    failed_ = true;
+    error_ = "frame payload length " + std::to_string(length) +
+             " exceeds kMaxFramePayloadBytes";
+    buffer_.clear();
+    consumed_ = 0;
+    return false;
+  }
+  if (available < 4 + static_cast<std::size_t>(length)) return false;
+  payload.assign(buffer_, consumed_ + 4, length);
+  consumed_ += 4 + length;
+  return true;
+}
+
+}  // namespace smash::serve

@@ -1,0 +1,143 @@
+// Wire framing for the verdict server (docs/SERVING.md): length-prefixed
+// binary frames carrying single or batched verdict lookups and their
+// answers over a byte stream (TCP). The codec is transport-agnostic plain
+// data in / plain data out — the server and load generator share it, and
+// tests/serve_frame_test.cc round-trips it with no sockets involved.
+//
+// Frame layout (all integers little-endian, util/binary.h):
+//
+//   u32 payload_len            <= kMaxFramePayloadBytes, else the decoder
+//   payload[payload_len]       hard-errors (never resynchronizes)
+//
+// Request payload:
+//   u8  type                   kLookup | kBatch
+//   u64 request_id             echoed verbatim in the response
+//   u16 count                  1 for kLookup
+//   count x { str host, str server_ip }   (u32-length-prefixed strings;
+//                                          server_ip may be empty)
+//
+// Response payload:
+//   u8  type                   echoes the request type
+//   u64 request_id
+//   u8  status                 FrameStatus (Ok | Stale | Rejected)
+//   u64 snapshot_sequence      0 when no snapshot was available
+//   u32 snapshot_age_ms        age of the answering snapshot at lookup time
+//   u16 answered               number of lookups actually answered; may be
+//                              < the request count (partial batch: the
+//                              server shed mid-batch) and is 0 when the
+//                              whole request was Rejected
+//   answered x { u8 malicious, u32 campaign, u32 campaign_servers,
+//                u64 window_requests, u32 active_epochs }
+//
+// FrameDecoder accumulates arbitrary byte slices (short/torn reads are the
+// normal case) and yields complete payloads; a frame whose declared length
+// exceeds kMaxFramePayloadBytes, or a payload that does not parse, is a
+// loud terminal error — a framing bug or a hostile peer, never something
+// to limp past.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smash::serve {
+
+// Hard ceiling on one frame's payload. Large enough for a kMaxBatchLookups
+// batch of maximal hostnames, small enough that a corrupt or hostile
+// length prefix cannot balloon a connection buffer.
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 1u << 20;  // 1 MiB
+// Lookups allowed in one batch request.
+inline constexpr std::uint16_t kMaxBatchLookups = 1024;
+
+enum class FrameType : std::uint8_t {
+  kLookup = 1,  // single lookup
+  kBatch = 2,   // batched lookups, one answer per entry
+};
+
+// Serving status of a response (docs/SERVING.md has the semantics):
+//  - kOk: answered from a snapshot within the staleness SLO (or no SLO).
+//  - kStale: answered, but the snapshot's age exceeded the SLO — the data
+//    is real but old; the caller decides whether old verdicts are usable.
+//    Also the status before the first publication (age is unknowable).
+//  - kRejected: admission control shed the request before lookup; the
+//    response carries no answers.
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,
+  kStale = 1,
+  kRejected = 2,
+};
+
+struct LookupKey {
+  std::string host;
+  std::string server_ip;  // optional; empty = host-only lookup
+};
+
+struct RequestFrame {
+  FrameType type = FrameType::kLookup;
+  std::uint64_t request_id = 0;
+  std::vector<LookupKey> lookups;
+};
+
+// One answered lookup (the response-side mirror of VerdictAnswer's
+// verdict-bearing fields).
+struct AnswerEntry {
+  bool malicious = false;
+  std::uint32_t campaign = 0;
+  std::uint32_t campaign_servers = 0;
+  std::uint64_t window_requests = 0;
+  std::uint32_t active_epochs = 0;
+};
+
+struct ResponseFrame {
+  FrameType type = FrameType::kLookup;
+  std::uint64_t request_id = 0;
+  FrameStatus status = FrameStatus::kOk;
+  std::uint64_t snapshot_sequence = 0;
+  std::uint32_t snapshot_age_ms = 0;
+  // answers.size() may be smaller than the request's lookup count: a batch
+  // the server stopped answering partway (shed mid-batch) is explicit, not
+  // padded. Empty when status == kRejected.
+  std::vector<AnswerEntry> answers;
+};
+
+// Appends one complete frame (length prefix + payload) to `out`.
+// encode_request SMASH_CHECKs the batch bounds (count >= 1, <=
+// kMaxBatchLookups) — the caller owns request construction.
+void encode_request(std::string& out, const RequestFrame& request);
+void encode_response(std::string& out, const ResponseFrame& response);
+
+// Parses one payload (no length prefix). Returns std::nullopt and sets
+// `error` on malformed input.
+std::optional<RequestFrame> decode_request(std::string_view payload,
+                                           std::string* error = nullptr);
+std::optional<ResponseFrame> decode_response(std::string_view payload,
+                                             std::string* error = nullptr);
+
+// Incremental frame extractor over a byte stream. feed() any-sized chunks
+// as they arrive; next() hands out complete payloads in order. Once failed
+// (oversized declared length), the decoder stays failed — the connection
+// is unrecoverable because frame boundaries are lost.
+class FrameDecoder {
+ public:
+  // Appends newly received bytes. No-op after a failure.
+  void feed(std::string_view bytes);
+
+  // Moves the next complete payload into `payload` and returns true;
+  // returns false when no complete frame is buffered (or after failure).
+  bool next(std::string& payload);
+
+  bool failed() const noexcept { return failed_; }
+  const std::string& error() const noexcept { return error_; }
+  // Bytes buffered but not yet handed out (backpressure accounting).
+  std::size_t buffered_bytes() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace smash::serve

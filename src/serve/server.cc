@@ -1,0 +1,351 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace smash::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+VerdictServer::VerdictServer(const stream::SnapshotSlot& slot,
+                             ServeConfig config)
+    : config_(std::move(config)),
+      metrics_(config_.metrics ? config_.metrics
+                               : std::make_shared<obs::Registry>()),
+      service_(slot, metrics_) {
+  m_.connections_opened = &metrics_->counter(
+      "serve.connections_opened_total", "client connections accepted");
+  m_.connections_rejected = &metrics_->counter(
+      "serve.connections_rejected_total",
+      "connections refused over max_connections");
+  m_.accepted = &metrics_->counter("serve.accepted_total",
+                                   "request frames admitted to lookup");
+  m_.rejected = &metrics_->counter(
+      "serve.rejected_total", "request frames shed by admission control");
+  m_.responses =
+      &metrics_->counter("serve.responses_total", "response frames queued");
+  m_.stale = &metrics_->counter(
+      "serve.stale_total", "responses answered past the staleness SLO");
+  m_.partial_batches = &metrics_->counter(
+      "serve.partial_batches_total", "batched requests answered partially");
+  m_.request_ns = &metrics_->histogram(
+      "serve.request_ns", obs::latency_buckets_ns(),
+      "request decode to response queued, per request frame");
+  m_.queue_depth = &metrics_->gauge(
+      "serve.queue_depth", "un-flushed response bytes across connections");
+  m_.connections = &metrics_->gauge("serve.connections", "open connections");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("VerdictServer: bad bind address " +
+                             config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) < 0) {
+    ::close(listen_fd_);
+    throw_errno("listen");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    ::close(listen_fd_);
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    ::close(listen_fd_);
+    throw_errno("epoll_create1");
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(listen_fd_);
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(listen)");
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(wake)");
+  }
+
+  loop_ = std::thread([this] { run(); });
+}
+
+VerdictServer::~VerdictServer() { stop(); }
+
+void VerdictServer::stop() {
+  if (!stopping_.exchange(true)) {
+    const std::uint64_t one = 1;
+    // A full eventfd counter or a torn write are both impossible here
+    // (one writer, 8-byte write), but never block a destructor on a
+    // syscall result.
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  }
+  if (loop_.joinable()) loop_.join();
+  // Only after the join: closing the eventfd on the loop thread would race
+  // this function's wake-up write.
+  if (listen_fd_ >= 0) ::close(std::exchange(listen_fd_, -1));
+  if (epoll_fd_ >= 0) ::close(std::exchange(epoll_fd_, -1));
+  if (wake_fd_ >= 0) ::close(std::exchange(wake_fd_, -1));
+}
+
+void VerdictServer::run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; nothing sane left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) continue;  // drained by the loop condition
+      if (fd == listen_fd_) {
+        handle_accept();
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this batch
+      Connection& conn = it->second;
+      bool alive = true;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        alive = false;
+      }
+      if (alive && (events[i].events & EPOLLIN) != 0) {
+        alive = handle_readable(fd, conn);
+      }
+      if (alive && (events[i].events & EPOLLOUT) != 0) {
+        alive = flush(fd, conn);
+      }
+      if (alive) {
+        update_interest(fd, conn);
+      } else {
+        close_connection(fd);
+      }
+    }
+    refresh_queue_depth();
+  }
+  // Connection teardown on the loop thread (no other thread ever touches
+  // connections_); the listen/epoll/wake fds are closed by stop() after
+  // the join so they cannot race the wake-up write.
+  for (const auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  m_.connections->set(0.0);
+  m_.queue_depth->set(0.0);
+}
+
+void VerdictServer::handle_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the next event retries
+    }
+    if (connections_.size() >= config_.max_connections) {
+      // Explicit rejection beats a silently growing backlog: close now,
+      // count it, let the client see ECONNRESET/EOF immediately.
+      m_.connections_rejected->inc();
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.sndbuf_bytes,
+                   sizeof(config_.sndbuf_bytes));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(fd, Connection{});
+    m_.connections_opened->inc();
+    m_.connections->set(static_cast<double>(connections_.size()));
+  }
+}
+
+bool VerdictServer::handle_readable(int fd, Connection& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    std::string payload;
+    while (conn.decoder.next(payload)) {
+      if (!handle_request(conn, payload)) return false;
+    }
+    if (conn.decoder.failed()) return false;  // oversized frame: hang up
+    // Hard bound: a peer that will not drain its responses gets TCP
+    // pushback, not unbounded server memory.
+    if (conn.pending_bytes() >= 2 * config_.max_pending_response_bytes) break;
+  }
+  return flush(fd, conn);
+}
+
+bool VerdictServer::handle_request(Connection& conn, std::string_view payload) {
+  const double start_ns = now_ns();
+  const auto request = decode_request(payload);
+  if (!request) return false;  // malformed: framing contract broken, hang up
+
+  ResponseFrame response;
+  response.type = request->type;
+  response.request_id = request->request_id;
+
+  if (conn.pending_bytes() > config_.max_pending_response_bytes) {
+    // Shed before any lookup: the response queue is already past the
+    // bound, so answering would grow it further for a peer not draining.
+    response.status = FrameStatus::kRejected;
+    m_.rejected->inc();
+  } else {
+    m_.accepted->inc();
+    SMASH_SPAN("serve.request");
+    bool stale = false;
+    bool first = true;
+    for (const auto& key : request->lookups) {
+      // Mid-batch shedding: a huge batch admitted at the edge of the
+      // bound stops early instead of blowing through it; the shortfall
+      // is visible in answers.size() < request count.
+      if (!first &&
+          conn.pending_bytes() + response.answers.size() * 22 >
+              2 * config_.max_pending_response_bytes) {
+        break;
+      }
+      const auto answer = service_.lookup_request(key.host, key.server_ip);
+      if (first) {
+        response.snapshot_sequence = answer.snapshot_sequence;
+        if (answer.snapshot_age_s >= 0.0) {
+          response.snapshot_age_ms =
+              static_cast<std::uint32_t>(answer.snapshot_age_s * 1e3);
+        }
+        // No snapshot yet is stale by definition; otherwise compare the
+        // read-time age against the SLO.
+        stale = !answer.snapshot_available ||
+                (config_.stale_after_ms > 0.0 &&
+                 answer.snapshot_age_s * 1e3 > config_.stale_after_ms);
+        first = false;
+      }
+      AnswerEntry entry;
+      entry.malicious = answer.malicious;
+      entry.campaign = answer.verdict.campaign;
+      entry.campaign_servers = answer.verdict.campaign_servers;
+      entry.window_requests = answer.verdict.window_requests;
+      entry.active_epochs = answer.verdict.active_epochs;
+      response.answers.push_back(entry);
+    }
+    if (stale) {
+      response.status = FrameStatus::kStale;
+      m_.stale->inc();
+    }
+    if (response.answers.size() < request->lookups.size()) {
+      m_.partial_batches->inc();
+    }
+  }
+
+  encode_response(conn.outbound, response);
+  m_.responses->inc();
+  m_.request_ns->observe(now_ns() - start_ns);
+  return true;
+}
+
+bool VerdictServer::flush(int fd, Connection& conn) {
+  while (conn.flushed < conn.outbound.size()) {
+    const ssize_t n = ::write(fd, conn.outbound.data() + conn.flushed,
+                              conn.outbound.size() - conn.flushed);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.flushed += static_cast<std::size_t>(n);
+  }
+  if (conn.flushed == conn.outbound.size()) {
+    conn.outbound.clear();
+    conn.flushed = 0;
+  } else if (conn.flushed > conn.outbound.size() / 2) {
+    conn.outbound.erase(0, conn.flushed);
+    conn.flushed = 0;
+  }
+  return true;
+}
+
+void VerdictServer::update_interest(int fd, Connection& conn) {
+  const bool want_write = conn.pending_bytes() > 0;
+  const bool pause_read =
+      conn.pending_bytes() >= 2 * config_.max_pending_response_bytes;
+  if (want_write == conn.want_write && pause_read == conn.paused_read) return;
+  conn.want_write = want_write;
+  conn.paused_read = pause_read;
+  epoll_event ev{};
+  ev.events = (pause_read ? 0u : EPOLLIN) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void VerdictServer::close_connection(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(fd);
+  m_.connections->set(static_cast<double>(connections_.size()));
+}
+
+void VerdictServer::refresh_queue_depth() {
+  std::size_t pending = 0;
+  for (const auto& [fd, conn] : connections_) pending += conn.pending_bytes();
+  m_.queue_depth->set(static_cast<double>(pending));
+}
+
+}  // namespace smash::serve

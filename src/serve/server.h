@@ -1,0 +1,147 @@
+// VerdictServer: the network front end over VerdictService — a minimal
+// epoll-based TCP server speaking the length-prefixed binary framing of
+// serve/frame.h (single + batched lookups). One dedicated event-loop
+// thread owns every socket; verdict lookups run inline on it (a lookup is
+// a lock-free map probe, ~100 ns — orders of magnitude below the syscall
+// cost of moving the bytes), while the StreamEngine keeps ingesting and
+// publishing snapshots on its own threads underneath.
+//
+// Backpressure and admission (docs/SERVING.md):
+//  - The accept queue is bounded by listen_backlog (kernel-side) and
+//    max_connections (server-side: over the cap, accept-and-close, counted
+//    in serve.connections_rejected_total).
+//  - Each connection's un-flushed response bytes are the request queue.
+//    Past max_pending_response_bytes the server *sheds*: new requests get
+//    an immediate kRejected response (no lookups), and a batch in flight
+//    is cut short (partial answers — explicit, never padded). Past twice
+//    the bound the server stops reading the socket entirely until the
+//    peer drains, so a connection's memory is hard-bounded at roughly
+//    2 x max_pending_response_bytes + one read buffer.
+//  - Staleness SLO: when stale_after_ms > 0 and the answering snapshot is
+//    older than that, the response status flips to kStale (the verdicts
+//    are still carried — the caller decides whether old data is usable).
+//    Answers before the first publication are kStale too: "no data yet"
+//    must never masquerade as a fresh all-clear.
+//
+// Everything is observable through the obs registry (serve.* catalog in
+// docs/OBSERVABILITY.md): accepted/rejected/stale totals, request-service
+// latency (serve.request_ns), queue depth and connection gauges.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "serve/frame.h"
+#include "stream/verdict.h"
+
+namespace smash::serve {
+
+struct ServeConfig {
+  std::string bind_address = "127.0.0.1";
+  // 0 = ephemeral; the bound port is readable via VerdictServer::port().
+  std::uint16_t port = 0;
+
+  // Bounded accept queue (kernel listen backlog).
+  int listen_backlog = 128;
+  // Connections held concurrently; over the cap new connections are
+  // accepted and immediately closed (counted), so the backlog drains
+  // instead of silently growing.
+  std::size_t max_connections = 64;
+
+  // Soft bound on one connection's un-flushed response bytes: past it the
+  // server sheds requests (kRejected / partial batches) instead of
+  // queueing. The hard bound (2x) pauses reads entirely.
+  std::size_t max_pending_response_bytes = 256 * 1024;
+
+  // Snapshot-staleness SLO (unit: milliseconds; 0 = disabled): answers
+  // from a snapshot older than this are marked kStale.
+  double stale_after_ms = 0.0;
+
+  // Test/bench hook: when > 0, SO_SNDBUF is forced this small on accepted
+  // sockets so kernel buffers fill deterministically and the shedding
+  // path is reachable at test scale. Leave 0 in production.
+  int sndbuf_bytes = 0;
+
+  // Registry for the serve.* metrics (and the embedded VerdictService's
+  // verdict.* counters). Null = a server-private registry; pass the
+  // engine's to get one combined surface.
+  std::shared_ptr<obs::Registry> metrics;
+};
+
+class VerdictServer {
+ public:
+  // Binds and listens immediately (throws std::runtime_error on any
+  // socket failure), then starts the event-loop thread. `slot` must
+  // outlive the server (it lives in the StreamEngine).
+  VerdictServer(const stream::SnapshotSlot& slot, ServeConfig config);
+  ~VerdictServer();  // stop() + join
+
+  VerdictServer(const VerdictServer&) = delete;
+  VerdictServer& operator=(const VerdictServer&) = delete;
+
+  // The bound TCP port (resolves port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  // Idempotent; wakes the loop, closes every socket, joins the thread.
+  void stop();
+
+  // The serve.* / verdict.* metrics surface (docs/OBSERVABILITY.md).
+  const std::shared_ptr<obs::Registry>& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  struct Connection {
+    FrameDecoder decoder;
+    std::string outbound;          // encoded responses not yet written
+    std::size_t flushed = 0;       // prefix of outbound already written
+    bool want_write = false;       // EPOLLOUT armed
+    bool paused_read = false;      // EPOLLIN dropped at the hard bound
+    std::size_t pending_bytes() const noexcept {
+      return outbound.size() - flushed;
+    }
+  };
+
+  void run();
+  void handle_accept();
+  // Returns false when the connection must be closed (peer hung up,
+  // framing violation, write error).
+  bool handle_readable(int fd, Connection& conn);
+  bool handle_request(Connection& conn, std::string_view payload);
+  bool flush(int fd, Connection& conn);
+  void update_interest(int fd, Connection& conn);
+  void close_connection(int fd);
+  void refresh_queue_depth();
+
+  ServeConfig config_;
+  std::shared_ptr<obs::Registry> metrics_;
+  stream::VerdictService service_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop() signal
+  std::atomic<bool> stopping_{false};
+  std::unordered_map<int, Connection> connections_;
+
+  struct Metrics {
+    obs::Counter* connections_opened = nullptr;
+    obs::Counter* connections_rejected = nullptr;
+    obs::Counter* accepted = nullptr;   // request frames admitted
+    obs::Counter* rejected = nullptr;   // request frames shed
+    obs::Counter* responses = nullptr;
+    obs::Counter* stale = nullptr;      // responses answered past the SLO
+    obs::Counter* partial_batches = nullptr;
+    obs::Histogram* request_ns = nullptr;
+    obs::Gauge* queue_depth = nullptr;  // un-flushed response bytes, summed
+    obs::Gauge* connections = nullptr;
+  } m_{};
+
+  std::thread loop_;  // last member: joined before anything it reads dies
+};
+
+}  // namespace smash::serve

@@ -4,12 +4,17 @@ namespace smash::stream {
 
 namespace {
 
-// 1-in-64 sampling of lookup latency: hot lookups stay two relaxed
-// increments; the sampled ones add two steady_clock reads. Thread-local so
-// concurrent readers never contend on the sampling state.
+// 1-in-kLookupSampleStride sampling of lookup latency: hot lookups stay
+// two relaxed increments; the sampled ones add two steady_clock reads.
+// Thread-local so concurrent readers never contend on the sampling state,
+// and stride-aligned (every full stride contributes exactly one sample, a
+// thread's partial tail stride contributes none) so lookup_ns.count ==
+// sum over threads of floor(thread_lookups / stride): never more than
+// lookups_total / stride, and short at most one sample per thread. The
+// exporter-consistency gate in bench/perf_stream.cc relies on that bound.
 bool sample_lookup() noexcept {
   thread_local std::uint32_t n = 0;
-  return ++n % 64 == 1;
+  return ++n % VerdictService::kLookupSampleStride == 0;
 }
 
 }  // namespace
@@ -22,6 +27,14 @@ VerdictAnswer VerdictService::answer(const ServerVerdict* verdict,
     out.snapshot_available = true;
     out.snapshot_sequence = snapshot->sequence();
     out.snapshot_last_epoch = snapshot->last_epoch();
+    // Read-time age from the immutable publish timestamp: two lookups a
+    // second apart report ages a second apart even if no snapshot has
+    // been published in between (a stalled miner must look stale, not
+    // fresh).
+    out.snapshot_age_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             snapshot->built_at())
+                             .count();
   }
   if (verdict != nullptr) {
     out.malicious = true;

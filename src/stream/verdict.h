@@ -24,6 +24,12 @@ struct VerdictAnswer {
   bool snapshot_available = false;
   std::uint64_t snapshot_sequence = 0;
   EpochId snapshot_last_epoch = 0;
+  // Age of the answering snapshot at lookup time: now - built_at(),
+  // computed per lookup from the publish timestamp — never cached — so it
+  // keeps growing while mining is stalled (the serve-layer staleness SLO
+  // keys off it; tests/stream_test.cc pins the monotonicity). -1 when no
+  // snapshot has been published yet.
+  double snapshot_age_s = -1.0;
 };
 
 struct VerdictServiceStats {
@@ -38,6 +44,15 @@ struct VerdictServiceStats {
 
 class VerdictService {
  public:
+  // Sampling stride of the verdict.lookup_ns histogram: every
+  // kLookupSampleStride-th lookup on each calling thread is timed, the
+  // rest pay two relaxed counter increments only. The exporter-consistency
+  // gate in bench/perf_stream.cc holds lookup_ns.count to
+  // lookups_total / kLookupSampleStride (within a per-thread partial-
+  // stride tolerance) — change the stride and that gate, together, and
+  // keep docs/OBSERVABILITY.md in step.
+  static constexpr std::uint32_t kLookupSampleStride = 64;
+
   // `slot` must outlive the service (it lives in the StreamEngine).
   //
   // Lookup accounting lives on an obs::Registry (verdict.lookups_total,
@@ -56,9 +71,9 @@ class VerdictService {
                                     "verdict lookups answered")),
         hits_(&metrics_->counter("verdict.hits_total",
                                  "lookups answered malicious")),
-        lookup_ns_(&metrics_->histogram("verdict.lookup_ns",
-                                        obs::latency_buckets_ns(),
-                                        "sampled (1/64) lookup latency")) {}
+        lookup_ns_(&metrics_->histogram(
+            "verdict.lookup_ns", obs::latency_buckets_ns(),
+            "sampled (1/kLookupSampleStride) lookup latency")) {}
 
   // Verdict for a hostname (aggregated to its effective 2LD).
   VerdictAnswer lookup(std::string_view host) const;
@@ -69,6 +84,15 @@ class VerdictService {
                                std::string_view server_ip) const;
 
   VerdictServiceStats stats() const;
+
+  // The registry the lookup counters land on (the caller-supplied one, or
+  // the service-private default). Lets callers — perf_stream's exporter-
+  // consistency gate, the serve layer's metrics dump — read
+  // verdict.lookups_total / verdict.lookup_ns without guessing which
+  // registry this service records into.
+  const std::shared_ptr<obs::Registry>& metrics() const noexcept {
+    return metrics_;
+  }
 
  private:
   VerdictAnswer answer(const ServerVerdict* verdict,

@@ -77,6 +77,12 @@ QualityFloor floor_for(const std::string& scenario_name);
 bool meets_floor(const ScenarioQuality& q, const QualityFloor& floor,
                  std::string* why = nullptr);
 
+// Every tracked metric as "actual (floor ...)" lines — quality_matrix
+// prints this on a floor violation so the failure shows the whole picture,
+// not just the bounds that broke.
+std::string describe_vs_floor(const ScenarioQuality& q,
+                              const QualityFloor& floor);
+
 // --- engine-backed evaluation -------------------------------------------------
 
 struct ScenarioRun {

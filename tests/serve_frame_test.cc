@@ -1,0 +1,292 @@
+// Codec-level tests for the verdict server's wire framing
+// (serve/frame.h): round-trips, torn/short reads through FrameDecoder,
+// loud rejection of oversized frames, and partial-batch answers. No
+// sockets anywhere — the codec is plain bytes in, plain structs out.
+#include "serve/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/binary.h"
+
+namespace smash::serve {
+namespace {
+
+RequestFrame make_batch(std::uint64_t id, std::size_t count) {
+  RequestFrame request;
+  request.type = count == 1 ? FrameType::kLookup : FrameType::kBatch;
+  request.request_id = id;
+  for (std::size_t i = 0; i < count; ++i) {
+    LookupKey key;
+    key.host = "bot" + std::to_string(i) + ".example.com";
+    if (i % 2 == 1) key.server_ip = "10.0.0." + std::to_string(i);
+    request.lookups.push_back(key);
+  }
+  return request;
+}
+
+// Strips the u32 length prefix, returning just the payload.
+std::string payload_of(const std::string& frame) {
+  EXPECT_GE(frame.size(), 4u);
+  return frame.substr(4);
+}
+
+TEST(ServeFrame, SingleLookupRoundTrip) {
+  const RequestFrame request = make_batch(42, 1);
+  std::string bytes;
+  encode_request(bytes, request);
+
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  std::string payload;
+  ASSERT_TRUE(decoder.next(payload));
+  const auto decoded = decode_request(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FrameType::kLookup);
+  EXPECT_EQ(decoded->request_id, 42u);
+  ASSERT_EQ(decoded->lookups.size(), 1u);
+  EXPECT_EQ(decoded->lookups[0].host, "bot0.example.com");
+  EXPECT_TRUE(decoded->lookups[0].server_ip.empty());
+  EXPECT_FALSE(decoder.next(payload)) << "one frame in, one frame out";
+}
+
+TEST(ServeFrame, BatchRoundTripPreservesEveryEntry) {
+  const RequestFrame request = make_batch(7, 20);
+  std::string bytes;
+  encode_request(bytes, request);
+  const auto decoded = decode_request(payload_of(bytes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FrameType::kBatch);
+  ASSERT_EQ(decoded->lookups.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(decoded->lookups[i].host, request.lookups[i].host);
+    EXPECT_EQ(decoded->lookups[i].server_ip, request.lookups[i].server_ip);
+  }
+}
+
+TEST(ServeFrame, ResponseRoundTripWithStatusAndAnswers) {
+  ResponseFrame response;
+  response.type = FrameType::kBatch;
+  response.request_id = 99;
+  response.status = FrameStatus::kStale;
+  response.snapshot_sequence = 17;
+  response.snapshot_age_ms = 1250;
+  for (int i = 0; i < 3; ++i) {
+    AnswerEntry entry;
+    entry.malicious = i != 1;
+    entry.campaign = static_cast<std::uint32_t>(i);
+    entry.campaign_servers = 6;
+    entry.window_requests = 1000 + static_cast<std::uint64_t>(i);
+    entry.active_epochs = 4;
+    response.answers.push_back(entry);
+  }
+  std::string bytes;
+  encode_response(bytes, response);
+  const auto decoded = decode_response(payload_of(bytes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, FrameStatus::kStale);
+  EXPECT_EQ(decoded->snapshot_sequence, 17u);
+  EXPECT_EQ(decoded->snapshot_age_ms, 1250u);
+  ASSERT_EQ(decoded->answers.size(), 3u);
+  EXPECT_TRUE(decoded->answers[0].malicious);
+  EXPECT_FALSE(decoded->answers[1].malicious);
+  EXPECT_EQ(decoded->answers[2].window_requests, 1002u);
+}
+
+TEST(ServeFrame, PartialBatchAnswerIsExplicitNotPadded) {
+  // A 10-lookup batch answered 4 deep (the server shed mid-batch): the
+  // response carries exactly 4 answers and decodes that way — the
+  // shortfall is visible to the client, never padded with fakes.
+  ResponseFrame response;
+  response.type = FrameType::kBatch;
+  response.request_id = 5;
+  response.status = FrameStatus::kOk;
+  response.answers.resize(4);
+  std::string bytes;
+  encode_response(bytes, response);
+  const auto decoded = decode_response(payload_of(bytes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers.size(), 4u);
+
+  // A rejected response carries zero answers.
+  ResponseFrame rejected;
+  rejected.request_id = 6;
+  rejected.status = FrameStatus::kRejected;
+  bytes.clear();
+  encode_response(bytes, rejected);
+  const auto decoded_rejected = decode_response(payload_of(bytes));
+  ASSERT_TRUE(decoded_rejected.has_value());
+  EXPECT_EQ(decoded_rejected->status, FrameStatus::kRejected);
+  EXPECT_TRUE(decoded_rejected->answers.empty());
+}
+
+TEST(ServeFrame, TornReadsReassembleByteByByte) {
+  // Three frames fed one byte at a time: the decoder must never yield a
+  // frame early, never lose one, and keep byte-exact payloads.
+  std::string bytes;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    encode_request(bytes, make_batch(id, id == 2 ? 5 : 1));
+  }
+  FrameDecoder decoder;
+  std::vector<RequestFrame> seen;
+  std::string payload;
+  for (const char byte : bytes) {
+    decoder.feed(std::string_view(&byte, 1));
+    while (decoder.next(payload)) {
+      const auto decoded = decode_request(payload);
+      ASSERT_TRUE(decoded.has_value());
+      seen.push_back(*decoded);
+    }
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].request_id, 1u);
+  EXPECT_EQ(seen[1].request_id, 2u);
+  EXPECT_EQ(seen[1].lookups.size(), 5u);
+  EXPECT_EQ(seen[2].request_id, 3u);
+}
+
+TEST(ServeFrame, TornReadsAcrossUnevenChunks) {
+  std::string bytes;
+  for (std::uint64_t id = 0; id < 10; ++id) {
+    encode_request(bytes, make_batch(id, 3));
+  }
+  // Chunk sizes that never align with frame boundaries.
+  FrameDecoder decoder;
+  std::size_t fed = 0, frames = 0;
+  std::string payload;
+  const std::size_t chunks[] = {1, 7, 3, 13, 31, 64, 5};
+  std::size_t c = 0;
+  while (fed < bytes.size()) {
+    const std::size_t n = std::min(chunks[c++ % 7], bytes.size() - fed);
+    decoder.feed(std::string_view(bytes).substr(fed, n));
+    fed += n;
+    while (decoder.next(payload)) {
+      ASSERT_TRUE(decode_request(payload).has_value());
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 10u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(ServeFrame, OversizedFrameFailsLoudlyAndStaysFailed) {
+  std::string bytes;
+  util::put_u32(bytes, kMaxFramePayloadBytes + 1);  // hostile length prefix
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  std::string payload;
+  EXPECT_FALSE(decoder.next(payload));
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_NE(decoder.error().find("exceeds"), std::string::npos);
+  // Once frame boundaries are lost the decoder must not resynchronize on
+  // garbage: further feeds are dead.
+  std::string good;
+  encode_request(good, make_batch(1, 1));
+  decoder.feed(good);
+  EXPECT_FALSE(decoder.next(payload));
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(ServeFrame, MaxSizePayloadIsAcceptedBoundaryExact) {
+  // Exactly kMaxFramePayloadBytes must pass (the bound is inclusive);
+  // the decoder hands the payload back byte-exact even though it is not
+  // a valid request — framing and request parsing are separate layers.
+  std::string bytes;
+  util::put_u32(bytes, kMaxFramePayloadBytes);
+  bytes.append(kMaxFramePayloadBytes, 'x');
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  std::string payload;
+  ASSERT_TRUE(decoder.next(payload));
+  EXPECT_EQ(payload.size(), kMaxFramePayloadBytes);
+  EXPECT_FALSE(decoder.failed());
+  EXPECT_FALSE(decode_request(payload).has_value())
+      << "garbage payload parses as no request";
+}
+
+TEST(ServeFrame, MalformedPayloadsAreRejectedWithReasons) {
+  std::string error;
+
+  // Truncated header.
+  EXPECT_FALSE(decode_request("\x01", &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+
+  // Unknown type.
+  std::string payload;
+  util::put_u8(payload, 9);
+  util::put_u64(payload, 1);
+  util::put_u16(payload, 1);
+  EXPECT_FALSE(decode_request(payload, &error).has_value());
+  EXPECT_NE(error.find("unknown"), std::string::npos);
+
+  // Zero-count batch.
+  payload.clear();
+  util::put_u8(payload, static_cast<std::uint8_t>(FrameType::kBatch));
+  util::put_u64(payload, 1);
+  util::put_u16(payload, 0);
+  EXPECT_FALSE(decode_request(payload, &error).has_value());
+  EXPECT_NE(error.find("count"), std::string::npos);
+
+  // kLookup claiming 2 entries.
+  payload.clear();
+  util::put_u8(payload, static_cast<std::uint8_t>(FrameType::kLookup));
+  util::put_u64(payload, 1);
+  util::put_u16(payload, 2);
+  EXPECT_FALSE(decode_request(payload, &error).has_value());
+
+  // Entry truncated mid-string.
+  RequestFrame request = make_batch(3, 2);
+  std::string frame;
+  encode_request(frame, request);
+  std::string cut = frame.substr(4, frame.size() - 10);
+  EXPECT_FALSE(decode_request(cut, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+
+  // Trailing bytes after a valid request.
+  std::string padded = frame.substr(4) + "zz";
+  EXPECT_FALSE(decode_request(padded, &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+
+  // Response with an unknown status byte.
+  ResponseFrame response;
+  response.answers.resize(1);
+  std::string rbytes;
+  encode_response(rbytes, response);
+  std::string rpayload = payload_of(rbytes);
+  rpayload[9] = 7;  // status byte (after type + request_id)
+  EXPECT_FALSE(decode_response(rpayload, &error).has_value());
+  EXPECT_NE(error.find("status"), std::string::npos);
+}
+
+TEST(ServeFrame, DecoderBufferCompactionKeepsStreamIntact) {
+  // Interleave feeds and drains long enough that the lazy compaction in
+  // FrameDecoder::feed must trigger several times.
+  FrameDecoder decoder;
+  std::string payload;
+  std::uint64_t next_id = 0, seen = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::string bytes;
+    encode_request(bytes, make_batch(next_id++, 2));
+    // Feed in two halves so a partial frame regularly straddles feeds.
+    const std::size_t half = bytes.size() / 2;
+    decoder.feed(std::string_view(bytes).substr(0, half));
+    while (decoder.next(payload)) {
+      const auto decoded = decode_request(payload);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(decoded->request_id, seen++);
+    }
+    decoder.feed(std::string_view(bytes).substr(half));
+    while (decoder.next(payload)) {
+      const auto decoded = decode_request(payload);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(decoded->request_id, seen++);
+    }
+  }
+  EXPECT_EQ(seen, 200u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace smash::serve

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -273,6 +274,68 @@ TEST(StreamEngine, SnapshotSwapIsSafeUnderConcurrentReaders) {
 
   EXPECT_GT(service.stats().queries, 0u);
   EXPECT_LE(last_seq.load(), engine.snapshots_published());
+}
+
+TEST(StreamEngine, SnapshotAgeGrowsMonotonicallyWhileMinerStalled) {
+  // Regression: snapshot age must be computed at read time from the
+  // publish timestamp, not cached at publish — a stalled miner then shows
+  // up as ever-growing age (what the serve layer's staleness SLO and any
+  // alert on stream.snapshot_age_ms key off), never a frozen "fresh" one.
+  const auto scenario = synth::generate_stream(tiny_scenario_config());
+  StreamConfig config = tiny_stream_config();
+  config.async_mining = true;
+  std::atomic<int> mines{0};
+  std::atomic<bool> release{false};
+  config.mine_test_hook = [&] {
+    // First mine publishes normally; every later one stalls until
+    // released, simulating a miner that has fallen far behind.
+    if (mines.fetch_add(1) == 0) return;
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  StreamEngine engine(config, scenario.whois);
+  const VerdictService service(engine.slot());
+
+  // Feed everything: publication #1 lands, then the next mine stalls.
+  synth::feed(engine, scenario);
+  while (engine.snapshots_published() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto gauge_age_ms = [&] {
+    const auto snapshot = engine.metrics()->snapshot();
+    const auto* gauge = snapshot.gauge("stream.snapshot_age_ms");
+    EXPECT_NE(gauge, nullptr);
+    return gauge ? gauge->value : 0.0;
+  };
+
+  // While the miner is stalled, every read shows the same (first)
+  // snapshot but a strictly growing age — on the per-lookup answer and on
+  // the exported gauge alike.
+  // (The first publication's sequence may exceed 1 when early closes
+  // coalesced into it; what matters is that it does not advance while the
+  // miner is stalled.)
+  const auto first = service.lookup("site3.org");
+  ASSERT_TRUE(first.snapshot_available);
+  ASSERT_GE(first.snapshot_age_s, 0.0);
+  const double first_gauge = gauge_age_ms();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto later = service.lookup("site3.org");
+  EXPECT_EQ(later.snapshot_sequence, first.snapshot_sequence)
+      << "miner is stalled";
+  EXPECT_GT(later.snapshot_age_s, first.snapshot_age_s);
+  EXPECT_GE(later.snapshot_age_s - first.snapshot_age_s, 0.015)
+      << "age must track the stalled wall-clock time";
+  EXPECT_GT(gauge_age_ms(), first_gauge);
+
+  // Released, the engine drains and the age restarts from the fresh
+  // publication.
+  release.store(true);
+  engine.finish();
+  const auto fresh = service.lookup("site3.org");
+  EXPECT_GT(fresh.snapshot_sequence, first.snapshot_sequence);
+  EXPECT_LT(fresh.snapshot_age_s, later.snapshot_age_s);
 }
 
 TEST(StreamSnapshot, SurfacesPostingsBudgetOverflow) {
